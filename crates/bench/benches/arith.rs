@@ -1,0 +1,105 @@
+//! Criterion benchmarks of the multiple double arithmetic on the host —
+//! the real (not modeled) throughput of the operations the simulated
+//! kernels execute, including the sloppy-vs-accurate addition ablation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use multidouble::{Complex, Dd, MdScalar, Od, Qd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn pairs<S: MdScalar>(n: usize, seed: u64) -> Vec<(S, S)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (S::rand(&mut rng), S::rand(&mut rng))).collect()
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arith");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_millis(500));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+
+    macro_rules! ops_for {
+        ($tag:literal, $T:ty) => {
+            let data = pairs::<$T>(256, 7);
+            g.bench_function(concat!($tag, " add x256"), |b| {
+                b.iter_batched(
+                    || data.clone(),
+                    |d| {
+                        let mut acc = <$T as MdScalar>::zero();
+                        for (x, y) in d {
+                            acc += x + y;
+                        }
+                        black_box(acc)
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+            g.bench_function(concat!($tag, " mul x256"), |b| {
+                b.iter_batched(
+                    || data.clone(),
+                    |d| {
+                        let mut acc = <$T as MdScalar>::zero();
+                        for (x, y) in d {
+                            acc += x * y;
+                        }
+                        black_box(acc)
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+            g.bench_function(concat!($tag, " div x256"), |b| {
+                b.iter_batched(
+                    || data.clone(),
+                    |d| {
+                        let mut acc = <$T as MdScalar>::zero();
+                        for (x, y) in d {
+                            if !y.is_zero() {
+                                acc += x / y;
+                            }
+                        }
+                        black_box(acc)
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        };
+    }
+
+    ops_for!("1d", f64);
+    ops_for!("2d", Dd);
+    ops_for!("4d", Qd);
+    ops_for!("8d", Od);
+    ops_for!("complex 2d", Complex<Dd>);
+    g.finish();
+}
+
+fn bench_add_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dd add variants");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_millis(500));
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    let data = pairs::<Dd>(256, 9);
+    g.bench_function("accurate (ieee) x256", |b| {
+        b.iter(|| {
+            let mut acc = Dd::ZERO;
+            for (x, y) in &data {
+                acc += *x + *y;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("sloppy x256", |b| {
+        b.iter(|| {
+            let mut acc = Dd::ZERO;
+            for (x, y) in &data {
+                acc = acc.sloppy_add(x.sloppy_add(*y));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ops, bench_add_variants);
+criterion_main!(benches);

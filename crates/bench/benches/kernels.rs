@@ -1,0 +1,87 @@
+//! Criterion benchmarks of the functional simulator kernels: real host
+//! execution time of the QR, back substitution and full solver at small
+//! dimensions (one bench per experiment family).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpusim::{ExecMode, Gpu};
+use mdls_backsub::{backsub, BacksubOptions};
+use mdls_core::{lstsq, LstsqOptions};
+use mdls_matrix::HostMat;
+use mdls_qr::{qr_decompose, QrOptions};
+use multidouble::{Dd, Qd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_qr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qr functional");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(11);
+    let a_dd = HostMat::<Dd>::random(64, 64, &mut rng);
+    let opts = QrOptions {
+        tiles: 4,
+        tile_size: 16,
+    };
+    g.bench_function("dd 64x64 (4x16)", |b| {
+        b.iter(|| black_box(qr_decompose(&Gpu::v100(), ExecMode::Sequential, &a_dd, &opts)))
+    });
+    let a_qd = HostMat::<Qd>::random(32, 32, &mut rng);
+    let opts_qd = QrOptions {
+        tiles: 2,
+        tile_size: 16,
+    };
+    g.bench_function("qd 32x32 (2x16)", |b| {
+        b.iter(|| black_box(qr_decompose(&Gpu::v100(), ExecMode::Sequential, &a_qd, &opts_qd)))
+    });
+    g.finish();
+}
+
+fn bench_backsub(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backsub functional");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(12);
+    let opts = BacksubOptions {
+        tiles: 8,
+        tile_size: 16,
+    };
+    let u = mdls_matrix::well_conditioned_upper::<Qd, _>(opts.dim(), &mut rng);
+    let b: Vec<Qd> = mdls_matrix::random_vector(opts.dim(), &mut rng);
+    g.bench_function("qd dim 128 (8x16)", |bch| {
+        bch.iter(|| black_box(backsub(&Gpu::v100(), ExecMode::Sequential, &u, &b, &opts)))
+    });
+    g.finish();
+}
+
+fn bench_lstsq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lstsq functional");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(13);
+    let opts = LstsqOptions {
+        tiles: 4,
+        tile_size: 16,
+        mode: ExecMode::Sequential,
+    };
+    let a = HostMat::<Dd>::random(64, 64, &mut rng);
+    let b: Vec<Dd> = mdls_matrix::random_vector(64, &mut rng);
+    g.bench_function("dd 64 (4x16)", |bch| {
+        bch.iter(|| black_box(lstsq(&Gpu::v100(), &a, &b, &opts)))
+    });
+    g.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    // the analytic model itself: regenerating a paper table should be fast
+    let mut g = c.benchmark_group("model only");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("table3 generation", |b| {
+        b.iter(|| black_box(mdls_bench::experiments::table3()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_qr, bench_backsub, bench_lstsq, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,577 @@
+//! Generators for Tables 1–11.
+
+use gpusim::{Gpu, Profile};
+use mdls_backsub::{backsub_model_profile, BacksubOptions};
+use mdls_core::{lstsq_model_profiles, LstsqOptions};
+use mdls_qr::{qr_model_profile, QrOptions};
+use multidouble::{
+    complex::Complex,
+    cost::{paper_real_cost, predicted_overhead_factor},
+    count::{measure_dd, measure_od, measure_qd, MeasuredCosts},
+    Dd, Od, Qd,
+};
+
+use crate::tables::{fmt_gf, fmt_ratio, TextTable};
+
+/// The four working precisions of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Prec {
+    /// Hardware double.
+    D1,
+    /// Double double.
+    D2,
+    /// Quad double.
+    D4,
+    /// Octo double.
+    D8,
+}
+
+impl Prec {
+    /// The paper's tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Prec::D1 => "1d",
+            Prec::D2 => "2d",
+            Prec::D4 => "4d",
+            Prec::D8 => "8d",
+        }
+    }
+
+    /// All four, in table order.
+    pub fn all() -> [Prec; 4] {
+        [Prec::D1, Prec::D2, Prec::D4, Prec::D8]
+    }
+
+    /// The three multiple double precisions.
+    pub fn multi() -> [Prec; 3] {
+        [Prec::D2, Prec::D4, Prec::D8]
+    }
+}
+
+/// Model-only QR profile at a given precision.
+pub fn qr_profile(gpu: &Gpu, prec: Prec, rows: usize, tiles: usize, tile: usize) -> Profile {
+    let opts = QrOptions {
+        tiles,
+        tile_size: tile,
+    };
+    match prec {
+        Prec::D1 => qr_model_profile::<f64>(gpu, rows, &opts),
+        Prec::D2 => qr_model_profile::<Dd>(gpu, rows, &opts),
+        Prec::D4 => qr_model_profile::<Qd>(gpu, rows, &opts),
+        Prec::D8 => qr_model_profile::<Od>(gpu, rows, &opts),
+    }
+}
+
+/// Model-only complex QR profile (double double only is what Table 5 uses,
+/// but any precision works).
+pub fn qr_profile_complex(gpu: &Gpu, prec: Prec, rows: usize, tiles: usize, tile: usize) -> Profile {
+    let opts = QrOptions {
+        tiles,
+        tile_size: tile,
+    };
+    match prec {
+        Prec::D1 => qr_model_profile::<Complex<f64>>(gpu, rows, &opts),
+        Prec::D2 => qr_model_profile::<Complex<Dd>>(gpu, rows, &opts),
+        Prec::D4 => qr_model_profile::<Complex<Qd>>(gpu, rows, &opts),
+        Prec::D8 => qr_model_profile::<Complex<Od>>(gpu, rows, &opts),
+    }
+}
+
+/// Model-only back substitution profile.
+pub fn bs_profile(gpu: &Gpu, prec: Prec, tiles: usize, tile: usize) -> Profile {
+    let opts = BacksubOptions {
+        tiles,
+        tile_size: tile,
+    };
+    match prec {
+        Prec::D1 => backsub_model_profile::<f64>(gpu, &opts),
+        Prec::D2 => backsub_model_profile::<Dd>(gpu, &opts),
+        Prec::D4 => backsub_model_profile::<Qd>(gpu, &opts),
+        Prec::D8 => backsub_model_profile::<Od>(gpu, &opts),
+    }
+}
+
+/// Model-only least squares profiles `(qr, bs)`.
+pub fn lstsq_profiles(gpu: &Gpu, prec: Prec, tiles: usize, tile: usize) -> (Profile, Profile) {
+    let opts = LstsqOptions {
+        tiles,
+        tile_size: tile,
+        mode: gpusim::ExecMode::ModelOnly,
+    };
+    match prec {
+        Prec::D1 => lstsq_model_profiles::<f64>(gpu, &opts),
+        Prec::D2 => lstsq_model_profiles::<Dd>(gpu, &opts),
+        Prec::D4 => lstsq_model_profiles::<Qd>(gpu, &opts),
+        Prec::D8 => lstsq_model_profiles::<Od>(gpu, &opts),
+    }
+}
+
+/// Append the nine QR stage rows plus the four summary rows.
+pub fn qr_stage_rows(t: &mut TextTable, profiles: &[Profile]) {
+    for stage in mdls_qr::STAGES {
+        let vals: Vec<f64> = profiles
+            .iter()
+            .map(|p| p.stage(stage).map(|s| s.kernel_ms).unwrap_or(0.0))
+            .collect();
+        t.row_ms(stage, &vals);
+    }
+    t.row_ms(
+        "all kernels",
+        &profiles.iter().map(|p| p.all_kernels_ms()).collect::<Vec<_>>(),
+    );
+    t.row_ms(
+        "wall clock",
+        &profiles.iter().map(|p| p.wall_ms()).collect::<Vec<_>>(),
+    );
+    t.row(
+        "kernel flops",
+        profiles.iter().map(|p| fmt_gf(p.kernel_gflops())).collect(),
+    );
+    t.row(
+        "wall flops",
+        profiles.iter().map(|p| fmt_gf(p.wall_gflops())).collect(),
+    );
+}
+
+/// Append the back substitution stage rows (Table 7–9 legend).
+pub fn bs_stage_rows(t: &mut TextTable, profiles: &[Profile]) {
+    for stage in [
+        mdls_backsub::STAGE_INVERT,
+        mdls_backsub::STAGE_MULTIPLY,
+        mdls_backsub::STAGE_UPDATE,
+    ] {
+        let vals: Vec<f64> = profiles
+            .iter()
+            .map(|p| p.stage(stage).map(|s| s.kernel_ms).unwrap_or(0.0))
+            .collect();
+        t.row_ms(stage, &vals);
+    }
+    t.row_ms(
+        "time spent by kernels",
+        &profiles.iter().map(|p| p.all_kernels_ms()).collect::<Vec<_>>(),
+    );
+    t.row_ms(
+        "wall clock time",
+        &profiles.iter().map(|p| p.wall_ms()).collect::<Vec<_>>(),
+    );
+    t.row(
+        "kernel time flops",
+        profiles.iter().map(|p| fmt_gf(p.kernel_gflops())).collect(),
+    );
+    t.row(
+        "wall clock flops",
+        profiles.iter().map(|p| fmt_gf(p.wall_gflops())).collect(),
+    );
+}
+
+// ---------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------
+
+/// Table 1: operational counts — paper tallies next to the counts
+/// measured by instrumenting this crate's arithmetic under both
+/// `two_prod` conventions.
+pub fn table1() -> TextTable {
+    let mut t = TextTable::new(
+        "Table 1 — double-precision operations per multiple double operation\n\
+         (paper = CAMPARY tallies; split = this crate, Dekker two_prod; fma = this crate, FMA two_prod)",
+        "op",
+    );
+    t.col("paper").col("split").col("fma");
+    let rows: [(&str, MeasuredCosts, fn(&multidouble::cost::OpCost) -> f64); 3] = [
+        ("dd", measure_dd(), |c| c.add),
+        ("qd", measure_qd(), |c| c.add),
+        ("od", measure_od(), |c| c.add),
+    ];
+    for (tag, m, _) in rows {
+        let limbs = m.limbs;
+        let paper = paper_real_cost(limbs);
+        t.row(
+            format!("{tag} add"),
+            vec![
+                format!("{:.0}", paper.add),
+                m.add.split.to_string(),
+                m.add.fma.to_string(),
+            ],
+        );
+        t.row(
+            format!("{tag} mul"),
+            vec![
+                format!("{:.0}", paper.mul),
+                m.mul.split.to_string(),
+                m.mul.fma.to_string(),
+            ],
+        );
+        t.row(
+            format!("{tag} div"),
+            vec![
+                format!("{:.0}", paper.div),
+                m.div.split.to_string(),
+                m.div.fma.to_string(),
+            ],
+        );
+        let avg_split = (m.add.split + m.mul.split + m.div.split) as f64 / 3.0;
+        let avg_fma = (m.add.fma + m.mul.fma + m.div.fma) as f64 / 3.0;
+        t.row(
+            format!("{tag} average"),
+            vec![
+                format!("{:.1}", paper.average()),
+                format!("{avg_split:.1}"),
+                format!("{avg_fma:.1}"),
+            ],
+        );
+    }
+    t.row(
+        "pred. 2d->4d",
+        vec![
+            fmt_ratio(predicted_overhead_factor(2, 4)),
+            String::from("-"),
+            String::from("-"),
+        ],
+    );
+    t.row(
+        "pred. 4d->8d",
+        vec![
+            fmt_ratio(predicted_overhead_factor(4, 8)),
+            String::from("-"),
+            String::from("-"),
+        ],
+    );
+    t
+}
+
+/// Table 2: the five GPUs.
+pub fn table2() -> TextTable {
+    let mut t = TextTable::new("Table 2 — NVIDIA GPU characteristics", "NVIDIA GPU");
+    t.col("CUDA")
+        .col("#MP")
+        .col("#cores/MP")
+        .col("#cores")
+        .col("GHz")
+        .col("host CPU")
+        .col("host GHz")
+        .col("peak DP GF")
+        .col("BW GB/s");
+    for g in Gpu::all() {
+        t.row(
+            g.name,
+            vec![
+                g.cuda_capability.to_string(),
+                g.multiprocessors.to_string(),
+                g.cores_per_mp.to_string(),
+                g.cores().to_string(),
+                format!("{:.2}", g.ghz),
+                g.host_cpu.to_string(),
+                format!("{:.2}", g.host_ghz),
+                format!("{:.0}", g.peak_dp_gflops),
+                format!("{:.0}", g.mem_bw_gbs),
+            ],
+        );
+    }
+    t
+}
+
+/// Table 3: double double QR of a 1,024 × 1,024 matrix, 8 tiles of 128,
+/// on all five GPUs.
+pub fn table3() -> TextTable {
+    let mut t = TextTable::new(
+        "Table 3 — blocked Householder QR, double double, 1024x1024, 8 tiles of 128 (ms / gigaflops)",
+        "stage",
+    );
+    let gpus = Gpu::all();
+    let mut profiles = Vec::new();
+    for g in &gpus {
+        t.col(g.name);
+        profiles.push(qr_profile(g, Prec::D2, 1024, 8, 128));
+    }
+    qr_stage_rows(&mut t, &profiles);
+    t
+}
+
+/// Table 4: QR 1024 × 1024 in all four precisions on the RTX 2080, P100
+/// and V100. Returns one table per device plus the observed overhead
+/// factors.
+pub fn table4() -> Vec<TextTable> {
+    let mut out = Vec::new();
+    for g in Gpu::sweep_trio() {
+        let mut t = TextTable::new(
+            format!(
+                "Table 4 — blocked Householder QR 1024x1024, 8 tiles of 128, on the {} (ms / gigaflops)",
+                g.name
+            ),
+            "stage",
+        );
+        let mut profiles = Vec::new();
+        for p in Prec::all() {
+            t.col(p.tag());
+            profiles.push(qr_profile(&g, p, 1024, 8, 128));
+        }
+        qr_stage_rows(&mut t, &profiles);
+        let k2 = profiles[1].all_kernels_ms();
+        let k4 = profiles[2].all_kernels_ms();
+        let k8 = profiles[3].all_kernels_ms();
+        t.row(
+            "overhead 2d->4d",
+            vec![
+                "-".into(),
+                "-".into(),
+                fmt_ratio(k4 / k2),
+                "-".into(),
+            ],
+        );
+        t.row(
+            "overhead 4d->8d",
+            vec![
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                fmt_ratio(k8 / k4),
+            ],
+        );
+        out.push(t);
+    }
+    out
+}
+
+/// Table 5: real versus complex double double QR at dimension 512 for
+/// tile shapes 16x32, 8x64, 4x128, 2x256 on the V100.
+pub fn table5() -> Vec<TextTable> {
+    let v100 = Gpu::v100();
+    let shapes = [(16usize, 32usize), (8, 64), (4, 128), (2, 256)];
+    let mut out = Vec::new();
+    for (complex, label) in [(false, "real"), (true, "complex")] {
+        let mut t = TextTable::new(
+            format!(
+                "Table 5 — double double QR on {label} matrices of dimension 512, V100 (ms / gigaflops)"
+            ),
+            "stage",
+        );
+        let mut profiles = Vec::new();
+        for (tiles, tile) in shapes {
+            t.col(format!("{tiles}x{tile}"));
+            profiles.push(if complex {
+                qr_profile_complex(&v100, Prec::D2, 512, tiles, tile)
+            } else {
+                qr_profile(&v100, Prec::D2, 512, tiles, tile)
+            });
+        }
+        qr_stage_rows(&mut t, &profiles);
+        out.push(t);
+    }
+    out
+}
+
+/// Table 6: QR in 2d/4d/8d at dimensions 512..2048 (k x 128) on the V100.
+pub fn table6() -> Vec<TextTable> {
+    let v100 = Gpu::v100();
+    let dims = [(512usize, 4usize), (1024, 8), (1536, 12), (2048, 16)];
+    let mut out = Vec::new();
+    for p in Prec::multi() {
+        let mut t = TextTable::new(
+            format!(
+                "Table 6 — blocked Householder QR, {} precision, V100 (ms / gigaflops)",
+                p.tag()
+            ),
+            "stage",
+        );
+        let mut profiles = Vec::new();
+        for (dim, tiles) in dims {
+            t.col(format!("{dim} = {tiles}x128"));
+            profiles.push(qr_profile(&v100, p, dim, tiles, 128));
+        }
+        qr_stage_rows(&mut t, &profiles);
+        out.push(t);
+    }
+    out
+}
+
+/// Table 7: back substitution in four precisions on the V100,
+/// sizes 64x80, 128x80, 256x80 (od: 128x160 for the largest, shared
+/// memory caps the tile size at 128 in octo double).
+pub fn table7() -> Vec<TextTable> {
+    let v100 = Gpu::v100();
+    let mut out = Vec::new();
+    for p in Prec::all() {
+        let shapes: [(usize, usize); 3] = if p == Prec::D8 {
+            [(64, 80), (128, 80), (128, 160)]
+        } else {
+            [(64, 80), (128, 80), (256, 80)]
+        };
+        let mut t = TextTable::new(
+            format!(
+                "Table 7 — back substitution, {} precision, V100 (ms / gigaflops)",
+                p.tag()
+            ),
+            "stage",
+        );
+        let mut profiles = Vec::new();
+        for (tile, tiles) in shapes {
+            t.col(format!("{tile}x{tiles}"));
+            profiles.push(bs_profile(&v100, p, tiles, tile));
+        }
+        bs_stage_rows(&mut t, &profiles);
+        out.push(t);
+    }
+    out
+}
+
+/// Table 8: quad double back substitution at dimension 20480 for three
+/// tilings on the V100.
+pub fn table8() -> TextTable {
+    let v100 = Gpu::v100();
+    let mut t = TextTable::new(
+        "Table 8 — back substitution, quad double, dimension 20480 = N x n, V100 (ms / gigaflops)",
+        "stage",
+    );
+    let mut profiles = Vec::new();
+    for (tiles, tile) in [(320usize, 64usize), (160, 128), (80, 256)] {
+        t.col(format!("{tiles}x{tile}"));
+        profiles.push(bs_profile(&v100, Prec::D4, tiles, tile));
+    }
+    bs_stage_rows(&mut t, &profiles);
+    t
+}
+
+/// Table 9: tiled back substitution in quad double, N = 80 tiles of
+/// n = 32..256, on the RTX 2080, P100 and V100.
+pub fn table9() -> Vec<TextTable> {
+    let mut out = Vec::new();
+    for g in Gpu::sweep_trio() {
+        let mut t = TextTable::new(
+            format!(
+                "Table 9 — tiled back substitution, quad double, 80 tiles of n, on the {} (ms / gigaflops)",
+                g.name
+            ),
+            "stage",
+        );
+        let mut profiles = Vec::new();
+        for n in (32..=256).step_by(32) {
+            t.col(n.to_string());
+            profiles.push(bs_profile(&g, Prec::D4, 80, n));
+        }
+        bs_stage_rows(&mut t, &profiles);
+        out.push(t);
+    }
+    out
+}
+
+/// Table 10: arithmetic intensity and kernel flops of the quad double
+/// back substitution on the V100 (the Figure 5 data).
+pub fn table10() -> TextTable {
+    let v100 = Gpu::v100();
+    let mut t = TextTable::new(
+        "Table 10 — arithmetic intensity (flops/byte) and kernel flops (GF), qd back substitution, V100\n\
+         (byte convention: modeled global traffic of all kernels; see EXPERIMENTS.md)",
+        "n",
+    );
+    t.col("intensity").col("kernel flops");
+    for n in (32..=256).step_by(32) {
+        let p = bs_profile(&v100, Prec::D4, 80, n);
+        let pt = gpusim::roofline::RooflinePoint::from_profile(n, &p);
+        t.row(
+            n.to_string(),
+            vec![format!("{:.2}", pt.intensity), fmt_gf(pt.gflops)],
+        );
+    }
+    t
+}
+
+/// Table 11: least squares solving of a 1,024 × 1,024 system, 8 tiles of
+/// 128, in all four precisions on the RTX 2080, P100 and V100.
+pub fn table11() -> Vec<TextTable> {
+    let mut out = Vec::new();
+    for g in Gpu::sweep_trio() {
+        let mut t = TextTable::new(
+            format!(
+                "Table 11 — least squares, 1024x1024 system, 8 tiles of 128, on the {} (ms / gigaflops)",
+                g.name
+            ),
+            "stage",
+        );
+        let mut data = Vec::new();
+        for p in Prec::all() {
+            t.col(p.tag());
+            data.push(lstsq_profiles(&g, p, 8, 128));
+        }
+        t.row_ms(
+            "QR kernel time",
+            &data.iter().map(|(q, _)| q.all_kernels_ms()).collect::<Vec<_>>(),
+        );
+        t.row_ms(
+            "QR wall time",
+            &data.iter().map(|(q, _)| q.wall_ms()).collect::<Vec<_>>(),
+        );
+        t.row_ms(
+            "BS kernel time",
+            &data.iter().map(|(_, b)| b.all_kernels_ms()).collect::<Vec<_>>(),
+        );
+        t.row_ms(
+            "BS wall time",
+            &data.iter().map(|(_, b)| b.wall_ms()).collect::<Vec<_>>(),
+        );
+        t.row(
+            "QR kernel flops",
+            data.iter().map(|(q, _)| fmt_gf(q.kernel_gflops())).collect(),
+        );
+        t.row(
+            "QR wall flops",
+            data.iter().map(|(q, _)| fmt_gf(q.wall_gflops())).collect(),
+        );
+        t.row(
+            "BS kernel flops",
+            data.iter().map(|(_, b)| fmt_gf(b.kernel_gflops())).collect(),
+        );
+        t.row(
+            "BS wall flops",
+            data.iter().map(|(_, b)| fmt_gf(b.wall_gflops())).collect(),
+        );
+        let totals: Vec<(f64, f64)> = data
+            .iter()
+            .map(|(q, b)| {
+                let mut total = q.clone();
+                total.absorb(b);
+                (total.kernel_gflops(), total.wall_gflops())
+            })
+            .collect();
+        t.row(
+            "total kernel flops",
+            totals.iter().map(|(k, _)| fmt_gf(*k)).collect(),
+        );
+        t.row(
+            "total wall flops",
+            totals.iter().map(|(_, w)| fmt_gf(*w)).collect(),
+        );
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_five_device_columns() {
+        let t = table3();
+        assert_eq!(t.col_headers.len(), 5);
+        assert_eq!(t.rows.len(), 13); // 9 stages + 4 summary rows
+    }
+
+    #[test]
+    fn qr_profiles_scale_with_precision() {
+        let v = Gpu::v100();
+        let d2 = qr_profile(&v, Prec::D2, 256, 2, 128).all_kernels_ms();
+        let d4 = qr_profile(&v, Prec::D4, 256, 2, 128).all_kernels_ms();
+        let d8 = qr_profile(&v, Prec::D8, 256, 2, 128).all_kernels_ms();
+        assert!(d2 < d4 && d4 < d8);
+    }
+
+    #[test]
+    fn complex_costs_about_4x_real() {
+        let v = Gpu::v100();
+        let re = qr_profile(&v, Prec::D2, 512, 4, 128);
+        let cx = qr_profile_complex(&v, Prec::D2, 512, 4, 128);
+        let ratio = cx.total_flops_paper() / re.total_flops_paper();
+        assert!(ratio > 3.0 && ratio < 6.0, "complex/real flops = {ratio}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Text renderings of Figures 1–5 (2-logarithm bar charts and the
+//! roofline scatter plot).
+
+use gpusim::roofline::RooflinePoint;
+use gpusim::Gpu;
+
+use crate::experiments::{bs_profile, qr_profile, Prec};
+
+/// A horizontal bar chart of `log2(value)`; one unit of height in the
+/// paper's figures equals a doubling of the time.
+pub fn log2_bar_chart(title: &str, entries: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let min_l2 = entries
+        .iter()
+        .map(|(_, v)| v.log2())
+        .fold(f64::INFINITY, f64::min)
+        .floor()
+        .min(0.0);
+    for (label, v) in entries {
+        let l2 = v.log2();
+        let bar = ((l2 - min_l2) * 3.0).round().max(1.0) as usize;
+        out.push_str(&format!(
+            "{label:<label_w$} |{} log2 = {l2:5.2}  ({v:.1} ms)\n",
+            "#".repeat(bar)
+        ));
+    }
+    out
+}
+
+/// Figure 1: log2 of all-kernels QR times at 1024, per device and
+/// precision.
+pub fn fig1() -> String {
+    let mut entries = Vec::new();
+    for g in Gpu::sweep_trio() {
+        for p in [Prec::D2, Prec::D4, Prec::D8] {
+            let prof = qr_profile(&g, p, 1024, 8, 128);
+            entries.push((format!("{} {}", g.name, p.tag()), prof.all_kernels_ms()));
+        }
+    }
+    log2_bar_chart(
+        "Figure 1 — log2 of times spent by all kernels of QR, 1024x1024 (2d/4d/8d)",
+        &entries,
+    )
+}
+
+/// Figure 2: log2 of all-kernels QR times on the V100 for increasing
+/// dimensions.
+pub fn fig2() -> String {
+    let v100 = Gpu::v100();
+    let mut entries = Vec::new();
+    for p in [Prec::D2, Prec::D4, Prec::D8] {
+        for (dim, tiles) in [(512usize, 4usize), (1024, 8), (1536, 12), (2048, 16)] {
+            let prof = qr_profile(&v100, p, dim, tiles, 128);
+            entries.push((format!("{} dim {dim}", p.tag()), prof.all_kernels_ms()));
+        }
+    }
+    log2_bar_chart(
+        "Figure 2 — log2 of times spent by all kernels of QR on the V100, increasing dimensions",
+        &entries,
+    )
+}
+
+/// Figure 3: log2 of all-kernels back substitution times on the V100.
+pub fn fig3() -> String {
+    let v100 = Gpu::v100();
+    let mut entries = Vec::new();
+    for p in Prec::all() {
+        let shapes: [(usize, usize); 3] = if p == Prec::D8 {
+            [(64, 80), (128, 80), (128, 160)]
+        } else {
+            [(64, 80), (128, 80), (256, 80)]
+        };
+        for (tile, tiles) in shapes {
+            let prof = bs_profile(&v100, p, tiles, tile);
+            entries.push((
+                format!("{} dim {}", p.tag(), tile * tiles),
+                prof.all_kernels_ms(),
+            ));
+        }
+    }
+    log2_bar_chart(
+        "Figure 3 — log2 of times spent by all kernels of back substitution on the V100",
+        &entries,
+    )
+}
+
+/// Figure 4: log2 of all-kernels qd back substitution times on the three
+/// sweep devices, N = 80, n = 32..256.
+pub fn fig4() -> String {
+    let mut entries = Vec::new();
+    for g in Gpu::sweep_trio() {
+        for n in (32..=256).step_by(32) {
+            let prof = bs_profile(&g, Prec::D4, 80, n);
+            entries.push((format!("{} n={n}", g.name), prof.all_kernels_ms()));
+        }
+    }
+    log2_bar_chart(
+        "Figure 4 — log2 of times spent by all kernels, qd back substitution, 80 tiles",
+        &entries,
+    )
+}
+
+/// Figure 5: roofline scatter for the quad double back substitution on
+/// the V100 (log-log axes).
+pub fn fig5() -> String {
+    let v100 = Gpu::v100();
+    let points: Vec<RooflinePoint> = (32..=256)
+        .step_by(32)
+        .map(|n| RooflinePoint::from_profile(n, &bs_profile(&v100, Prec::D4, 80, n)))
+        .collect();
+    render_roofline(&v100, &points)
+}
+
+/// Render a roofline plot: `.` marks the roof, `*` the measured points.
+pub fn render_roofline(gpu: &Gpu, points: &[RooflinePoint]) -> String {
+    const W: usize = 64;
+    const H: usize = 20;
+    // x: log10 intensity in [-1, 4]; y: log10 gflops in [0, 4]
+    let (x0, x1) = (-1.0f64, 4.0);
+    let (y0, y1) = (0.0f64, 4.0);
+    let xpix = |x: f64| (((x - x0) / (x1 - x0)) * (W as f64 - 1.0)).round() as isize;
+    let ypix = |y: f64| (((y - y0) / (y1 - y0)) * (H as f64 - 1.0)).round() as isize;
+    let mut grid = vec![vec![' '; W]; H];
+    // the roof: min(peak, ai * bw)
+    for px in 0..W {
+        let ai = 10f64.powf(x0 + (x1 - x0) * px as f64 / (W as f64 - 1.0));
+        let roof = (ai * gpu.mem_bw_gbs).min(gpu.peak_dp_gflops);
+        let py = ypix(roof.log10());
+        if (0..H as isize).contains(&py) {
+            grid[H - 1 - py as usize][px] = '.';
+        }
+    }
+    for p in points {
+        let px = xpix(p.intensity.log10());
+        let py = ypix(p.gflops.log10());
+        if (0..W as isize).contains(&px) && (0..H as isize).contains(&py) {
+            grid[H - 1 - py as usize][px as usize] = '*';
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 5 — roofline, qd back substitution on the {} (x: log10 flops/byte in [-1,4]; y: log10 GF in [0,4])\n",
+        gpu.name
+    ));
+    out.push_str(&format!(
+        "ridge point at {:.2} flops/byte; '.' = roof, '*' = measured (n = 32..256)\n",
+        gpu.ridge_point()
+    ));
+    for row in grid {
+        out.push('|');
+        out.push_str(&row.into_iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(W));
+    out.push('\n');
+    for p in points {
+        out.push_str(&format!(
+            "  n = {:>3}: AI = {:8.2} flops/byte, {:8.1} GF ({})\n",
+            p.label,
+            p.intensity,
+            p.gflops,
+            if p.compute_bound(gpu) {
+                "compute bound"
+            } else {
+                "memory bound"
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_monotone_in_value() {
+        let s = log2_bar_chart(
+            "t",
+            &[("a".into(), 100.0), ("b".into(), 800.0)],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        let bars: Vec<usize> = lines[1..]
+            .iter()
+            .map(|l| l.matches('#').count())
+            .collect();
+        // 800 = 100 * 2^3: three more doublings -> longer bar
+        assert!(bars[1] > bars[0]);
+    }
+
+    #[test]
+    fn roofline_renders_points() {
+        let v = Gpu::v100();
+        let pts = vec![RooflinePoint {
+            label: 64,
+            intensity: 10.0,
+            gflops: 500.0,
+        }];
+        let s = render_roofline(&v, &pts);
+        assert!(s.contains('*'));
+        assert!(s.contains("ridge point at 9.08"));
+    }
+}

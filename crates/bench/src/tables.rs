@@ -1,0 +1,136 @@
+//! Plain-text table rendering in the paper's layout: a row-label column
+//! followed by value columns, units in the title.
+
+/// A renderable table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    /// Title printed above the table.
+    pub title: String,
+    /// Header of the label column.
+    pub label_header: String,
+    /// Value column headers.
+    pub col_headers: Vec<String>,
+    /// Rows: label plus one cell per column.
+    pub rows: Vec<(String, Vec<String>)>,
+}
+
+impl TextTable {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, label_header: impl Into<String>) -> Self {
+        TextTable {
+            title: title.into(),
+            label_header: label_header.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Add a value column.
+    pub fn col(&mut self, h: impl Into<String>) -> &mut Self {
+        self.col_headers.push(h.into());
+        self
+    }
+
+    /// Add a row of preformatted cells.
+    pub fn row(&mut self, label: impl Into<String>, cells: Vec<String>) -> &mut Self {
+        let cells_len = cells.len();
+        assert_eq!(
+            cells_len,
+            self.col_headers.len(),
+            "row width mismatch in table {:?}",
+            self.title
+        );
+        self.rows.push((label.into(), cells));
+        self
+    }
+
+    /// Add a row of milliseconds values (one decimal, like the paper).
+    pub fn row_ms(&mut self, label: impl Into<String>, vals: &[f64]) -> &mut Self {
+        self.row(label, vals.iter().map(|v| fmt_ms(*v)).collect())
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.col_headers.iter().map(|h| h.len()).collect();
+        let mut label_w = self.label_header.len();
+        for (label, cells) in &self.rows {
+            label_w = label_w.max(label.len());
+            for (w, c) in widths.iter_mut().zip(cells.iter()) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        // header
+        out.push_str(&format!("{:<label_w$}", self.label_header));
+        for (h, w) in self.col_headers.iter().zip(widths.iter()) {
+            out.push_str(&format!("  {h:>w$}"));
+        }
+        out.push('\n');
+        let total = label_w + widths.iter().map(|w| w + 2).sum::<usize>();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            out.push_str(&format!("{label:<label_w$}"));
+            for (c, w) in cells.iter().zip(widths.iter()) {
+                out.push_str(&format!("  {c:>w$}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Milliseconds with one decimal (the paper's convention).
+pub fn fmt_ms(v: f64) -> String {
+    if v >= 10_000.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Gigaflops with one decimal.
+pub fn fmt_gf(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// A ratio with two decimals.
+pub fn fmt_ratio(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("demo (ms)", "stage");
+        t.col("A").col("B");
+        t.row_ms("alpha", &[1.0, 22.5]);
+        t.row_ms("b", &[333.25, 4.0]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "demo (ms)");
+        assert!(lines[1].contains("stage"));
+        assert!(lines[3].contains("1.0"));
+        assert!(lines[4].contains("333.2") || lines[4].contains("333.3"));
+        // all data lines same width
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = TextTable::new("x", "l");
+        t.col("only");
+        t.row("bad", vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn big_ms_drops_decimals() {
+        assert_eq!(fmt_ms(84448.0), "84448");
+        assert_eq!(fmt_ms(451.5), "451.5");
+    }
+}

@@ -1,0 +1,359 @@
+//! The least squares solver — the paper's primary contribution.
+//!
+//! `lstsq` minimizes `‖b − A x‖₂` by the paper's pipeline:
+//!
+//! 1. **Algorithm 2** — blocked accelerated Householder QR: `A = Q R`;
+//! 2. `Qᴴ b` — one matrix-vector product with the accumulated `Q`;
+//! 3. **Algorithm 1** — tiled accelerated back substitution on
+//!    `R x = Qᴴ b`.
+//!
+//! The run returns *two* profiles — one for the QR, one for the back
+//! substitution (which absorbs the small `Qᴴ b` product) — exactly the
+//! split of the paper's Table 11, plus the combined totals.
+
+use gpusim::{BlockCtx, ExecMode, Gpu, KernelCost, Profile, Sim};
+use mdls_backsub::{backsub_on_sim, BacksubOptions};
+use mdls_matrix::HostMat;
+use mdls_qr::{qr_on_sim, QrDeviceState, QrOptions};
+use multidouble::{MdScalar, OpCounts};
+
+/// Stage label for the `Qᴴ b` product (part of the back substitution
+/// phase in the Table 11 accounting).
+pub const STAGE_QTB: &str = "Q^T*b";
+
+/// Solver configuration: the tiling is shared by the QR panels and the
+/// back substitution, as in the paper's Table 11 (8 tiles of size 128).
+#[derive(Clone, Copy, Debug)]
+pub struct LstsqOptions {
+    /// Number of tiles `N`.
+    pub tiles: usize,
+    /// Tile size `n` (threads per block).
+    pub tile_size: usize,
+    /// Execution mode of the simulator.
+    pub mode: ExecMode,
+}
+
+impl Default for LstsqOptions {
+    fn default() -> Self {
+        LstsqOptions {
+            tiles: 8,
+            tile_size: 128,
+            mode: ExecMode::Sequential,
+        }
+    }
+}
+
+impl LstsqOptions {
+    /// Number of unknowns `N · n`.
+    pub fn cols(&self) -> usize {
+        self.tiles * self.tile_size
+    }
+}
+
+/// Outcome of a least squares solve.
+pub struct LstsqRun<S> {
+    /// The minimizer (functional modes only).
+    pub x: Vec<S>,
+    /// Profile of the QR phase.
+    pub qr_profile: Profile,
+    /// Profile of the back substitution phase (includes `Qᴴ b`).
+    pub bs_profile: Profile,
+}
+
+impl<S> LstsqRun<S> {
+    /// Combined profile of both phases.
+    pub fn total_profile(&self) -> Profile {
+        let mut p = self.qr_profile.clone();
+        p.absorb(&self.bs_profile);
+        p
+    }
+}
+
+/// `qtb[j] = Σ_i conj(Q[i, j]) b[i]` — block per output element group.
+fn qtb_kernel<S: MdScalar>(
+    sim: &Sim,
+    q: &gpusim::DeviceMat<S>,
+    b: &gpusim::DeviceBuf<S>,
+    out: &gpusim::DeviceBuf<S>,
+    cols: usize,
+    block: usize,
+) {
+    let m = q.rows;
+    let ops = OpCounts {
+        add: (m * cols) as u64,
+        mul: (m * cols) as u64,
+        ..OpCounts::ZERO
+    };
+    let cost = KernelCost::of::<S>(ops, (m * cols + m) as u64, cols as u64);
+    sim.launch(STAGE_QTB, cols.div_ceil(block).max(1), block, cost, |ctx: BlockCtx| {
+        for t in ctx.thread_ids() {
+            let j = ctx.global_tid(t);
+            if j >= cols {
+                continue;
+            }
+            let mut acc = S::zero();
+            for i in 0..m {
+                acc += q.get(i, j).conj() * b.get(i);
+            }
+            out.set(j, acc);
+        }
+    });
+}
+
+/// Copy the top `cols × cols` block of `R` into a square matrix for the
+/// back substitution (only needed for tall systems).
+fn copy_r_square<S: MdScalar>(
+    sim: &Sim,
+    r: &gpusim::DeviceMat<S>,
+    u: &gpusim::DeviceMat<S>,
+    cols: usize,
+    block: usize,
+) {
+    let elems = (cols * (cols + 1) / 2) as u64;
+    let cost = KernelCost::of::<S>(OpCounts::ZERO, elems, elems);
+    sim.launch("copy R", cols.div_ceil(block).max(1), block, cost, |ctx: BlockCtx| {
+        for t in ctx.thread_ids() {
+            let c = ctx.global_tid(t);
+            if c >= cols {
+                continue;
+            }
+            for row in 0..=c {
+                u.set(row, c, r.get(row, c));
+            }
+        }
+    });
+}
+
+/// Solve `A x = b` in the least squares sense.
+///
+/// `A` is `m × N·n` with `m ≥ N·n`; `b` has length `m`. In
+/// [`ExecMode::ModelOnly`] the returned `x` is empty and only the
+/// profiles are meaningful.
+pub fn lstsq<S: MdScalar>(gpu: &Gpu, a: &HostMat<S>, b: &[S], opts: &LstsqOptions) -> LstsqRun<S> {
+    let cols = opts.cols();
+    assert_eq!(a.cols, cols, "matrix does not match tiling");
+    assert_eq!(b.len(), a.rows, "right hand side length mismatch");
+    let m = a.rows;
+
+    let sim = Sim::new(gpu.clone(), opts.mode);
+
+    // ---- phase 1: QR --------------------------------------------------
+    let qr_opts = QrOptions {
+        tiles: opts.tiles,
+        tile_size: opts.tile_size,
+    };
+    let st = QrDeviceState::<S>::alloc(&sim, m, &qr_opts);
+    sim.record_host_overhead();
+    sim.record_transfer(((m * cols + m) * S::BYTES) as u64);
+    if sim.is_functional() {
+        a.upload_to(&st.r);
+    }
+    st.init_q_identity();
+    qr_on_sim(&sim, &st, &qr_opts);
+    let qr_profile = sim.profile();
+    sim.reset_profile();
+
+    // ---- phase 2: Q^H b and back substitution --------------------------
+    let db = sim.alloc_vec::<S>(m);
+    let dqtb = sim.alloc_vec::<S>(cols);
+    let dx = sim.alloc_vec::<S>(cols);
+    if sim.is_functional() {
+        db.upload(b);
+    }
+    qtb_kernel(&sim, &st.q, &db, &dqtb, cols, opts.tile_size);
+
+    let bs_opts = BacksubOptions {
+        tiles: opts.tiles,
+        tile_size: opts.tile_size,
+    };
+    if m == cols {
+        backsub_on_sim(&sim, &st.r, &dqtb, &dx, &bs_opts);
+    } else {
+        let u = sim.alloc_mat::<S>(cols, cols);
+        copy_r_square(&sim, &st.r, &u, cols, opts.tile_size);
+        backsub_on_sim(&sim, &u, &dqtb, &dx, &bs_opts);
+    }
+    sim.record_transfer((cols * S::BYTES) as u64);
+    let bs_profile = sim.profile();
+
+    let x = if sim.is_functional() {
+        dx.download()
+    } else {
+        Vec::new()
+    };
+    LstsqRun {
+        x,
+        qr_profile,
+        bs_profile,
+    }
+}
+
+/// Model-only solver profiles `(qr, back substitution)` for a square
+/// `dim × dim` system — the Table 11 generator at paper dimensions.
+pub fn lstsq_model_profiles<S: MdScalar>(
+    gpu: &Gpu,
+    opts: &LstsqOptions,
+) -> (Profile, Profile) {
+    let cols = opts.cols();
+    let m = cols;
+    let sim = Sim::new(gpu.clone(), ExecMode::ModelOnly);
+    let qr_opts = QrOptions {
+        tiles: opts.tiles,
+        tile_size: opts.tile_size,
+    };
+    let st = QrDeviceState::<S>::alloc(&sim, m, &qr_opts);
+    sim.record_host_overhead();
+    sim.record_transfer(((m * cols + m) * S::BYTES) as u64);
+    qr_on_sim(&sim, &st, &qr_opts);
+    let qr_profile = sim.profile();
+    sim.reset_profile();
+
+    let db = sim.alloc_vec::<S>(m);
+    let dqtb = sim.alloc_vec::<S>(cols);
+    let dx = sim.alloc_vec::<S>(cols);
+    qtb_kernel(&sim, &st.q, &db, &dqtb, cols, opts.tile_size);
+    let bs_opts = BacksubOptions {
+        tiles: opts.tiles,
+        tile_size: opts.tile_size,
+    };
+    backsub_on_sim(&sim, &st.r, &dqtb, &dx, &bs_opts);
+    sim.record_transfer((cols * S::BYTES) as u64);
+    (qr_profile, sim.profile())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multidouble::{Complex, Dd, MdReal, Od, Qd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Solve a consistent square system and return the relative residual.
+    fn consistent_residual<S: MdScalar>(opts: LstsqOptions, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = opts.cols();
+        let a = HostMat::<S>::random(n, n, &mut rng);
+        let xt: Vec<S> = mdls_matrix::random_vector(n, &mut rng);
+        let b = a.matvec(&xt);
+        let run = lstsq(&Gpu::v100(), &a, &b, &opts);
+        let r = a.residual(&run.x, &b).to_f64();
+        let bn = mdls_matrix::vec_norm2(&b).to_f64();
+        r / bn
+    }
+
+    #[test]
+    fn dd_solver_reaches_dd_roundoff() {
+        let e = consistent_residual::<Dd>(
+            LstsqOptions {
+                tiles: 3,
+                tile_size: 8,
+                mode: ExecMode::Sequential,
+            },
+            301,
+        );
+        assert!(e < 1e-27, "dd residual {e:e}");
+    }
+
+    #[test]
+    fn qd_solver_reaches_qd_roundoff() {
+        let e = consistent_residual::<Qd>(
+            LstsqOptions {
+                tiles: 2,
+                tile_size: 8,
+                mode: ExecMode::Sequential,
+            },
+            302,
+        );
+        assert!(e < 1e-57, "qd residual {e:e}");
+    }
+
+    #[test]
+    fn od_solver_reaches_od_roundoff() {
+        let e = consistent_residual::<Od>(
+            LstsqOptions {
+                tiles: 2,
+                tile_size: 4,
+                mode: ExecMode::Sequential,
+            },
+            303,
+        );
+        assert!(e < 1e-117, "od residual {e:e}");
+    }
+
+    #[test]
+    fn complex_qd_solver() {
+        let e = consistent_residual::<Complex<Qd>>(
+            LstsqOptions {
+                tiles: 2,
+                tile_size: 6,
+                mode: ExecMode::Sequential,
+            },
+            304,
+        );
+        assert!(e < 1e-56, "complex qd residual {e:e}");
+    }
+
+    #[test]
+    fn overdetermined_least_squares_minimizes() {
+        // m > n: the residual must be orthogonal to the column space
+        let mut rng = StdRng::seed_from_u64(305);
+        let opts = LstsqOptions {
+            tiles: 2,
+            tile_size: 4,
+            mode: ExecMode::Sequential,
+        };
+        let m = 16;
+        let a = HostMat::<Qd>::random(m, opts.cols(), &mut rng);
+        let b: Vec<Qd> = mdls_matrix::random_vector(m, &mut rng);
+        let run = lstsq(&Gpu::v100(), &a, &b, &opts);
+        // r = b - A x; check A^T r ~ 0 (normal equations)
+        let ax = a.matvec(&run.x);
+        let r: Vec<Qd> = b.iter().zip(ax.iter()).map(|(x, y)| *x - *y).collect();
+        let atr = a.matvec_conj_t(&r);
+        let defect = mdls_matrix::vec_norm2(&atr).to_f64() / mdls_matrix::vec_norm2(&b).to_f64();
+        assert!(defect < 1e-56, "normal-equation defect {defect:e}");
+    }
+
+    #[test]
+    fn profiles_split_qr_and_bs() {
+        let mut rng = StdRng::seed_from_u64(306);
+        let opts = LstsqOptions {
+            tiles: 2,
+            tile_size: 8,
+            mode: ExecMode::Sequential,
+        };
+        let n = opts.cols();
+        let a = HostMat::<Dd>::random(n, n, &mut rng);
+        let b: Vec<Dd> = mdls_matrix::random_vector(n, &mut rng);
+        let run = lstsq(&Gpu::v100(), &a, &b, &opts);
+        assert!(run.qr_profile.stage("compute W").is_some());
+        assert!(run.bs_profile.stage("invert diagonal tiles").is_some());
+        assert!(run.bs_profile.stage(STAGE_QTB).is_some());
+        // QR dominates BS, as in Table 11 ("about 100 times less")
+        assert!(
+            run.qr_profile.all_kernels_ms() > 5.0 * run.bs_profile.all_kernels_ms(),
+            "QR {} ms vs BS {} ms",
+            run.qr_profile.all_kernels_ms(),
+            run.bs_profile.all_kernels_ms()
+        );
+        let total = run.total_profile();
+        let sum = run.qr_profile.all_kernels_ms() + run.bs_profile.all_kernels_ms();
+        assert!((total.all_kernels_ms() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_only_returns_profiles_without_solution() {
+        let opts = LstsqOptions {
+            tiles: 2,
+            tile_size: 8,
+            mode: ExecMode::ModelOnly,
+        };
+        let n = opts.cols();
+        let a = HostMat::<Qd>::zeros(n, n);
+        let b = vec![Qd::ZERO; n];
+        let run = lstsq(&Gpu::v100(), &a, &b, &opts);
+        assert!(run.x.is_empty());
+        assert!(run.qr_profile.all_kernels_ms() > 0.0);
+        assert!(run.bs_profile.all_kernels_ms() > 0.0);
+    }
+}

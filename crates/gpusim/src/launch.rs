@@ -1,0 +1,126 @@
+//! Launch descriptors: what a kernel costs and how a block sees itself.
+
+use multidouble::{MdScalar, OpCounts};
+
+/// Analytic cost of one kernel launch, declared by the driver.
+///
+/// `ops` are *multiple double* operation counts (the paper's per-kernel
+/// accumulators); the flop expansions under both conventions are attached
+/// when the cost is bound to a scalar type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelCost {
+    /// Multiple double operations executed by the whole launch.
+    pub ops: OpCounts,
+    /// Scalars read from global memory (after block-level broadcast
+    /// amortization — see the per-kernel cost functions).
+    pub elems_read: u64,
+    /// Scalars written to global memory.
+    pub elems_written: u64,
+    /// Table 1 flops (paper reporting convention).
+    pub flops_paper: f64,
+    /// Measured FMA-convention flops (what the hardware executes; used by
+    /// the timing model).
+    pub flops_measured: f64,
+    /// Global memory traffic in bytes.
+    pub bytes: u64,
+    /// Limb planes per scalar (drives the ILP efficiency model).
+    pub planes: usize,
+    /// Kernel efficiency class relative to the device ILP base
+    /// (1.0 = streaming default; reduction/dependency-chained kernels
+    /// sit well below 1, register-blocked products above — calibrated
+    /// once against the paper's V100 stage columns, see DESIGN.md).
+    pub eff_scale: f64,
+}
+
+impl KernelCost {
+    /// Bind multiple double op counts and element traffic to a scalar
+    /// type, expanding flops under both conventions.
+    pub fn of<S: MdScalar>(ops: OpCounts, elems_read: u64, elems_written: u64) -> Self {
+        let paper = S::paper_cost();
+        let measured = S::measured_cost();
+        KernelCost {
+            ops,
+            elems_read,
+            elems_written,
+            flops_paper: ops.flops(&paper),
+            flops_measured: ops.flops(&measured),
+            bytes: (elems_read + elems_written) * S::BYTES as u64,
+            planes: S::PLANES,
+            eff_scale: 1.0,
+        }
+    }
+
+    /// Set the kernel efficiency class.
+    pub fn with_eff(mut self, eff_scale: f64) -> Self {
+        self.eff_scale = eff_scale;
+        self
+    }
+}
+
+/// What one block knows about itself inside a kernel body.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockCtx {
+    /// Block index within the grid (`blockIdx.x`).
+    pub block: usize,
+    /// Number of blocks in the grid (`gridDim.x`).
+    pub grid: usize,
+    /// Threads per block (`blockDim.x`).
+    pub threads: usize,
+}
+
+impl BlockCtx {
+    /// Iterate over the thread indices of this block — the simulator's
+    /// rendering of one barrier-free kernel phase.
+    pub fn thread_ids(&self) -> core::ops::Range<usize> {
+        0..self.threads
+    }
+
+    /// Global thread id of thread `t` in this block.
+    pub fn global_tid(&self, t: usize) -> usize {
+        self.block * self.threads + t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multidouble::{Dd, Qd};
+
+    #[test]
+    fn cost_binding_expands_flops() {
+        let ops = OpCounts {
+            add: 100,
+            sub: 0,
+            mul: 100,
+            div: 0,
+            sqrt: 0,
+        };
+        let c = KernelCost::of::<Qd>(ops, 50, 10);
+        assert_eq!(c.flops_paper, 100.0 * 89.0 + 100.0 * 336.0);
+        assert!(c.flops_measured > 0.0 && c.flops_measured < c.flops_paper);
+        assert_eq!(c.bytes, 60 * 32);
+        assert_eq!(c.planes, 4);
+    }
+
+    #[test]
+    fn dd_add_measured_equals_paper() {
+        // the accurate dd addition costs 20 ops under both conventions
+        let ops = OpCounts {
+            add: 7,
+            ..OpCounts::ZERO
+        };
+        let c = KernelCost::of::<Dd>(ops, 0, 0);
+        assert_eq!(c.flops_paper, c.flops_measured);
+    }
+
+    #[test]
+    fn block_ctx_indexing() {
+        let b = BlockCtx {
+            block: 3,
+            grid: 8,
+            threads: 128,
+        };
+        assert_eq!(b.global_tid(5), 3 * 128 + 5);
+        assert_eq!(b.thread_ids().len(), 128);
+    }
+}

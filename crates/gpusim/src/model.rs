@@ -1,0 +1,169 @@
+//! The analytic timing model: a roofline with occupancy, ILP efficiency
+//! and launch overheads.
+//!
+//! For one kernel launch with measured flops `W`, global traffic `B`
+//! bytes, `g` blocks of `t` threads on device `D`:
+//!
+//! ```text
+//! compute_ms = W / (peak(D) * ilp_eff(D, planes) * occupancy(D, g, t))
+//! memory_ms  = B / (bandwidth(D) * mem_eff(D))
+//! kernel_ms  = kernel_base(D) + max(compute_ms, memory_ms)
+//! ```
+//!
+//! * `occupancy` captures wave quantization across multiprocessors and
+//!   the threads-per-block fill of one multiprocessor (the paper's
+//!   "at n = 32 the V100 is only half occupied", §4.8, and the N = 80
+//!   V100-vs-P100 effect of Table 9).
+//! * `ilp_eff` captures how well the dependency-chained error-free
+//!   transformations fill the double precision pipelines. It grows with
+//!   the limb count on big-DP parts (deeper arithmetic exposes more
+//!   independent operations per datum — the paper's CGMA argument) and
+//!   shrinks on the DP-starved RTX 2080 (register pressure).
+//!
+//! Wall-clock time adds per-launch gaps, PCIe transfers and a fixed host
+//! overhead; transfers beyond the host's RAM capacity incur a swap
+//! penalty (Table 7's 84-second octo double outlier).
+
+use crate::device::Gpu;
+use crate::launch::KernelCost;
+
+/// Latency-hiding oversubscription: how many resident threads per core a
+/// multiprocessor wants before the DP pipeline is considered fully fed.
+const LATENCY_FACTOR: f64 = 1.0;
+
+/// Fraction of host RAM that device transfers may use before the model
+/// charges swap thrashing.
+const RAM_SOFT_LIMIT: f64 = 0.55;
+
+/// Slowdown applied to transfer traffic beyond the RAM soft limit.
+const SWAP_FACTOR: f64 = 40.0;
+
+/// Occupancy in `[0, 1]`: wave quantization times per-MP thread fill.
+pub fn occupancy(gpu: &Gpu, grid: usize, threads_per_block: usize) -> f64 {
+    if grid == 0 || threads_per_block == 0 {
+        return 1.0;
+    }
+    let mps = gpu.multiprocessors as f64;
+    let waves = (grid as f64 / mps).ceil();
+    let mp_fill = grid as f64 / (waves * mps);
+    let core_fill =
+        (threads_per_block as f64 / (gpu.cores_per_mp as f64 * LATENCY_FACTOR)).min(1.0);
+    mp_fill * core_fill
+}
+
+/// ILP efficiency of the multiple double instruction mix, per device.
+pub fn ilp_efficiency(gpu: &Gpu, planes: usize) -> f64 {
+    // complex scalars double the planes but expose the same per-limb
+    // dependency depth; cap the ILP argument at 8 limbs.
+    let p = planes.min(8) as f64;
+    (gpu.ilp_base + gpu.ilp_slope * p).clamp(0.02, 0.98)
+}
+
+/// Latency-hiding bonus for dependency-chained (latency-class) kernels:
+/// deeper multiple double arithmetic performs more work per global load
+/// (the paper's CGMA argument), so the stalls of reduction-style kernels
+/// shrink as the precision grows.
+pub fn latency_bonus(planes: usize) -> f64 {
+    1.0 + 0.08 * (planes.min(8).saturating_sub(2)) as f64
+}
+
+/// Kernel time in milliseconds for one launch.
+pub fn kernel_ms(gpu: &Gpu, grid: usize, threads_per_block: usize, cost: &KernelCost) -> f64 {
+    let occ = occupancy(gpu, grid, threads_per_block);
+    let scale = if cost.eff_scale < 1.0 {
+        cost.eff_scale * latency_bonus(cost.planes)
+    } else {
+        cost.eff_scale
+    };
+    let eff = (ilp_efficiency(gpu, cost.planes) * scale).clamp(0.002, 0.98);
+    let compute_ms = cost.flops_measured / (gpu.peak_dp_gflops * 1.0e9 * eff * occ) * 1.0e3;
+    let memory_ms = cost.bytes as f64 / (gpu.mem_bw_gbs * 1.0e9 * gpu.mem_eff) * 1.0e3;
+    gpu.kernel_base_us * 1.0e-3 + compute_ms.max(memory_ms)
+}
+
+/// Host<->device transfer time in milliseconds for `bytes`, given the
+/// total device-resident footprint (for the RAM swap penalty).
+pub fn transfer_ms(gpu: &Gpu, bytes: u64, footprint_bytes: u64) -> f64 {
+    let base = bytes as f64 / (gpu.pcie_gbs * 1.0e9) * 1.0e3;
+    let ram = gpu.host_ram_gb * 1.0e9;
+    if footprint_bytes as f64 > RAM_SOFT_LIMIT * ram {
+        base * SWAP_FACTOR
+    } else {
+        base
+    }
+}
+
+/// Wall-clock launch gap in milliseconds for `launches` kernel launches.
+pub fn launch_gap_ms(gpu: &Gpu, launches: u64) -> f64 {
+    launches as f64 * gpu.launch_gap_us * 1.0e-3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multidouble::{OpCounts, Qd};
+
+    fn qd_cost(mul_add_pairs: u64, elems: u64) -> KernelCost {
+        crate::launch::KernelCost::of::<Qd>(
+            OpCounts {
+                add: mul_add_pairs,
+                mul: mul_add_pairs,
+                ..OpCounts::ZERO
+            },
+            elems,
+            elems / 16,
+        )
+    }
+
+    #[test]
+    fn occupancy_full_when_matched() {
+        let v = Gpu::v100();
+        assert_eq!(occupancy(&v, 80, 64), 1.0);
+        // 32 threads fill half of the V100's 64 cores per MP (§4.8)
+        assert!((occupancy(&v, 80, 32) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_wave_quantization_p100() {
+        // 80 blocks on 56 MPs take two waves: 80 / 112 fill
+        let p = Gpu::p100();
+        assert!((occupancy(&p, 80, 64) - 80.0 / 112.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_bound_scales_with_flops() {
+        let v = Gpu::v100();
+        let t1 = kernel_ms(&v, 80, 128, &qd_cost(1 << 20, 1 << 10));
+        let t2 = kernel_ms(&v, 80, 128, &qd_cost(1 << 21, 1 << 10));
+        assert!(t2 > 1.8 * t1 && t2 < 2.2 * t1);
+    }
+
+    #[test]
+    fn memory_bound_floor() {
+        let v = Gpu::v100();
+        // almost no flops, lots of traffic
+        let c = crate::launch::KernelCost::of::<Qd>(OpCounts::ZERO, 1 << 24, 0);
+        let t = kernel_ms(&v, 80, 128, &c);
+        let expect = (1u64 << 24) as f64 * 32.0 / (870.0e9 * v.mem_eff) * 1e3;
+        assert!((t - expect - v.kernel_base_us * 1e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn swap_penalty_kicks_in() {
+        let v = Gpu::v100(); // 32 GB host
+        let small = transfer_ms(&v, 1 << 30, 1 << 30);
+        let big = transfer_ms(&v, 1 << 30, 28 * (1 << 30)); // 28 GB footprint
+        assert!(big > 10.0 * small);
+    }
+
+    #[test]
+    fn efficiency_grows_with_planes() {
+        for g in [Gpu::rtx2080(), Gpu::v100()] {
+            assert!(
+                ilp_efficiency(&g, 8) > ilp_efficiency(&g, 2),
+                "{}",
+                g.name
+            );
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Workload generators matching the paper's experimental setup (§4.1).
+
+use multidouble::{MdReal, MdScalar};
+use rand::Rng;
+
+use crate::hostmat::HostMat;
+use crate::lu::lu_decompose;
+
+/// Random dense matrix, entries uniform in `[-1, 1]` with random limbs.
+pub fn random_matrix<S: MdScalar, R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    rng: &mut R,
+) -> HostMat<S> {
+    HostMat::random(rows, cols, rng)
+}
+
+/// Random vector.
+pub fn random_vector<S: MdScalar, R: Rng + ?Sized>(len: usize, rng: &mut R) -> Vec<S> {
+    (0..len).map(|_| S::rand(rng)).collect()
+}
+
+/// A well-conditioned random upper triangular matrix: the `U` factor of a
+/// pivoted LU of a random dense matrix (the paper's §4.1 recipe, after
+/// Viswanath–Trefethen's observation that directly random triangular
+/// matrices are exponentially ill conditioned).
+pub fn well_conditioned_upper<S: MdScalar, R: Rng + ?Sized>(n: usize, rng: &mut R) -> HostMat<S> {
+    loop {
+        let a = HostMat::<S>::random(n, n, rng);
+        if let Ok(f) = lu_decompose(&a) {
+            return f.upper();
+        }
+        // astronomically unlikely to loop for random input
+    }
+}
+
+/// The `n × n` Hilbert matrix `h_ij = 1 / (i + j + 1)` — the classic
+/// ill-conditioned example used by the precision-ladder example to show
+/// why multiple double precision earns its keep.
+pub fn hilbert<S: MdScalar>(n: usize) -> HostMat<S> {
+    HostMat::from_fn(n, n, |i, j| {
+        S::one() / S::from_f64((i + j + 1) as f64)
+    })
+}
+
+/// Crude 2-norm condition estimate by power iteration on `A^H A` and
+/// inverse iteration via `solve_upper` (only valid for upper triangular
+/// input; used by tests to verify the generator's conditioning).
+pub fn upper_condition_estimate<S: MdScalar>(u: &HostMat<S>, iters: usize) -> f64 {
+    let n = u.rows;
+    assert_eq!(n, u.cols);
+    // largest singular value of U: power iteration on U^H U
+    let mut x = vec![S::from_f64(1.0); n];
+    let mut sigma_max = 0.0f64;
+    for _ in 0..iters {
+        let y = u.matvec(&x);
+        let z = u.matvec_conj_t(&y);
+        let norm = crate::norms::vec_norm2(&z);
+        let nf = norm.to_f64();
+        if nf == 0.0 {
+            break;
+        }
+        sigma_max = nf.sqrt();
+        for v in x.iter_mut().zip(z.iter()) {
+            *v.0 = v.1.unscale(norm);
+        }
+    }
+    // smallest singular value: inverse power iteration via triangular solves
+    let mut x = vec![S::from_f64(1.0); n];
+    let mut inv_sigma_min = 0.0f64;
+    let ut = u.conj_transpose();
+    for _ in 0..iters {
+        // solve U^H w = x (lower triangular forward solve via transpose trick)
+        let w = solve_lower(&ut, &x);
+        let y = u.solve_upper(&w);
+        let norm = crate::norms::vec_norm2(&y);
+        let nf = norm.to_f64();
+        if nf == 0.0 {
+            break;
+        }
+        inv_sigma_min = nf.sqrt();
+        for v in x.iter_mut().zip(y.iter()) {
+            *v.0 = v.1.unscale(norm);
+        }
+    }
+    sigma_max * inv_sigma_min
+}
+
+/// Forward substitution on a lower triangular matrix.
+fn solve_lower<S: MdScalar>(l: &HostMat<S>, b: &[S]) -> Vec<S> {
+    let n = l.rows;
+    let mut x = b.to_vec();
+    for i in 0..n {
+        let mut acc = x[i];
+        for j in 0..i {
+            acc -= l.get(i, j) * x[j];
+        }
+        x[i] = acc / l.get(i, i);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multidouble::{Dd, Qd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lu_upper_is_upper_triangular() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let u = well_conditioned_upper::<Qd, _>(16, &mut rng);
+        assert_eq!(u.max_below_diagonal(), 0.0);
+        for i in 0..16 {
+            assert!(u.get(i, i).norm_sqr().to_f64() > 0.0);
+        }
+    }
+
+    #[test]
+    fn lu_upper_is_better_conditioned_than_raw_random_triangular() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let n = 48;
+        let good = well_conditioned_upper::<Dd, _>(n, &mut rng);
+        // directly random upper triangular (the thing the paper avoids)
+        let mut bad = HostMat::<Dd>::random(n, n, &mut rng);
+        for c in 0..n {
+            for r in (c + 1)..n {
+                bad.set(r, c, Dd::ZERO);
+            }
+        }
+        let kg = upper_condition_estimate(&good, 30);
+        let kb = upper_condition_estimate(&bad, 30);
+        assert!(
+            kg < kb / 10.0,
+            "LU-derived cond {kg:e} not clearly better than raw {kb:e}"
+        );
+    }
+
+    #[test]
+    fn hilbert_matches_known_entries() {
+        let h = hilbert::<Qd>(3);
+        assert_eq!(h.get(0, 0).to_f64(), 1.0);
+        assert!((h.get(1, 2).to_f64() - 0.25).abs() < 1e-16);
+        assert_eq!(h.get(2, 1), h.get(1, 2)); // symmetric
+    }
+
+    #[test]
+    fn random_vector_is_seed_deterministic() {
+        let a: Vec<Qd> = random_vector(5, &mut StdRng::seed_from_u64(1));
+        let b: Vec<Qd> = random_vector(5, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+}

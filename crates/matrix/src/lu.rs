@@ -1,0 +1,185 @@
+//! LU factorization with partial pivoting, generic over [`MdScalar`].
+//!
+//! Used as the paper uses it (§4.1): "the random upper triangular matrices
+//! were computed on the host as the output of an LU factorization, as the
+//! condition numbers of random triangular matrices almost surely grow
+//! exponentially". The `U` factor of a pivoted LU of a random dense matrix
+//! is polynomially conditioned, so back substitution residuals land at the
+//! working precision's roundoff.
+
+use multidouble::{MdReal, MdScalar};
+
+use crate::hostmat::HostMat;
+
+/// Failure modes of the factorization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LuError {
+    /// The matrix is not square.
+    NotSquare,
+    /// A zero pivot survived partial pivoting (singular matrix).
+    Singular {
+        /// Column at which elimination broke down.
+        col: usize,
+    },
+}
+
+impl core::fmt::Display for LuError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LuError::NotSquare => write!(f, "LU requires a square matrix"),
+            LuError::Singular { col } => write!(f, "singular at column {col}"),
+        }
+    }
+}
+
+impl std::error::Error for LuError {}
+
+/// Result of `P A = L U`.
+#[derive(Debug)]
+pub struct Lu<S> {
+    /// Unit lower triangular factor (diagonal implicitly one), stored
+    /// in the strictly lower part; upper part holds `U`.
+    pub lu: HostMat<S>,
+    /// Row permutation: row `i` of `U`'s system came from `perm[i]` of `A`.
+    pub perm: Vec<usize>,
+    /// Number of row swaps (sign of the permutation).
+    pub swaps: usize,
+}
+
+impl<S: MdScalar> Lu<S> {
+    /// Extract the upper triangular factor `U`.
+    pub fn upper(&self) -> HostMat<S> {
+        let n = self.lu.rows;
+        let mut u = HostMat::zeros(n, n);
+        for c in 0..n {
+            for r in 0..=c {
+                u.set(r, c, self.lu.get(r, c));
+            }
+        }
+        u
+    }
+
+    /// Extract the unit lower triangular factor `L`.
+    pub fn lower(&self) -> HostMat<S> {
+        let n = self.lu.rows;
+        let mut l = HostMat::identity(n);
+        for c in 0..n {
+            for r in (c + 1)..n {
+                l.set(r, c, self.lu.get(r, c));
+            }
+        }
+        l
+    }
+
+    /// Apply the row permutation to a matrix (`P A`).
+    pub fn permute_rows(&self, a: &HostMat<S>) -> HostMat<S> {
+        let mut out = HostMat::zeros(a.rows, a.cols);
+        for (i, &p) in self.perm.iter().enumerate() {
+            for c in 0..a.cols {
+                out.set(i, c, a.get(p, c));
+            }
+        }
+        out
+    }
+}
+
+/// Factor `P A = L U` with partial pivoting.
+pub fn lu_decompose<S: MdScalar>(a: &HostMat<S>) -> Result<Lu<S>, LuError> {
+    if a.rows != a.cols {
+        return Err(LuError::NotSquare);
+    }
+    let n = a.rows;
+    let mut lu = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut swaps = 0usize;
+
+    for k in 0..n {
+        // pivot search on the leading double of |a_ik|
+        let mut piv = k;
+        let mut best = lu.get(k, k).norm_sqr().to_f64();
+        for r in (k + 1)..n {
+            let v = lu.get(r, k).norm_sqr().to_f64();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        if best == 0.0 {
+            return Err(LuError::Singular { col: k });
+        }
+        if piv != k {
+            for c in 0..n {
+                let t = lu.get(k, c);
+                lu.set(k, c, lu.get(piv, c));
+                lu.set(piv, c, t);
+            }
+            perm.swap(k, piv);
+            swaps += 1;
+        }
+        let pivot = lu.get(k, k);
+        for r in (k + 1)..n {
+            let m = lu.get(r, k) / pivot;
+            lu.set(r, k, m);
+            for c in (k + 1)..n {
+                let v = lu.get(r, c) - m * lu.get(k, c);
+                lu.set(r, c, v);
+            }
+        }
+    }
+    Ok(Lu { lu, perm, swaps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multidouble::{Complex, Dd, Qd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reconstructs_pa() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = HostMat::<Qd>::random(8, 8, &mut rng);
+        let f = lu_decompose(&a).unwrap();
+        let pa = f.permute_rows(&a);
+        let rec = f.lower().matmul(&f.upper());
+        let d = pa.diff_frobenius(&rec).to_f64();
+        assert!(d < 1e-58, "PA - LU defect {d:e}");
+    }
+
+    #[test]
+    fn complex_reconstruction() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = HostMat::<Complex<Dd>>::random(6, 6, &mut rng);
+        let f = lu_decompose(&a).unwrap();
+        let pa = f.permute_rows(&a);
+        let rec = f.lower().matmul(&f.upper());
+        let d = pa.diff_frobenius(&rec).to_f64();
+        assert!(d < 1e-26, "PA - LU defect {d:e}");
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = HostMat::<f64>::zeros(2, 3);
+        assert_eq!(lu_decompose(&a).unwrap_err(), LuError::NotSquare);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = HostMat::<f64>::zeros(3, 3);
+        assert!(matches!(
+            lu_decompose(&a).unwrap_err(),
+            LuError::Singular { .. }
+        ));
+    }
+
+    #[test]
+    fn u_diagonal_nonzero_for_random_input() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = HostMat::<Dd>::random(12, 12, &mut rng);
+        let u = lu_decompose(&a).unwrap().upper();
+        for i in 0..12 {
+            assert!(u.get(i, i).norm_sqr().to_f64() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Vector norms over multiple double scalars.
+
+use multidouble::{MdReal, MdScalar};
+
+/// Euclidean norm `|| x ||_2`.
+pub fn vec_norm2<S: MdScalar>(x: &[S]) -> S::Real {
+    let mut acc = <S::Real as MdReal>::zero();
+    for v in x {
+        acc += v.norm_sqr();
+    }
+    acc.sqrt()
+}
+
+/// Max norm `|| x ||_inf` (by modulus).
+pub fn vec_norm_inf<S: MdScalar>(x: &[S]) -> S::Real {
+    let mut best = <S::Real as MdReal>::zero();
+    for v in x {
+        let m = v.norm_sqr();
+        if m > best {
+            best = m;
+        }
+    }
+    best.sqrt()
+}
+
+/// `|| x - y ||_2`.
+pub fn vec_diff_norm2<S: MdScalar>(x: &[S], y: &[S]) -> S::Real {
+    assert_eq!(x.len(), y.len());
+    let mut acc = <S::Real as MdReal>::zero();
+    for (a, b) in x.iter().zip(y.iter()) {
+        acc += (*a - *b).norm_sqr();
+    }
+    acc.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multidouble::{Complex, Dd};
+
+    #[test]
+    fn pythagorean() {
+        let x = [Dd::from_f64(3.0), Dd::from_f64(4.0)];
+        assert_eq!(vec_norm2(&x).to_f64(), 5.0);
+        assert_eq!(vec_norm_inf(&x).to_f64(), 4.0);
+    }
+
+    #[test]
+    fn complex_norm() {
+        let x = [Complex::new(Dd::from_f64(3.0), Dd::from_f64(4.0))];
+        assert_eq!(vec_norm2(&x).to_f64(), 5.0);
+    }
+
+    #[test]
+    fn diff_norm() {
+        let x = [Dd::from_f64(1.0), Dd::from_f64(2.0)];
+        let y = [Dd::from_f64(1.0), Dd::from_f64(0.0)];
+        assert_eq!(vec_diff_norm2(&x, &y).to_f64(), 2.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! The [`Fp`] abstraction: "a thing that behaves like an IEEE double".
+//!
+//! Every multiple double algorithm in this crate is written once, generically
+//! over `Fp`, and instantiated twice:
+//!
+//! * with [`f64`] — the production code path, fully inlined, zero overhead;
+//! * with the counting floats of [`crate::count`] — the instrumentation path
+//!   that measures how many double precision operations each multiple double
+//!   operation performs (the reproduction of the paper's Table 1).
+//!
+//! `Fp` also owns the choice of `two_prod` implementation: the default uses
+//! a fused multiply-add, while [`crate::count::SplitF64`] overrides it with
+//! the Dekker split used by the paper's operation tallies (CAMPARY's counts
+//! predate the ubiquitous use of FMA on GPUs).
+
+use core::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A double-precision-like floating point value.
+///
+/// The arithmetic operator bounds are the five IEEE operations; the
+/// remaining methods are the few non-arithmetic primitives the multiple
+/// double algorithms need (comparisons come from `PartialOrd`).
+pub trait Fp:
+    Copy
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+
+    /// Wrap a raw double.
+    fn from_f64(x: f64) -> Self;
+    /// Unwrap to a raw double (no counting).
+    fn to_f64(self) -> f64;
+
+    /// Fused multiply-add `self * a + b`, rounded once.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+
+    /// Absolute value (sign manipulation; not counted as a flop).
+    fn fabs(self) -> Self;
+
+    /// Hardware square root of the leading double. Used only to seed
+    /// Newton iterations; counted as a single operation.
+    fn fsqrt(self) -> Self;
+
+    /// Exact product with error: `(p, e)` with `p + e == self * b` exactly.
+    ///
+    /// The default uses one multiply and one FMA. Implementations may
+    /// override it (e.g. with the Dekker split) to model other hardware.
+    #[inline(always)]
+    fn two_prod(self, b: Self) -> (Self, Self) {
+        let p = self * b;
+        let e = self.mul_add(b, -p);
+        (p, e)
+    }
+}
+
+impl Fp for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
+    #[inline(always)]
+    fn fabs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn fsqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+}
+
+/// Splits `a` into `hi + lo` with both halves representable in 26 bits,
+/// so that products of halves are exact (Dekker's split).
+///
+/// `QD_SPLITTER` is `2^27 + 1`; overflow guards are omitted because the
+/// linear algebra in this workspace operates far from the overflow range.
+#[inline(always)]
+pub fn split<F: Fp>(a: F) -> (F, F) {
+    let splitter = F::from_f64(134217729.0); // 2^27 + 1
+    let t = splitter * a;
+    let hi = t - (t - a);
+    let lo = a - hi;
+    (hi, lo)
+}
+
+/// `two_prod` via the Dekker split: 17 double operations, no FMA.
+///
+/// This is the variant assumed by the paper's Table 1 operation tallies.
+#[inline(always)]
+pub fn two_prod_split<F: Fp>(a: F, b: F) -> (F, F) {
+    let p = a * b;
+    let (ahi, alo) = split(a);
+    let (bhi, blo) = split(b);
+    let e = ((ahi * bhi - p) + ahi * blo + alo * bhi) + alo * blo;
+    (p, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_prod_fma_is_exact() {
+        let a = 1.0 + f64::EPSILON;
+        let b = 1.0 - f64::EPSILON;
+        let (p, e) = Fp::two_prod(a, b);
+        // a*b = 1 - eps^2 exactly; p = 1.0, e = -eps^2.
+        assert_eq!(p, 1.0);
+        assert_eq!(e, -(f64::EPSILON * f64::EPSILON));
+    }
+
+    #[test]
+    fn two_prod_split_matches_fma() {
+        let cases = [
+            (3.1415926535897931, 2.7182818284590451),
+            (1.0e8 + 7.0, 1.0e-8 + 3.0e-17),
+            (-123456.789, 0.000123456789),
+        ];
+        for (a, b) in cases {
+            let (p1, e1) = Fp::two_prod(a, b);
+            let (p2, e2) = two_prod_split(a, b);
+            assert_eq!(p1, p2);
+            assert_eq!(e1, e2, "split error term differs for {a} * {b}");
+        }
+    }
+
+    #[test]
+    fn split_halves_recombine() {
+        let a = 9.87654321e12_f64;
+        let (hi, lo) = split(a);
+        assert_eq!(hi + lo, a);
+        // both halves fit in 26 bits of mantissa
+        assert_eq!(hi, (hi as f32 as f64 * 0.0) + hi); // hi is a valid f64; structural check below
+        assert!(lo.abs() <= a.abs() * 2f64.powi(-26));
+    }
+}

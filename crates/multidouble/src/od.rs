@@ -1,0 +1,442 @@
+//! Octo double arithmetic (the paper's `8d`, ~128 decimal digits).
+//!
+//! QDlib stops at quad double; the paper extends the definitions to octo
+//! double with CAMPARY-generated code. Here the extension uses the
+//! certified expansion algorithms of [`crate::expansion`]:
+//!
+//! * **addition** — merge the two 8-term expansions by magnitude (a pure
+//!   comparison merge, both inputs are already ulp-nonoverlapping), then
+//!   renormalize 16 → 8 (CAMPARY's `certifiedAdd`);
+//! * **multiplication** — accumulate the partial-product diagonals
+//!   `i + j = k` for `k < 8` with error terms for `k <= 6`, then
+//!   renormalize (CAMPARY's truncated certified multiplication);
+//! * **division** — nine-digit long division with exact remainder updates;
+//! * **square root** — Newton on the reciprocal square root.
+
+use crate::dd::Dd;
+use crate::eft::{two_prod, two_sum};
+use crate::expansion::{renormalize, Scratch};
+use crate::fp::Fp;
+use crate::qd::Qd;
+
+/// Generic octo double value, most significant limb first.
+pub type Od8<F> = [F; 8];
+
+const N: usize = 8;
+
+/// Merge two expansions by decreasing magnitude (comparisons only).
+#[inline]
+fn merge<F: Fp>(a: &Od8<F>, b: &Od8<F>, s: &mut Scratch<F>) {
+    let (mut i, mut j) = (0, 0);
+    while i < N && j < N {
+        if a[i].fabs() >= b[j].fabs() {
+            s.push(a[i]);
+            i += 1;
+        } else {
+            s.push(b[j]);
+            j += 1;
+        }
+    }
+    while i < N {
+        s.push(a[i]);
+        i += 1;
+    }
+    while j < N {
+        s.push(b[j]);
+        j += 1;
+    }
+}
+
+/// Certified addition: merge + renormalize.
+#[inline]
+pub fn od_add<F: Fp>(a: Od8<F>, b: Od8<F>) -> Od8<F> {
+    let mut s = Scratch::new();
+    merge(&a, &b, &mut s);
+    let mut out = [F::ZERO; N];
+    renormalize(&mut s, &mut out);
+    out
+}
+
+/// Subtraction as addition of the negation.
+#[inline]
+pub fn od_sub<F: Fp>(a: Od8<F>, b: Od8<F>) -> Od8<F> {
+    od_add(a, od_neg(b))
+}
+
+/// Add a double to an octo double: a cascading `two_sum` sweep followed by
+/// renormalization.
+#[inline]
+pub fn od_add_f<F: Fp>(a: Od8<F>, b: F) -> Od8<F> {
+    let mut s = Scratch::new();
+    let mut e = b;
+    for limb in a.iter().take(N) {
+        let (si, ei) = two_sum(*limb, e);
+        s.push(si);
+        e = ei;
+    }
+    s.push(e);
+    let mut out = [F::ZERO; N];
+    renormalize(&mut s, &mut out);
+    out
+}
+
+/// Certified truncated multiplication.
+#[inline]
+pub fn od_mul<F: Fp>(a: Od8<F>, b: Od8<F>) -> Od8<F> {
+    let mut s = Scratch::new();
+    // errors of diagonal k belong to magnitude class k+1, so push
+    // diagonal k's products followed by diagonal (k-1)'s errors.
+    let mut prev_err: [F; N] = [F::ZERO; N];
+    let mut prev_err_len = 0usize;
+    for k in 0..N {
+        let mut err: [F; N] = [F::ZERO; N];
+        let mut err_len = 0usize;
+        for i in 0..=k {
+            let j = k - i;
+            if k == N - 1 {
+                // last diagonal: plain products, errors below target eps
+                s.push(a[i] * b[j]);
+            } else {
+                let (p, e) = two_prod(a[i], b[j]);
+                s.push(p);
+                err[err_len] = e;
+                err_len += 1;
+            }
+        }
+        for e in prev_err.iter().take(prev_err_len) {
+            s.push(*e);
+        }
+        prev_err = err;
+        prev_err_len = err_len;
+    }
+    // errors of the second-to-last diagonal still matter (class N)
+    for e in prev_err.iter().take(prev_err_len) {
+        s.push(*e);
+    }
+    let mut out = [F::ZERO; N];
+    renormalize(&mut s, &mut out);
+    out
+}
+
+/// Multiply an octo double by a double. Terms are pushed in magnitude
+/// class order: `p_0, [p_1, e_0], [p_2, e_1], ..., [p_7, e_6]` where `e_i`
+/// is the error of the exact product `p_i`.
+#[inline]
+pub fn od_mul_f<F: Fp>(a: Od8<F>, b: F) -> Od8<F> {
+    let mut s = Scratch::new();
+    let mut prev_err: Option<F> = None;
+    for (i, limb) in a.iter().enumerate() {
+        if i < N - 1 {
+            let (p, e) = two_prod(*limb, b);
+            s.push(p);
+            if let Some(pe) = prev_err {
+                s.push(pe);
+            }
+            prev_err = Some(e);
+        } else {
+            s.push(*limb * b);
+            if let Some(pe) = prev_err {
+                s.push(pe);
+            }
+        }
+    }
+    let mut out = [F::ZERO; N];
+    renormalize(&mut s, &mut out);
+    out
+}
+
+/// Long division: nine quotient digits with exact remainder updates,
+/// then renormalization.
+#[inline]
+pub fn od_div<F: Fp>(a: Od8<F>, b: Od8<F>) -> Od8<F> {
+    let mut s = Scratch::new();
+    let mut r = a;
+    for _ in 0..N + 1 {
+        let q = r[0] / b[0];
+        s.push(q);
+        r = od_sub(r, od_mul_f(b, q));
+    }
+    let mut out = [F::ZERO; N];
+    renormalize(&mut s, &mut out);
+    out
+}
+
+/// Negate.
+#[inline(always)]
+pub fn od_neg<F: Fp>(a: Od8<F>) -> Od8<F> {
+    [-a[0], -a[1], -a[2], -a[3], -a[4], -a[5], -a[6], -a[7]]
+}
+
+/// Square root: Newton on the reciprocal square root, seeded by the
+/// hardware square root; four iterations exceed octo double's 424 bits.
+#[inline]
+pub fn od_sqrt<F: Fp>(a: Od8<F>) -> Od8<F> {
+    if a.iter().all(|&x| x == F::ZERO) {
+        return [F::ZERO; N];
+    }
+    let half = F::from_f64(0.5);
+    let one: Od8<F> = {
+        let mut o = [F::ZERO; N];
+        o[0] = F::ONE;
+        o
+    };
+    let x0 = F::ONE / a[0].fsqrt();
+    let mut x: Od8<F> = {
+        let mut o = [F::ZERO; N];
+        o[0] = x0;
+        o
+    };
+    for _ in 0..4 {
+        let ax2 = od_mul(a, od_mul(x, x));
+        let corr = od_mul_f(od_mul(x, od_sub(one, ax2)), half);
+        x = od_add(x, corr);
+    }
+    od_mul(a, x)
+}
+
+// ---------------------------------------------------------------------------
+// Public type
+// ---------------------------------------------------------------------------
+
+/// An octo double number: eight-term expansion, ~128 significant decimal
+/// digits (424 bits). The paper's `8d` precision.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Od(pub [f64; 8]);
+
+impl Od {
+    /// Unit roundoff of octo double: `2^-424`.
+    pub const EPSILON: f64 = 1.4437229004430901e-128;
+
+    /// The value zero.
+    pub const ZERO: Od = Od([0.0; 8]);
+    /// The value one.
+    pub const ONE: Od = Od([1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+
+    /// Convert a double exactly.
+    #[inline]
+    pub const fn from_f64(x: f64) -> Self {
+        Od([x, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+    }
+
+    /// Widen a double double exactly.
+    #[inline]
+    pub const fn from_dd(x: Dd) -> Self {
+        Od([x.hi, x.lo, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+    }
+
+    /// Widen a quad double exactly.
+    #[inline]
+    pub const fn from_qd(x: Qd) -> Self {
+        Od([x.0[0], x.0[1], x.0[2], x.0[3], 0.0, 0.0, 0.0, 0.0])
+    }
+
+    /// π to octo double accuracy (parsed from 135 decimal digits; see
+    /// `fmt` tests for the round trip).
+    pub fn pi() -> Self {
+        crate::fmt::parse_od(
+            "3.141592653589793238462643383279502884197169399375105820974944592307816406286208998628034825342117067982148086513282306647093844609550582",
+        )
+        .expect("pi literal parses")
+    }
+
+    /// The limbs, most significant first.
+    #[inline]
+    pub const fn limbs(self) -> [f64; 8] {
+        self.0
+    }
+
+    /// Square root (NaN for negative input).
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        if self.0[0] < 0.0 {
+            return Od([f64::NAN; 8]);
+        }
+        Od(od_sqrt(self.0))
+    }
+
+    /// Square.
+    #[inline]
+    pub fn sqr(self) -> Self {
+        self * self
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Self {
+        if self.0[0] < 0.0 || (self.0[0] == 0.0 && self.0[1] < 0.0) {
+            -self
+        } else {
+            self
+        }
+    }
+
+    /// Reciprocal.
+    #[inline]
+    pub fn recip(self) -> Self {
+        Od::ONE / self
+    }
+
+    /// Nearest double.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0[0] + self.0[1]
+    }
+
+    /// Truncate to quad double.
+    #[inline]
+    pub fn to_qd(self) -> Qd {
+        Qd([self.0[0], self.0[1], self.0[2], self.0[3]])
+    }
+}
+
+macro_rules! od_binop {
+    ($trait:ident, $method:ident, $fn:path) => {
+        impl core::ops::$trait for Od {
+            type Output = Od;
+            #[inline(always)]
+            fn $method(self, rhs: Od) -> Od {
+                Od($fn(self.0, rhs.0))
+            }
+        }
+    };
+}
+od_binop!(Add, add, od_add);
+od_binop!(Sub, sub, od_sub);
+od_binop!(Mul, mul, od_mul);
+od_binop!(Div, div, od_div);
+
+impl core::ops::Neg for Od {
+    type Output = Od;
+    #[inline(always)]
+    fn neg(self) -> Od {
+        Od(od_neg(self.0))
+    }
+}
+
+macro_rules! od_assign {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl core::ops::$trait for Od {
+            #[inline(always)]
+            fn $method(&mut self, rhs: Od) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+od_assign!(AddAssign, add_assign, +);
+od_assign!(SubAssign, sub_assign, -);
+od_assign!(MulAssign, mul_assign, *);
+od_assign!(DivAssign, div_assign, /);
+
+impl PartialOrd for Od {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        for i in 0..8 {
+            match self.0[i].partial_cmp(&other.0[i]) {
+                Some(core::cmp::Ordering::Equal) => continue,
+                ord => return ord,
+            }
+        }
+        Some(core::cmp::Ordering::Equal)
+    }
+}
+
+impl From<f64> for Od {
+    #[inline]
+    fn from(x: f64) -> Self {
+        Od::from_f64(x)
+    }
+}
+impl From<Dd> for Od {
+    #[inline]
+    fn from(x: Dd) -> Self {
+        Od::from_dd(x)
+    }
+}
+impl From<Qd> for Od {
+    #[inline]
+    fn from(x: Qd) -> Self {
+        Od::from_qd(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Od, b: Od, ulps: f64) -> bool {
+        let d = (a - b).abs().to_f64();
+        let scale = b.abs().to_f64().max(1.0);
+        d <= ulps * Od::EPSILON * scale
+    }
+
+    #[test]
+    fn add_captures_eight_limbs() {
+        let mut s = Od::ZERO;
+        let mut want = [0.0; 8];
+        for i in 0..8 {
+            let p = 2f64.powi(-(60 * i as i32));
+            want[i] = p;
+            s = s + Od::from_f64(p);
+        }
+        assert_eq!(s.0, want);
+    }
+
+    #[test]
+    fn mul_matches_qd_at_qd_precision() {
+        let a = Qd::PI;
+        let b = Qd([1.0 / 7.0, 7.93016446160826e-18, 9.154059786546312e-35, -9.434636863305835e-52]);
+        let od_prod = Od::from_qd(a) * Od::from_qd(b);
+        let qd_prod = a * b;
+        let diff = (od_prod - Od::from_qd(qd_prod)).abs().to_f64();
+        assert!(diff <= 8.0 * Qd::EPSILON, "diff = {diff:e}");
+    }
+
+    #[test]
+    fn mul_div_roundtrip() {
+        let a = Od::pi();
+        let b = Od::ONE / Od::from_f64(3.0);
+        let q = (a * b) / b;
+        assert!(close(q, a, 64.0), "q = {q:?}");
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let a = Od::from_f64(2.0);
+        let r = a.sqrt();
+        assert!(close(r * r, a, 64.0), "r^2 = {:?}", r * r);
+    }
+
+    #[test]
+    fn distributivity_within_eps() {
+        let a = Od::pi();
+        let b = Od::ONE / Od::from_f64(7.0);
+        let c = Od::ONE / Od::from_f64(11.0);
+        let lhs = a * (b + c);
+        let rhs = a * b + a * c;
+        assert!(close(lhs, rhs, 64.0));
+    }
+
+    #[test]
+    fn normalization_invariant() {
+        let x = Od::pi() * Od::pi();
+        for i in 0..7 {
+            if x.0[i + 1] != 0.0 {
+                assert_eq!(x.0[i] + x.0[i + 1], x.0[i], "limb {i} overlaps: {x:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_keeps_deep_limbs() {
+        let tiny = 2f64.powi(-400);
+        let a = Od::from_f64(1.0) + Od::from_f64(tiny);
+        let d = a - Od::from_f64(1.0);
+        assert_eq!(d.to_f64(), tiny);
+    }
+
+    #[test]
+    fn div_by_self_is_one() {
+        let a = Od::pi();
+        assert!(close(a / a, Od::ONE, 16.0));
+    }
+}

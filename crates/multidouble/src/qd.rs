@@ -1,0 +1,463 @@
+//! Quad double arithmetic (the paper's `4d`, ~64 decimal digits).
+//!
+//! Addition, renormalization and division follow QDlib's accurate
+//! (`ieee`) algorithms; multiplication uses the certified
+//! diagonal-accumulation + renormalize scheme of CAMPARY (all partial
+//! products of order `eps^3` or larger, with their error terms).
+
+use crate::dd::Dd;
+use crate::eft::{quick_two_sum, three_sum, three_sum2, two_diff, two_prod, two_sum};
+use crate::expansion::{renormalize, Scratch};
+use crate::fp::Fp;
+
+/// Generic quad double value, most significant limb first.
+pub type Qd4<F> = [F; 4];
+
+/// QDlib's five-term renormalization: fold `(c0..c4)` into a normalized
+/// four-term quad double.
+#[inline(always)]
+pub fn qd_renorm5<F: Fp>(c0: F, c1: F, c2: F, c3: F, c4: F) -> Qd4<F> {
+    let (s, c4) = quick_two_sum(c3, c4);
+    let (s, c3) = quick_two_sum(c2, s);
+    let (s, c2) = quick_two_sum(c1, s);
+    let (c0, c1) = quick_two_sum(c0, s);
+
+    let mut s0 = c0;
+    let mut s1 = c1;
+    let mut s2 = F::ZERO;
+    let mut s3 = F::ZERO;
+    if s1 != F::ZERO {
+        let (a, b) = quick_two_sum(s1, c2);
+        s1 = a;
+        s2 = b;
+        if s2 != F::ZERO {
+            let (a, b) = quick_two_sum(s2, c3);
+            s2 = a;
+            s3 = b;
+            if s3 != F::ZERO {
+                s3 = s3 + c4;
+            } else {
+                let (a, b) = quick_two_sum(s2, c4);
+                s2 = a;
+                s3 = b;
+            }
+        } else {
+            let (a, b) = quick_two_sum(s1, c3);
+            s1 = a;
+            s2 = b;
+            if s2 != F::ZERO {
+                let (a, b) = quick_two_sum(s2, c4);
+                s2 = a;
+                s3 = b;
+            } else {
+                let (a, b) = quick_two_sum(s1, c4);
+                s1 = a;
+                s2 = b;
+            }
+        }
+    } else {
+        let (a, b) = quick_two_sum(s0, c2);
+        s0 = a;
+        s1 = b;
+        if s1 != F::ZERO {
+            let (a, b) = quick_two_sum(s1, c3);
+            s1 = a;
+            s2 = b;
+            if s2 != F::ZERO {
+                let (a, b) = quick_two_sum(s2, c4);
+                s2 = a;
+                s3 = b;
+            } else {
+                let (a, b) = quick_two_sum(s1, c4);
+                s1 = a;
+                s2 = b;
+            }
+        } else {
+            let (a, b) = quick_two_sum(s0, c3);
+            s0 = a;
+            s1 = b;
+            if s1 != F::ZERO {
+                let (a, b) = quick_two_sum(s1, c4);
+                s1 = a;
+                s2 = b;
+            } else {
+                let (a, b) = quick_two_sum(s0, c4);
+                s0 = a;
+                s1 = b;
+            }
+        }
+    }
+    [s0, s1, s2, s3]
+}
+
+/// Accurate addition (QDlib `ieee_add`).
+#[inline(always)]
+pub fn qd_add<F: Fp>(a: Qd4<F>, b: Qd4<F>) -> Qd4<F> {
+    let (s0, t0) = two_sum(a[0], b[0]);
+    let (s1, t1) = two_sum(a[1], b[1]);
+    let (s2, t2) = two_sum(a[2], b[2]);
+    let (s3, t3) = two_sum(a[3], b[3]);
+
+    let (s1, t0) = two_sum(s1, t0);
+    let (s2, t0, t1) = three_sum(s2, t0, t1);
+    let (s3, t0) = three_sum2(s3, t0, t2);
+    let t0 = t0 + t1 + t3;
+
+    qd_renorm5(s0, s1, s2, s3, t0)
+}
+
+/// Subtraction via the same scheme on exact differences.
+#[inline(always)]
+pub fn qd_sub<F: Fp>(a: Qd4<F>, b: Qd4<F>) -> Qd4<F> {
+    let (s0, t0) = two_diff(a[0], b[0]);
+    let (s1, t1) = two_diff(a[1], b[1]);
+    let (s2, t2) = two_diff(a[2], b[2]);
+    let (s3, t3) = two_diff(a[3], b[3]);
+
+    let (s1, t0) = two_sum(s1, t0);
+    let (s2, t0, t1) = three_sum(s2, t0, t1);
+    let (s3, t0) = three_sum2(s3, t0, t2);
+    let t0 = t0 + t1 + t3;
+
+    qd_renorm5(s0, s1, s2, s3, t0)
+}
+
+/// Add a double to a quad double.
+#[inline(always)]
+pub fn qd_add_f<F: Fp>(a: Qd4<F>, b: F) -> Qd4<F> {
+    let (s0, e) = two_sum(a[0], b);
+    let (s1, e) = two_sum(a[1], e);
+    let (s2, e) = two_sum(a[2], e);
+    let (s3, e) = two_sum(a[3], e);
+    qd_renorm5(s0, s1, s2, s3, e)
+}
+
+/// Certified multiplication: all partial products `a_i * b_j` with
+/// `i + j <= 2` carry their error terms; the `i + j == 3` diagonal
+/// contributes plain products (their errors are below `eps^4`).
+#[inline]
+pub fn qd_mul<F: Fp>(a: Qd4<F>, b: Qd4<F>) -> Qd4<F> {
+    let mut s = Scratch::new();
+    // diagonal 0
+    let (p00, e00) = two_prod(a[0], b[0]);
+    s.push(p00);
+    // diagonal 1 (+ errors of diagonal 0)
+    let (p01, e01) = two_prod(a[0], b[1]);
+    let (p10, e10) = two_prod(a[1], b[0]);
+    s.push(p01);
+    s.push(p10);
+    s.push(e00);
+    // diagonal 2 (+ errors of diagonal 1)
+    let (p02, e02) = two_prod(a[0], b[2]);
+    let (p11, e11) = two_prod(a[1], b[1]);
+    let (p20, e20) = two_prod(a[2], b[0]);
+    s.push(p02);
+    s.push(p11);
+    s.push(p20);
+    s.push(e01);
+    s.push(e10);
+    // diagonal 3 (+ errors of diagonal 2)
+    s.push(a[0] * b[3]);
+    s.push(a[1] * b[2]);
+    s.push(a[2] * b[1]);
+    s.push(a[3] * b[0]);
+    s.push(e02);
+    s.push(e11);
+    s.push(e20);
+
+    let mut out = [F::ZERO; 4];
+    renormalize(&mut s, &mut out);
+    out
+}
+
+/// Multiply a quad double by a double.
+#[inline]
+pub fn qd_mul_f<F: Fp>(a: Qd4<F>, b: F) -> Qd4<F> {
+    let mut s = Scratch::new();
+    let (p0, e0) = two_prod(a[0], b);
+    let (p1, e1) = two_prod(a[1], b);
+    let (p2, e2) = two_prod(a[2], b);
+    let p3 = a[3] * b;
+    s.push(p0);
+    s.push(p1);
+    s.push(e0);
+    s.push(p2);
+    s.push(e1);
+    s.push(p3);
+    s.push(e2);
+    let mut out = [F::ZERO; 4];
+    renormalize(&mut s, &mut out);
+    out
+}
+
+/// Accurate division: five quotient digits by exact remainder updates
+/// (QDlib `ieee_div`).
+#[inline]
+pub fn qd_div<F: Fp>(a: Qd4<F>, b: Qd4<F>) -> Qd4<F> {
+    let q0 = a[0] / b[0];
+    let r = qd_sub(a, qd_mul_f(b, q0));
+    let q1 = r[0] / b[0];
+    let r = qd_sub(r, qd_mul_f(b, q1));
+    let q2 = r[0] / b[0];
+    let r = qd_sub(r, qd_mul_f(b, q2));
+    let q3 = r[0] / b[0];
+    let r = qd_sub(r, qd_mul_f(b, q3));
+    let q4 = r[0] / b[0];
+    qd_renorm5(q0, q1, q2, q3, q4)
+}
+
+/// Negate.
+#[inline(always)]
+pub fn qd_neg<F: Fp>(a: Qd4<F>) -> Qd4<F> {
+    [-a[0], -a[1], -a[2], -a[3]]
+}
+
+/// Square root: Newton iteration on the reciprocal square root
+/// (`x <- x + x*(1 - a*x^2)/2`, quadratically convergent), seeded from the
+/// hardware square root, finished with `sqrt(a) = a * x`.
+#[inline]
+pub fn qd_sqrt<F: Fp>(a: Qd4<F>) -> Qd4<F> {
+    if a[0] == F::ZERO && a[1] == F::ZERO && a[2] == F::ZERO && a[3] == F::ZERO {
+        return [F::ZERO; 4];
+    }
+    let half = F::from_f64(0.5);
+    let x0 = F::ONE / a[0].fsqrt();
+    let mut x: Qd4<F> = [x0, F::ZERO, F::ZERO, F::ZERO];
+    // 53 -> 106 -> 212 -> 424 bits; three iterations exceed qd's 212.
+    for _ in 0..3 {
+        let ax2 = qd_mul(a, qd_mul(x, x));
+        let one_minus = qd_sub([F::ONE, F::ZERO, F::ZERO, F::ZERO], ax2);
+        let corr = qd_mul(x, one_minus);
+        let corr = qd_mul_f(corr, half);
+        x = qd_add(x, corr);
+    }
+    qd_mul(a, x)
+}
+
+// ---------------------------------------------------------------------------
+// Public type
+// ---------------------------------------------------------------------------
+
+/// A quad double number: four-term expansion, ~64 significant decimal digits
+/// (212 bits). The paper's `4d` precision.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Qd(pub [f64; 4]);
+
+impl Qd {
+    /// Unit roundoff of quad double: `2^-212`.
+    pub const EPSILON: f64 = 1.215432671457254e-64;
+
+    /// The value zero.
+    pub const ZERO: Qd = Qd([0.0; 4]);
+    /// The value one.
+    pub const ONE: Qd = Qd([1.0, 0.0, 0.0, 0.0]);
+    /// π to quad double accuracy (QDlib constant).
+    #[allow(clippy::approx_constant)]
+    pub const PI: Qd = Qd([
+        3.141592653589793116e+00,
+        1.224646799147353207e-16,
+        -2.994769809718339666e-33,
+        1.112454220863365282e-49,
+    ]);
+
+    /// Convert a double exactly.
+    #[inline]
+    pub const fn from_f64(x: f64) -> Self {
+        Qd([x, 0.0, 0.0, 0.0])
+    }
+
+    /// Widen a double double exactly.
+    #[inline]
+    pub const fn from_dd(x: Dd) -> Self {
+        Qd([x.hi, x.lo, 0.0, 0.0])
+    }
+
+    /// The limbs, most significant first.
+    #[inline]
+    pub const fn limbs(self) -> [f64; 4] {
+        self.0
+    }
+
+    /// Square root (NaN for negative input).
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        if self.0[0] < 0.0 {
+            return Qd([f64::NAN; 4]);
+        }
+        Qd(qd_sqrt(self.0))
+    }
+
+    /// Square.
+    #[inline]
+    pub fn sqr(self) -> Self {
+        self * self
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Self {
+        if self.0[0] < 0.0 || (self.0[0] == 0.0 && self.0[1] < 0.0) {
+            -self
+        } else {
+            self
+        }
+    }
+
+    /// Reciprocal.
+    #[inline]
+    pub fn recip(self) -> Self {
+        Qd::ONE / self
+    }
+
+    /// Nearest double.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0[0] + self.0[1]
+    }
+
+    /// Truncate to double double.
+    #[inline]
+    pub fn to_dd(self) -> Dd {
+        Dd::from_parts(self.0[0], self.0[1])
+    }
+}
+
+macro_rules! qd_binop {
+    ($trait:ident, $method:ident, $fn:path) => {
+        impl core::ops::$trait for Qd {
+            type Output = Qd;
+            #[inline(always)]
+            fn $method(self, rhs: Qd) -> Qd {
+                Qd($fn(self.0, rhs.0))
+            }
+        }
+    };
+}
+qd_binop!(Add, add, qd_add);
+qd_binop!(Sub, sub, qd_sub);
+qd_binop!(Mul, mul, qd_mul);
+qd_binop!(Div, div, qd_div);
+
+impl core::ops::Neg for Qd {
+    type Output = Qd;
+    #[inline(always)]
+    fn neg(self) -> Qd {
+        Qd(qd_neg(self.0))
+    }
+}
+
+macro_rules! qd_assign {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl core::ops::$trait for Qd {
+            #[inline(always)]
+            fn $method(&mut self, rhs: Qd) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+qd_assign!(AddAssign, add_assign, +);
+qd_assign!(SubAssign, sub_assign, -);
+qd_assign!(MulAssign, mul_assign, *);
+qd_assign!(DivAssign, div_assign, /);
+
+impl PartialOrd for Qd {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        for i in 0..4 {
+            match self.0[i].partial_cmp(&other.0[i]) {
+                Some(core::cmp::Ordering::Equal) => continue,
+                ord => return ord,
+            }
+        }
+        Some(core::cmp::Ordering::Equal)
+    }
+}
+
+impl From<f64> for Qd {
+    #[inline]
+    fn from(x: f64) -> Self {
+        Qd::from_f64(x)
+    }
+}
+impl From<Dd> for Qd {
+    #[inline]
+    fn from(x: Dd) -> Self {
+        Qd::from_dd(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Qd, b: Qd, ulps: f64) -> bool {
+        let d = (a - b).abs().to_f64();
+        let scale = b.abs().to_f64().max(1.0);
+        d <= ulps * Qd::EPSILON * scale
+    }
+
+    #[test]
+    fn add_captures_four_limbs() {
+        let parts = [1.0, 2f64.powi(-60), 2f64.powi(-120), 2f64.powi(-180)];
+        let mut s = Qd::ZERO;
+        for p in parts {
+            s += Qd::from_f64(p);
+        }
+        assert_eq!(s.0, parts);
+    }
+
+    #[test]
+    fn mul_matches_dd_at_dd_precision() {
+        let a = Dd::PI;
+        let b = Dd::new(1.0 / 7.0, 7.93016446160826e-18);
+        let qd_prod = Qd::from_dd(a) * Qd::from_dd(b);
+        let dd_prod = a * b;
+        let diff = (qd_prod - Qd::from_dd(dd_prod)).abs().to_f64();
+        assert!(diff <= 4.0 * Dd::EPSILON, "diff = {diff:e}");
+    }
+
+    #[test]
+    fn mul_div_roundtrip() {
+        let a = Qd::PI;
+        let b = Qd([1.0 / 3.0, -1.850371707708594e-17, 1.0271626370065257e-33, -5.7005748537714954e-50]);
+        let q = (a * b) / b;
+        assert!(close(q, a, 16.0), "q = {q:?}");
+    }
+
+    #[test]
+    fn sqrt_of_two_squares_back() {
+        let a = Qd::from_f64(2.0);
+        let r = a.sqrt();
+        assert!(close(r * r, a, 16.0), "r^2 = {:?}", r * r);
+    }
+
+    #[test]
+    fn normalization_invariant() {
+        let a = Qd::PI * Qd::PI + Qd::from_f64(1e-40);
+        for i in 0..3 {
+            assert_eq!(a.0[i] + a.0[i + 1], a.0[i], "limb {i} overlaps: {a:?}");
+        }
+    }
+
+    #[test]
+    fn cancellation_keeps_low_limbs() {
+        let tiny = 2f64.powi(-200);
+        let a = Qd::from_f64(1.0) + Qd::from_f64(tiny);
+        let d = a - Qd::from_f64(1.0);
+        assert_eq!(d.to_f64(), tiny);
+    }
+
+    #[test]
+    fn div_by_self_is_one() {
+        let a = Qd::PI;
+        assert!(close(a / a, Qd::ONE, 4.0));
+    }
+
+    #[test]
+    fn renorm5_handles_zero_components() {
+        let r = qd_renorm5(1.0, 0.0, 2f64.powi(-110), 0.0, 2f64.powi(-170));
+        assert_eq!(r[0], 1.0);
+        assert_eq!(r[1], 2f64.powi(-110));
+        assert_eq!(r[2], 2f64.powi(-170));
+    }
+}

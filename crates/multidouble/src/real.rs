@@ -1,0 +1,355 @@
+//! [`MdReal`]: the unifying trait over the four real precisions
+//! `f64` (the paper's `1d`), [`Dd`] (`2d`), [`Qd`] (`4d`) and [`Od`] (`8d`).
+
+use core::fmt::{Debug, Display};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::dd::Dd;
+use crate::od::Od;
+use crate::qd::Qd;
+
+/// A real multiple double scalar.
+///
+/// Implemented by `f64`, [`Dd`], [`Qd`] and [`Od`]. The linear algebra
+/// crates are generic over [`crate::MdScalar`], which is implemented for
+/// every `MdReal` and for [`crate::Complex`] over every `MdReal`.
+pub trait MdReal:
+    Copy
+    + Clone
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+{
+    /// Number of doubles in the representation (1, 2, 4 or 8).
+    const LIMBS: usize;
+    /// Unit roundoff: `2^(-53 * LIMBS)` (approximately).
+    const EPS: f64;
+    /// The paper's shorthand: `"1d"`, `"2d"`, `"4d"`, `"8d"`.
+    const TAG: &'static str;
+
+    /// Exact conversion from a double.
+    fn from_f64(x: f64) -> Self;
+    /// Nearest double.
+    fn to_f64(self) -> f64;
+    /// The most significant limb.
+    fn hi(self) -> f64;
+    /// Limb `i` (0 = most significant); `i < LIMBS`.
+    fn limb(self, i: usize) -> f64;
+    /// Rebuild from limbs, most significant first (`l.len() == LIMBS`).
+    fn from_limbs(l: &[f64]) -> Self;
+
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    // NOTE: `is_zero` lives on `MdScalar` (implemented for every `MdReal`
+    // through the blanket impl) so that method resolution stays
+    // unambiguous for types carrying both traits.
+
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Reciprocal.
+    fn recip(self) -> Self {
+        Self::one() / self
+    }
+    /// Exact multiplication by a power of two.
+    fn mul_pwr2(self, p: f64) -> Self;
+    /// Largest integer not above `self` (exact, limb-cascading).
+    fn floor(self) -> Self;
+}
+
+impl MdReal for f64 {
+    const LIMBS: usize = 1;
+    const EPS: f64 = f64::EPSILON * 0.5; // unit roundoff 2^-53
+    const TAG: &'static str = "1d";
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn hi(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn limb(self, i: usize) -> f64 {
+        debug_assert_eq!(i, 0);
+        self
+    }
+    #[inline(always)]
+    fn from_limbs(l: &[f64]) -> Self {
+        l[0]
+    }
+    #[inline(always)]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline(always)]
+    fn mul_pwr2(self, p: f64) -> Self {
+        self * p
+    }
+    #[inline(always)]
+    fn floor(self) -> Self {
+        f64::floor(self)
+    }
+}
+
+/// Limb-cascading floor shared by the multi-limb types: floor the leading
+/// limb; when it is already integral, recurse into the next limb.
+macro_rules! md_floor {
+    ($x:expr, $T:ty) => {{
+        let l = $x.limbs();
+        let mut out = [0.0f64; <$T as MdReal>::LIMBS];
+        let f0 = l[0].floor();
+        out[0] = f0;
+        if f0 == l[0] {
+            for i in 1..<$T as MdReal>::LIMBS {
+                let fi = l[i].floor();
+                out[i] = fi;
+                if fi != l[i] {
+                    break;
+                }
+            }
+        }
+        // re-normalize via the type's own addition with zero
+        <$T as MdReal>::from_limbs(&out) + <$T as MdReal>::zero()
+    }};
+}
+
+impl MdReal for Dd {
+    const LIMBS: usize = 2;
+    const EPS: f64 = Dd::EPSILON;
+    const TAG: &'static str = "2d";
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        Dd::from_f64(x)
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        Dd::to_f64(self)
+    }
+    #[inline(always)]
+    fn hi(self) -> f64 {
+        self.hi
+    }
+    #[inline(always)]
+    fn limb(self, i: usize) -> f64 {
+        self.limbs()[i]
+    }
+    #[inline(always)]
+    fn from_limbs(l: &[f64]) -> Self {
+        Dd::from_parts(l[0], l[1])
+    }
+    #[inline(always)]
+    fn zero() -> Self {
+        Dd::ZERO
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        Dd::ONE
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        Dd::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        Dd::sqrt(self)
+    }
+    #[inline(always)]
+    fn mul_pwr2(self, p: f64) -> Self {
+        Dd::from_parts(self.hi * p, self.lo * p)
+    }
+    #[inline]
+    fn floor(self) -> Self {
+        md_floor!(self, Dd)
+    }
+}
+
+impl MdReal for Qd {
+    const LIMBS: usize = 4;
+    const EPS: f64 = Qd::EPSILON;
+    const TAG: &'static str = "4d";
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        Qd::from_f64(x)
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        Qd::to_f64(self)
+    }
+    #[inline(always)]
+    fn hi(self) -> f64 {
+        self.0[0]
+    }
+    #[inline(always)]
+    fn limb(self, i: usize) -> f64 {
+        self.0[i]
+    }
+    #[inline(always)]
+    fn from_limbs(l: &[f64]) -> Self {
+        Qd([l[0], l[1], l[2], l[3]])
+    }
+    #[inline(always)]
+    fn zero() -> Self {
+        Qd::ZERO
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        Qd::ONE
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        Qd::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        Qd::sqrt(self)
+    }
+    #[inline(always)]
+    fn mul_pwr2(self, p: f64) -> Self {
+        Qd([self.0[0] * p, self.0[1] * p, self.0[2] * p, self.0[3] * p])
+    }
+    #[inline]
+    fn floor(self) -> Self {
+        md_floor!(self, Qd)
+    }
+}
+
+impl MdReal for Od {
+    const LIMBS: usize = 8;
+    const EPS: f64 = Od::EPSILON;
+    const TAG: &'static str = "8d";
+
+    #[inline(always)]
+    fn from_f64(x: f64) -> Self {
+        Od::from_f64(x)
+    }
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        Od::to_f64(self)
+    }
+    #[inline(always)]
+    fn hi(self) -> f64 {
+        self.0[0]
+    }
+    #[inline(always)]
+    fn limb(self, i: usize) -> f64 {
+        self.0[i]
+    }
+    #[inline(always)]
+    fn from_limbs(l: &[f64]) -> Self {
+        let mut a = [0.0; 8];
+        a.copy_from_slice(&l[..8]);
+        Od(a)
+    }
+    #[inline(always)]
+    fn zero() -> Self {
+        Od::ZERO
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        Od::ONE
+    }
+    #[inline(always)]
+    fn abs(self) -> Self {
+        Od::abs(self)
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        Od::sqrt(self)
+    }
+    #[inline(always)]
+    fn mul_pwr2(self, p: f64) -> Self {
+        let mut a = self.0;
+        for x in &mut a {
+            *x *= p;
+        }
+        Od(a)
+    }
+    #[inline]
+    fn floor(self) -> Self {
+        md_floor!(self, Od)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn floor_cases<T: MdReal>() {
+        assert_eq!(T::from_f64(2.75).floor(), T::from_f64(2.0));
+        assert_eq!(T::from_f64(-2.25).floor(), T::from_f64(-3.0));
+        assert_eq!(T::from_f64(5.0).floor(), T::from_f64(5.0));
+        // integral leading limb, fractional second limb
+        let x = T::from_f64(3.0) + T::from_f64(1e-20);
+        if T::LIMBS > 1 {
+            assert_eq!(x.floor(), T::from_f64(3.0));
+        }
+    }
+
+    #[test]
+    fn floor_all_types() {
+        floor_cases::<f64>();
+        floor_cases::<Dd>();
+        floor_cases::<Qd>();
+        floor_cases::<Od>();
+    }
+
+    #[test]
+    fn limb_roundtrip() {
+        let q = Qd::PI;
+        let l: Vec<f64> = (0..4).map(|i| q.limb(i)).collect();
+        assert_eq!(Qd::from_limbs(&l), q);
+    }
+
+    #[test]
+    fn mul_pwr2_is_exact() {
+        let x = Qd::PI;
+        let y = x.mul_pwr2(8.0);
+        assert_eq!(y.mul_pwr2(0.125), x);
+    }
+
+    #[test]
+    fn tags_and_limbs() {
+        assert_eq!(f64::TAG, "1d");
+        assert_eq!(Dd::TAG, "2d");
+        assert_eq!(Qd::TAG, "4d");
+        assert_eq!(Od::TAG, "8d");
+        assert_eq!(f64::LIMBS + Dd::LIMBS + Qd::LIMBS + Od::LIMBS, 15);
+    }
+}

@@ -1,0 +1,161 @@
+//! Analytic operation and traffic counts for the nine QR stages.
+//!
+//! Matrix-matrix products follow the paper's register-blocked style
+//! (no shared-memory tiling): one thread produces one output element,
+//! reading a row of the left operand and a column of the right operand
+//! from global memory. The row is shared by the threads of one block
+//! (hardware broadcasts coalesced reads through L1), so effective traffic
+//! per output element is `inner * (1 + 1/block)` operands.
+
+use gpusim::KernelCost;
+use multidouble::{MdScalar, OpCounts};
+
+/// Kernel efficiency classes, calibrated once against the V100 columns of
+/// the paper's Tables 4 and 6 (see DESIGN.md §6). They encode how well
+/// each kernel shape keeps the double precision pipelines busy relative
+/// to the device ILP base: register-blocked products pipeline well;
+/// norm/reduction kernels are dependency-chained; the transposed
+/// panel product `β Rᵀ⋆v` additionally strides across columns.
+pub mod eff {
+    /// Householder norm + normalization.
+    pub const BETA_V: f64 = 0.14;
+    /// Transposed panel product with multi-block sum reduction.
+    pub const BETA_RTV: f64 = 0.026;
+    /// Rank-one panel update.
+    pub const UPDATE_R: f64 = 0.25;
+    /// WY aggregation (two chained matrix-vector products per column).
+    pub const COMPUTE_W: f64 = 0.13;
+    /// Register-blocked matrix-matrix products.
+    pub const GEMM: f64 = 3.7;
+}
+
+/// Fraction of per-element operand traffic that misses L1/L2 in the
+/// register-blocked products. Reuse degrades as the shared operand
+/// outgrows the L2 cache, which the inner dimension proxies — this is
+/// what makes double double products memory bound at dimension 2048
+/// (the performance drop of the paper's Table 6).
+fn gemm_miss(inner: usize) -> f64 {
+    (0.10 + inner as f64 / 8192.0).min(0.45)
+}
+
+/// Cost of a `rows × cols` output produced from an `inner`-deep product.
+pub fn gemm_cost<S: MdScalar>(rows: usize, cols: usize, inner: usize, block: usize) -> KernelCost {
+    let (r, c, k, b) = (rows as u64, cols as u64, inner as u64, block.max(1) as u64);
+    let out = r * c;
+    let ops = OpCounts {
+        add: out * k,
+        sub: 0,
+        mul: out * k,
+        div: 0,
+        sqrt: 0,
+    };
+    let streamed = (out * k) as f64 * gemm_miss(inner);
+    let reads = streamed as u64 + out * k / b + out / b; // columns + amortized row
+    KernelCost::of::<S>(ops, reads, out).with_eff(eff::GEMM)
+}
+
+/// Elementwise matrix addition of `rows × cols`.
+pub fn add_cost<S: MdScalar>(rows: usize, cols: usize) -> KernelCost {
+    let out = (rows * cols) as u64;
+    let ops = OpCounts {
+        add: out,
+        ..OpCounts::ZERO
+    };
+    KernelCost::of::<S>(ops, 2 * out, out)
+}
+
+/// Householder `β, v` for a column of height `h`: norm reduction
+/// (`h` multiply-adds), one square root, `h` divisions for the
+/// normalization, a handful of scalar fixups.
+pub fn beta_v_cost<S: MdScalar>(h: usize) -> KernelCost {
+    let h64 = h as u64;
+    // normalization multiplies by the reciprocal of v1 (one division),
+    // rather than dividing each component
+    let ops = OpCounts {
+        add: h64 + 2,
+        sub: 0,
+        mul: 2 * h64 + 2,
+        div: 2,
+        sqrt: 2,
+    };
+    KernelCost::of::<S>(ops, h64, h64 + 1).with_eff(eff::BETA_V)
+}
+
+/// `w = β Rᴴ v` over a `h × m` panel slice (`m = n − ℓ` columns):
+/// a transposed matrix-vector product with a multi-block sum reduction.
+pub fn beta_rtv_cost<S: MdScalar>(h: usize, m: usize, block: usize) -> KernelCost {
+    let (h64, m64, b) = (h as u64, m as u64, block.max(1) as u64);
+    let ops = OpCounts {
+        add: h64 * m64,
+        sub: 0,
+        mul: h64 * m64 + m64,
+        div: 0,
+        sqrt: 0,
+    };
+    KernelCost::of::<S>(ops, h64 * m64 + h64 + h64 * m64 / b, m64).with_eff(eff::BETA_RTV)
+}
+
+/// Rank-one update `R := R − v wᴴ` over `h × m`.
+pub fn update_r_cost<S: MdScalar>(h: usize, m: usize) -> KernelCost {
+    let (h64, m64) = (h as u64, m as u64);
+    let ops = OpCounts {
+        add: 0,
+        sub: h64 * m64,
+        mul: h64 * m64,
+        div: 0,
+        sqrt: 0,
+    };
+    KernelCost::of::<S>(ops, h64 * m64 + h64 + m64, h64 * m64).with_eff(eff::UPDATE_R)
+}
+
+/// One column of the WY aggregation:
+/// `u = Yᴴ v` (ℓ dots of height `h`) then `z = −β (v + W u)`.
+pub fn compute_w_cost<S: MdScalar>(h: usize, l: usize) -> KernelCost {
+    let (h64, l64) = (h as u64, l as u64);
+    let ops = OpCounts {
+        add: 2 * h64 * l64 + h64,
+        sub: 0,
+        mul: 2 * h64 * l64 + h64,
+        div: 0,
+        sqrt: 0,
+    };
+    KernelCost::of::<S>(ops, 2 * h64 * l64 + 2 * h64, h64).with_eff(eff::COMPUTE_W)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multidouble::{Dd, Qd};
+
+    #[test]
+    fn gemm_cost_counts_fused_pairs() {
+        let c = gemm_cost::<Qd>(10, 10, 5, 5);
+        assert_eq!(c.ops.mul, 500);
+        assert_eq!(c.ops.add, 500);
+        assert_eq!(c.elems_written, 100);
+        // flops: 500 * (336 + 89)
+        assert_eq!(c.flops_paper, 500.0 * (336.0 + 89.0));
+    }
+
+    #[test]
+    fn broadcast_amortization_reduces_reads() {
+        let wide = gemm_cost::<Dd>(100, 100, 50, 100);
+        let narrow = gemm_cost::<Dd>(100, 100, 50, 1);
+        assert!(wide.elems_read < narrow.elems_read);
+    }
+
+    #[test]
+    fn beta_v_has_one_sqrt_pair() {
+        let c = beta_v_cost::<Qd>(64);
+        assert_eq!(c.ops.sqrt, 2);
+        assert_eq!(c.ops.div, 2); // reciprocal-based normalization
+        assert!(c.ops.mul >= 128);
+    }
+
+    #[test]
+    fn add_cost_is_linear() {
+        let a = add_cost::<Qd>(8, 8);
+        let b = add_cost::<Qd>(16, 8);
+        assert_eq!(2 * a.ops.add, b.ops.add);
+    }
+}

@@ -1,0 +1,407 @@
+//! The Algorithm 2 driver.
+
+use gpusim::{ExecMode, Gpu, Profile, Sim};
+use mdls_matrix::HostMat;
+use multidouble::MdScalar;
+
+use crate::cost;
+use crate::kernels;
+use crate::{
+    STAGE_BETA_RTV, STAGE_BETA_V, STAGE_COMPUTE_W, STAGE_QWYT, STAGE_Q_ADD, STAGE_R_ADD,
+    STAGE_UPDATE_R, STAGE_YWT, STAGE_YWTC,
+};
+
+/// Panel configuration of the blocked QR.
+#[derive(Clone, Copy, Debug)]
+pub struct QrOptions {
+    /// Number of column tiles `N`.
+    pub tiles: usize,
+    /// Tile size `n` — columns per panel and threads per block.
+    pub tile_size: usize,
+}
+
+impl QrOptions {
+    /// Number of columns `N · n`.
+    pub fn cols(&self) -> usize {
+        self.tiles * self.tile_size
+    }
+}
+
+/// Outcome of a QR run.
+pub struct QrRun<S> {
+    /// Orthogonal factor `Q` (functional modes only).
+    pub q: Option<HostMat<S>>,
+    /// Triangular factor `R` (functional modes only; below-diagonal
+    /// entries hold roundoff-level residue, as on the real device).
+    pub r: Option<HostMat<S>>,
+    /// Stage-resolved profile (the paper's Tables 3–6 rows).
+    pub profile: Profile,
+}
+
+/// Device-side state of a factorization in progress.
+pub struct QrDeviceState<S: MdScalar> {
+    /// The matrix being reduced (input `A`, output `R`).
+    pub r: gpusim::DeviceMat<S>,
+    /// The accumulated orthogonal factor.
+    pub q: gpusim::DeviceMat<S>,
+    y: gpusim::DeviceMat<S>,
+    w: gpusim::DeviceMat<S>,
+    ywh: gpusim::DeviceMat<S>,
+    qwy: gpusim::DeviceMat<S>,
+    ywtc: gpusim::DeviceMat<S>,
+    betas: gpusim::DeviceBuf<S>,
+    wvec: gpusim::DeviceBuf<S>,
+}
+
+impl<S: MdScalar> QrDeviceState<S> {
+    /// Allocate all device buffers for an `m × N·n` factorization.
+    pub fn alloc(sim: &Sim, m: usize, opts: &QrOptions) -> Self {
+        let cols = opts.cols();
+        let n = opts.tile_size;
+        QrDeviceState {
+            r: sim.alloc_mat::<S>(m, cols),
+            q: sim.alloc_mat::<S>(m, m),
+            y: sim.alloc_mat::<S>(m, n),
+            w: sim.alloc_mat::<S>(m, n),
+            ywh: sim.alloc_mat::<S>(m, m),
+            qwy: sim.alloc_mat::<S>(m, m),
+            ywtc: sim.alloc_mat::<S>(m, cols),
+            betas: sim.alloc_vec::<S>(n),
+            wvec: sim.alloc_vec::<S>(n),
+        }
+    }
+
+    /// Set `Q := I` (host-side initialization, not a profiled kernel).
+    pub fn init_q_identity(&self) {
+        if !self.q.buf.is_materialized() {
+            return;
+        }
+        for i in 0..self.q.rows {
+            for j in 0..self.q.cols {
+                self.q
+                    .set(i, j, if i == j { S::one() } else { S::zero() });
+            }
+        }
+        self.q.buf.reset_traffic();
+    }
+}
+
+/// Run Algorithm 2 on an existing session: reduce `st.r` in place and
+/// accumulate `st.q`.
+pub fn qr_on_sim<S: MdScalar>(sim: &Sim, st: &QrDeviceState<S>, opts: &QrOptions) {
+    let m = st.r.rows;
+    let n = opts.tile_size;
+    let nt = opts.tiles;
+    assert!(m >= opts.cols(), "QR requires M >= N*n (tall or square)");
+
+    for k in 0..nt {
+        let col0 = k * n;
+        let _h_k = m - col0;
+
+        // --- stage 1: Householder columns of the panel -----------------
+        for l in 0..n {
+            let c = col0 + l;
+            let h = m - c;
+            let mcols = n - l;
+
+            sim.launch(
+                STAGE_BETA_V,
+                h.div_ceil(n),
+                n,
+                cost::beta_v_cost::<S>(h),
+                |ctx| kernels::beta_v_block(ctx, &st.r, &st.y, &st.betas, col0, c, l),
+            );
+
+            sim.launch(
+                STAGE_BETA_RTV,
+                mcols,
+                n,
+                cost::beta_rtv_cost::<S>(h, mcols, n),
+                |ctx| kernels::beta_rtv_block(ctx, &st.r, &st.y, &st.betas, &st.wvec, col0, l, n),
+            );
+
+            sim.launch(
+                STAGE_UPDATE_R,
+                mcols,
+                n,
+                cost::update_r_cost::<S>(h, mcols),
+                |ctx| kernels::update_r_block(ctx, &st.r, &st.y, &st.wvec, col0, l),
+            );
+        }
+
+        // --- stage 2: WY aggregation ------------------------------------
+        // full height M, as in the paper's kernels (the zero-padded rows
+        // above the panel are computed along; this is what the paper's
+        // flop counters tally and why `compute W` dominates small dims)
+        for l in 0..n {
+            sim.launch(
+                STAGE_COMPUTE_W,
+                m.div_ceil(n),
+                n,
+                cost::compute_w_cost::<S>(m, l),
+                |ctx| kernels::compute_w_block(ctx, &st.y, &st.w, &st.betas, col0, l),
+            );
+        }
+
+        // --- stage 3: Q update ------------------------------------------
+        sim.launch(
+            STAGE_YWT,
+            m,
+            n,
+            cost::gemm_cost::<S>(m, m, n, n),
+            |ctx| kernels::ywt_block(ctx, &st.y, &st.w, &st.ywh, col0, n),
+        );
+        sim.launch(
+            STAGE_QWYT,
+            m,
+            n,
+            cost::gemm_cost::<S>(m, m, m, n),
+            |ctx| kernels::qwyt_block(ctx, &st.q, &st.ywh, &st.qwy, col0),
+        );
+        sim.launch(
+            STAGE_Q_ADD,
+            m,
+            n,
+            cost::add_cost::<S>(m, m),
+            |ctx| kernels::q_add_block(ctx, &st.q, &st.qwy, col0),
+        );
+
+        // --- stage 4: trailing-column update -----------------------------
+        if k + 1 < nt {
+            let cstart = (k + 1) * n;
+            let c_k = opts.cols() - cstart;
+            sim.launch(
+                STAGE_YWTC,
+                c_k,
+                n,
+                cost::gemm_cost::<S>(m, c_k, m, n),
+                |ctx| kernels::ywtc_block(ctx, &st.ywh, &st.r, &st.ywtc, col0, cstart),
+            );
+            sim.launch(
+                STAGE_R_ADD,
+                c_k,
+                n,
+                cost::add_cost::<S>(m, c_k),
+                |ctx| kernels::r_add_block(ctx, &st.r, &st.ywtc, col0, cstart),
+            );
+        }
+    }
+}
+
+/// Standalone QR factorization of a host matrix: session setup, upload,
+/// Algorithm 2, download.
+pub fn qr_decompose<S: MdScalar>(
+    gpu: &Gpu,
+    mode: ExecMode,
+    a: &HostMat<S>,
+    opts: &QrOptions,
+) -> QrRun<S> {
+    assert_eq!(a.cols, opts.cols(), "matrix does not match tiling");
+    let sim = Sim::new(gpu.clone(), mode);
+    let st = QrDeviceState::<S>::alloc(&sim, a.rows, opts);
+
+    sim.record_host_overhead();
+    sim.record_transfer((a.rows * a.cols * S::BYTES) as u64);
+    if sim.is_functional() {
+        a.upload_to(&st.r);
+    }
+    st.init_q_identity();
+
+    qr_on_sim(&sim, &st, opts);
+
+    sim.record_transfer(((a.rows * a.cols + a.rows * a.rows) * S::BYTES) as u64);
+    let (q, r) = if sim.is_functional() {
+        (
+            Some(HostMat::download_from(&st.q)),
+            Some(HostMat::download_from(&st.r)),
+        )
+    } else {
+        (None, None)
+    };
+    QrRun {
+        q,
+        r,
+        profile: sim.profile(),
+    }
+}
+
+/// Model-only QR profile for an `rows × N·n` factorization: no host
+/// matrix, no device storage — only the analytic cost model runs. This is
+/// how the bench harness reaches the paper's large dimensions.
+pub fn qr_model_profile<S: MdScalar>(gpu: &Gpu, rows: usize, opts: &QrOptions) -> Profile {
+    let sim = Sim::new(gpu.clone(), ExecMode::ModelOnly);
+    let st = QrDeviceState::<S>::alloc(&sim, rows, opts);
+    sim.record_host_overhead();
+    sim.record_transfer((rows * opts.cols() * S::BYTES) as u64);
+    qr_on_sim(&sim, &st, opts);
+    sim.record_transfer(((rows * opts.cols() + rows * rows) * S::BYTES) as u64);
+    sim.profile()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multidouble::{Complex, Dd, MdReal, Od, Qd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Factor a random matrix and return (orthogonality defect, |A - QR|).
+    fn qr_defects<S: MdScalar>(m: usize, opts: QrOptions, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = HostMat::<S>::random(m, opts.cols(), &mut rng);
+        let run = qr_decompose(&Gpu::v100(), ExecMode::Sequential, &a, &opts);
+        let q = run.q.unwrap();
+        let mut r = run.r.unwrap();
+        // clear below-diagonal roundoff residue for the reconstruction
+        for c in 0..r.cols {
+            for row in (c + 1)..r.rows {
+                r.set(row, c, S::zero());
+            }
+        }
+        let ortho = q.orthogonality_defect().to_f64();
+        let qr = q.matmul(&r);
+        let recon = qr.diff_frobenius(&a).to_f64() / a.frobenius().to_f64();
+        (ortho, recon)
+    }
+
+    #[test]
+    fn dd_square_factorization() {
+        let (o, e) = qr_defects::<Dd>(
+            24,
+            QrOptions {
+                tiles: 3,
+                tile_size: 8,
+            },
+            101,
+        );
+        assert!(o < 1e-28, "orthogonality defect {o:e}");
+        assert!(e < 1e-28, "reconstruction error {e:e}");
+    }
+
+    #[test]
+    fn qd_square_factorization() {
+        let (o, e) = qr_defects::<Qd>(
+            16,
+            QrOptions {
+                tiles: 2,
+                tile_size: 8,
+            },
+            102,
+        );
+        assert!(o < 1e-58, "orthogonality defect {o:e}");
+        assert!(e < 1e-58, "reconstruction error {e:e}");
+    }
+
+    #[test]
+    fn od_small_factorization() {
+        let (o, e) = qr_defects::<Od>(
+            8,
+            QrOptions {
+                tiles: 2,
+                tile_size: 4,
+            },
+            103,
+        );
+        assert!(o < 1e-118, "orthogonality defect {o:e}");
+        assert!(e < 1e-118, "reconstruction error {e:e}");
+    }
+
+    #[test]
+    fn complex_dd_factorization() {
+        let (o, e) = qr_defects::<Complex<Dd>>(
+            12,
+            QrOptions {
+                tiles: 2,
+                tile_size: 6,
+            },
+            104,
+        );
+        assert!(o < 1e-27, "orthogonality defect {o:e}");
+        assert!(e < 1e-27, "reconstruction error {e:e}");
+    }
+
+    #[test]
+    fn tall_matrix_factorization() {
+        let (o, e) = qr_defects::<Dd>(
+            20,
+            QrOptions {
+                tiles: 2,
+                tile_size: 5,
+            },
+            105,
+        );
+        assert!(o < 1e-27);
+        assert!(e < 1e-27);
+    }
+
+    #[test]
+    fn double_precision_baseline() {
+        let (o, e) = qr_defects::<f64>(
+            32,
+            QrOptions {
+                tiles: 4,
+                tile_size: 8,
+            },
+            106,
+        );
+        assert!(o < 1e-13);
+        assert!(e < 1e-13);
+    }
+
+    #[test]
+    fn all_nine_stages_present() {
+        let mut rng = StdRng::seed_from_u64(107);
+        let opts = QrOptions {
+            tiles: 2,
+            tile_size: 4,
+        };
+        let a = HostMat::<Dd>::random(8, 8, &mut rng);
+        let run = qr_decompose(&Gpu::v100(), ExecMode::Sequential, &a, &opts);
+        for stage in crate::STAGES {
+            assert!(
+                run.profile.stage(stage).is_some(),
+                "stage {stage:?} missing"
+            );
+        }
+        // single-panel matrices have no trailing update
+        let single = qr_decompose(
+            &Gpu::v100(),
+            ExecMode::Sequential,
+            &HostMat::<Dd>::random(4, 4, &mut rng),
+            &QrOptions {
+                tiles: 1,
+                tile_size: 4,
+            },
+        );
+        assert!(single.profile.stage(crate::STAGE_YWTC).is_none());
+    }
+
+    #[test]
+    fn model_only_profile_matches_functional() {
+        let mut rng = StdRng::seed_from_u64(108);
+        let opts = QrOptions {
+            tiles: 2,
+            tile_size: 8,
+        };
+        let a = HostMat::<Qd>::random(16, 16, &mut rng);
+        let f = qr_decompose(&Gpu::v100(), ExecMode::Sequential, &a, &opts);
+        let m = qr_decompose(&Gpu::v100(), ExecMode::ModelOnly, &a, &opts);
+        assert!(m.q.is_none());
+        assert_eq!(f.profile.all_kernels_ms(), m.profile.all_kernels_ms());
+        assert_eq!(f.profile.total_flops_paper(), m.profile.total_flops_paper());
+        assert_eq!(f.profile.total_launches(), m.profile.total_launches());
+    }
+
+    #[test]
+    fn r_is_upper_triangular_up_to_roundoff() {
+        let mut rng = StdRng::seed_from_u64(109);
+        let opts = QrOptions {
+            tiles: 3,
+            tile_size: 4,
+        };
+        let a = HostMat::<Qd>::random(12, 12, &mut rng);
+        let run = qr_decompose(&Gpu::v100(), ExecMode::Sequential, &a, &opts);
+        let below = run.r.unwrap().max_below_diagonal();
+        assert!(below < 1e-60, "below-diagonal residue {below:e}");
+    }
+}

@@ -1,0 +1,59 @@
+//! Survey the five simulated devices: Table 2 characteristics, roofline
+//! ridge points and the dimension at which the double double QR crosses
+//! one teraflops on each device.
+//!
+//! ```sh
+//! cargo run --release --example device_survey
+//! ```
+
+use multidouble_ls::md::Dd;
+use multidouble_ls::qr::{qr_model_profile, QrOptions};
+use multidouble_ls::sim::Gpu;
+
+fn main() {
+    println!("simulated device registry (paper Table 2 + model constants)\n");
+    println!(
+        "{:<10} {:>5} {:>4} {:>9} {:>7} {:>6} {:>9} {:>8} {:>7}",
+        "GPU", "CUDA", "#MP", "cores/MP", "#cores", "GHz", "peak GF", "BW GB/s", "ridge"
+    );
+    for g in Gpu::all() {
+        println!(
+            "{:<10} {:>5} {:>4} {:>9} {:>7} {:>6.2} {:>9.0} {:>8.0} {:>7.2}",
+            g.name,
+            g.cuda_capability,
+            g.multiprocessors,
+            g.cores_per_mp,
+            g.cores(),
+            g.ghz,
+            g.peak_dp_gflops,
+            g.mem_bw_gbs,
+            g.ridge_point()
+        );
+    }
+
+    println!("\nsmallest dimension with >= 1 TFLOPS double double QR (tiles of 128):");
+    for g in Gpu::all() {
+        let mut found = None;
+        for tiles in 1..=16 {
+            let dim = tiles * 128;
+            let p = qr_model_profile::<Dd>(
+                &g,
+                dim,
+                &QrOptions {
+                    tiles,
+                    tile_size: 128,
+                },
+            );
+            if p.kernel_gflops() >= 1000.0 {
+                found = Some((dim, p.kernel_gflops()));
+                break;
+            }
+        }
+        match found {
+            Some((dim, gf)) => println!("  {:<10} dim {:>5}  ({:.0} GF)", g.name, dim, gf),
+            None => println!("  {:<10} not reached by dim 2048", g.name),
+        }
+    }
+    println!("\nthe paper's headline: teraflop performance is attained already at");
+    println!("dimension 1,024 in double double precision on the P100 and the V100.");
+}

@@ -1,0 +1,121 @@
+//! Power series path tracking — the paper's motivating application.
+//!
+//! The paper develops its least squares solver for a polynomial homotopy
+//! path tracker (§1.1): the Newton step for power series solutions of a
+//! homotopy solves a *lower triangular block Toeplitz* system whose
+//! diagonal blocks are the Jacobian at the current point. Because roundoff
+//! propagates from the leading series coefficients into all later ones,
+//! the leading coefficients must be computed at a precision higher than
+//! hardware doubles.
+//!
+//! This example tracks the series solution `x(t)` of
+//!
+//! ```text
+//! A(t) x(t) = b(t),   A(t) = A0 + A1 t,   b(t) = b0 + b1 t
+//! ```
+//!
+//! by block forward substitution on the Toeplitz system
+//!
+//! ```text
+//! A0 x_k = (b_k) - A1 x_{k-1},
+//! ```
+//!
+//! solving every diagonal step with the GPU least squares solver. Octo
+//! double coefficients serve as ground truth for the lower precisions,
+//! showing the error growth per series order that motivates the paper.
+//!
+//! ```sh
+//! cargo run --release --example path_tracking
+//! ```
+
+use multidouble_ls::matrix::HostMat;
+use multidouble_ls::md::{Dd, MdReal, MdScalar, Od, Qd};
+use multidouble_ls::sim::{ExecMode, Gpu};
+use multidouble_ls::solver::{lstsq, LstsqOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DIM: usize = 16; // system dimension
+const ORDER: usize = 12; // series truncation order
+
+/// Compute the series coefficients x_0 .. x_{ORDER-1} in precision `S`.
+///
+/// The problem data is drawn as exact doubles so every precision tracks
+/// the *same* system (multiple double draws would consume different
+/// amounts of the RNG stream per precision).
+fn track_series<S: MdScalar>(seed: u64) -> Vec<Vec<S>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let f = HostMat::<f64>::random(DIM, DIM, &mut rng);
+    let a0 = HostMat::<S>::from_fn(DIM, DIM, |i, j| S::from_f64(f.get(i, j) + if i == j { 4.0 } else { 0.0 }));
+    let f1 = HostMat::<f64>::random(DIM, DIM, &mut rng);
+    let a1 = HostMat::<S>::from_fn(DIM, DIM, |i, j| S::from_f64(f1.get(i, j)));
+    let bf: Vec<f64> = multidouble_ls::matrix::random_vector(DIM, &mut rng);
+    let b0: Vec<S> = bf.iter().map(|v| S::from_f64(*v)).collect();
+    let bf1: Vec<f64> = multidouble_ls::matrix::random_vector(DIM, &mut rng);
+    let b1: Vec<S> = bf1.iter().map(|v| S::from_f64(*v)).collect();
+
+    let opts = LstsqOptions {
+        tiles: 2,
+        tile_size: DIM / 2,
+        mode: ExecMode::Parallel,
+    };
+    let gpu = Gpu::v100();
+
+    let mut coeffs: Vec<Vec<S>> = Vec::with_capacity(ORDER);
+    for k in 0..ORDER {
+        // rhs_k = b_k - A1 * x_{k-1}
+        let mut rhs = match k {
+            0 => b0.clone(),
+            1 => b1.clone(),
+            _ => vec![S::zero(); DIM],
+        };
+        if k > 0 {
+            let prev = a1.matvec(&coeffs[k - 1]);
+            for (r, p) in rhs.iter_mut().zip(prev.iter()) {
+                *r -= *p;
+            }
+        }
+        // the diagonal block solve: the paper's accelerated least squares
+        let run = lstsq(&gpu, &a0, &rhs, &opts);
+        coeffs.push(run.x);
+    }
+    coeffs
+}
+
+fn main() {
+    println!("power series path tracking: A(t) x(t) = b(t), dim {DIM}, order {ORDER}");
+    println!("each Toeplitz step solved by the simulated-GPU least squares solver\n");
+
+    // octo double ground truth, then the same track in 2d and 4d
+    let truth = track_series::<Od>(77);
+    let dd = track_series::<Dd>(77);
+    let qd = track_series::<Qd>(77);
+
+    println!(
+        "{:<8} {:>16} {:>16} {:>14}",
+        "order", "2d error", "4d error", "|x_k| (truth)"
+    );
+    println!("{}", "-".repeat(58));
+    for k in 0..ORDER {
+        let norm_k: f64 = truth[k]
+            .iter()
+            .map(|v| v.norm_sqr().to_f64())
+            .sum::<f64>()
+            .sqrt();
+        let err = |widen: &dyn Fn(usize) -> Od| {
+            let mut acc = 0.0f64;
+            for i in 0..DIM {
+                let d = widen(i) - truth[k][i];
+                acc += d.norm_sqr().to_f64();
+            }
+            acc.sqrt()
+        };
+        let e2 = err(&|i| Od::from_dd(dd[k][i]));
+        let e4 = err(&|i| Od::from_qd(qd[k][i]));
+        println!("{k:<8} {e2:>16.3e} {e4:>16.3e} {norm_k:>14.3e}");
+    }
+
+    println!("\nroundoff seeded in the leading coefficients is amplified order by");
+    println!("order; quad double keeps the full series usable where double double");
+    println!("has already lost digits — the error analysis that drives the paper.");
+}

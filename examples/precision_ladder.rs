@@ -1,0 +1,61 @@
+//! The precision ladder: why multiple double precision earns its keep.
+//!
+//! Solves a least squares problem against the notoriously ill-conditioned
+//! Hilbert matrix in all four working precisions. Hardware doubles lose
+//! every digit by dimension ~14; each doubling of the precision buys
+//! roughly 16 more decades of usable conditioning — the paper's
+//! motivation for running QR in double double, quad double and octo
+//! double on the GPU.
+//!
+//! ```sh
+//! cargo run --release --example precision_ladder
+//! ```
+
+use multidouble_ls::matrix::{hilbert, vec_norm2, HostMat};
+use multidouble_ls::md::{Dd, MdReal, MdScalar, Od, Qd};
+use multidouble_ls::sim::{ExecMode, Gpu};
+use multidouble_ls::solver::{lstsq, LstsqOptions};
+
+/// Solve `H x = b` (Hilbert matrix, `b = H * ones`) and report the
+/// forward error `|x - 1|`.
+fn ladder_step<S: MdScalar>(n: usize, tiles: usize) -> (f64, f64) {
+    let h: HostMat<S> = hilbert(n);
+    let ones = vec![S::one(); n];
+    let b = h.matvec(&ones);
+    let opts = LstsqOptions {
+        tiles,
+        tile_size: n / tiles,
+        mode: ExecMode::Parallel,
+    };
+    let run = lstsq(&Gpu::v100(), &h, &b, &opts);
+    let res = h.residual(&run.x, &b).to_f64();
+    let fwd = multidouble_ls::matrix::norms::vec_diff_norm2(&run.x, &ones).to_f64();
+    (res, fwd)
+}
+
+fn main() {
+    let n = 24; // cond(H_24) ~ 3e34: hopeless in double, easy in octo double
+    println!("Hilbert least squares, dimension {n} (cond ~ 1e35), simulated V100\n");
+    println!("{:<14} {:>14} {:>14}", "precision", "residual", "forward error");
+    println!("{}", "-".repeat(44));
+
+    let (r, f) = ladder_step::<f64>(n, 2);
+    println!("{:<14} {:>14.3e} {:>14.3e}", "1d (double)", r, f);
+    let (r, f) = ladder_step::<Dd>(n, 2);
+    println!("{:<14} {:>14.3e} {:>14.3e}", "2d (dd)", r, f);
+    let (r, f) = ladder_step::<Qd>(n, 2);
+    println!("{:<14} {:>14.3e} {:>14.3e}", "4d (qd)", r, f);
+    let (r, f) = ladder_step::<Od>(n, 2);
+    println!("{:<14} {:>14.3e} {:>14.3e}", "8d (od)", r, f);
+
+    println!(
+        "\nunit roundoffs: 1d {:.1e}, 2d {:.1e}, 4d {:.1e}, 8d {:.1e}",
+        f64::EPS,
+        Dd::EPS,
+        Qd::EPS,
+        Od::EPS
+    );
+    println!("the forward error tracks cond(H) * roundoff: hardware doubles and");
+    println!("even double double are exhausted; quad and octo double recover the");
+    println!("exact all-ones solution.");
+}

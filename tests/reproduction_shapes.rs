@@ -1,0 +1,246 @@
+//! The reproduction regression suite: every qualitative claim of the
+//! paper that DESIGN.md commits to is asserted here against the model, so
+//! calibration changes cannot silently break the reproduction.
+
+use multidouble_ls::backsub::{backsub_model_profile, BacksubOptions};
+use multidouble_ls::md::cost::predicted_overhead_factor as predicted_overhead;
+use multidouble_ls::md::{Dd, Od, Qd};
+use multidouble_ls::qr::{qr_model_profile, QrOptions, STAGE_COMPUTE_W, STAGE_QWYT, STAGE_YWTC};
+use multidouble_ls::sim::roofline::RooflinePoint;
+use multidouble_ls::sim::Gpu;
+use multidouble_ls::solver::{lstsq_model_profiles, LstsqOptions};
+
+fn qr1024<S: multidouble_ls::md::MdScalar>(gpu: &Gpu) -> multidouble_ls::sim::Profile {
+    qr_model_profile::<S>(
+        gpu,
+        1024,
+        &QrOptions {
+            tiles: 8,
+            tile_size: 128,
+        },
+    )
+}
+
+/// Claim 1 (abstract, §4.3): teraflop performance is attained already by
+/// the double double QR on 1,024 × 1,024 matrices on the P100 and V100.
+#[test]
+fn teraflop_at_1024_dd_on_p100_and_v100() {
+    for gpu in [Gpu::p100(), Gpu::v100()] {
+        let p = qr1024::<Dd>(&gpu);
+        assert!(
+            p.kernel_gflops() >= 1000.0,
+            "{}: {:.0} GF",
+            gpu.name,
+            p.kernel_gflops()
+        );
+    }
+    // and NOT on the older/consumer devices
+    for gpu in [Gpu::c2050(), Gpu::k20c(), Gpu::rtx2080()] {
+        let p = qr1024::<Dd>(&gpu);
+        assert!(
+            p.kernel_gflops() < 1000.0,
+            "{} unexpectedly above a teraflop",
+            gpu.name
+        );
+    }
+}
+
+/// Claim 2 (§4.4, Table 4): the observed cost overhead factors of
+/// doubling the precision are *below* the Table 1 predictions
+/// (11.7 for 2d→4d, 5.4 for 4d→8d) on all three sweep devices.
+#[test]
+fn observed_overheads_below_predicted() {
+    let pred24 = predicted_overhead(2, 4);
+    let pred48 = predicted_overhead(4, 8);
+    assert!((pred24 - 11.7).abs() < 0.1);
+    assert!((pred48 - 5.4).abs() < 0.1);
+    for gpu in Gpu::sweep_trio() {
+        let k2 = qr1024::<Dd>(&gpu).all_kernels_ms();
+        let k4 = qr1024::<Qd>(&gpu).all_kernels_ms();
+        let k8 = qr1024::<Od>(&gpu).all_kernels_ms();
+        let f24 = k4 / k2;
+        let f48 = k8 / k4;
+        assert!(f24 < pred24, "{}: 2d->4d factor {f24:.2}", gpu.name);
+        assert!(f48 < pred48, "{}: 4d->8d factor {f48:.2}", gpu.name);
+        // and the factors are still substantial (no free precision)
+        assert!(f24 > 4.0 && f48 > 2.0, "{}: implausibly cheap", gpu.name);
+    }
+}
+
+/// Claim 3 (Table 4): kernel-time gigaflops *increase* with the working
+/// precision on every sweep device — the CGMA effect.
+#[test]
+fn performance_increases_with_precision() {
+    for gpu in Gpu::sweep_trio() {
+        let g2 = qr1024::<Dd>(&gpu).kernel_gflops();
+        let g4 = qr1024::<Qd>(&gpu).kernel_gflops();
+        let g8 = qr1024::<Od>(&gpu).kernel_gflops();
+        assert!(
+            g2 < g4 && g4 < g8,
+            "{}: {g2:.0} / {g4:.0} / {g8:.0} GF not increasing",
+            gpu.name
+        );
+    }
+}
+
+/// Claim 4 (§4.8, Table 9): the quad double back substitution reaches a
+/// teraflop on the V100 only near n = 224 (dimension 17,920).
+#[test]
+fn backsub_teraflop_threshold_at_17920() {
+    let v100 = Gpu::v100();
+    let gf = |n: usize| {
+        backsub_model_profile::<Qd>(
+            &v100,
+            &BacksubOptions {
+                tiles: 80,
+                tile_size: n,
+            },
+        )
+        .kernel_gflops()
+    };
+    assert!(gf(128) < 1000.0, "n=128 already at a teraflop");
+    assert!(gf(224) >= 1000.0, "n=224 below a teraflop: {:.0}", gf(224));
+}
+
+/// Claim 5 (Table 11): the back substitution kernel time is roughly two
+/// orders of magnitude below the QR time at dimension 1,024, so the
+/// solver keeps the QR's teraflop throughput.
+#[test]
+fn solver_dominated_by_qr() {
+    let opts = LstsqOptions {
+        tiles: 8,
+        tile_size: 128,
+        mode: multidouble_ls::sim::ExecMode::ModelOnly,
+    };
+    for gpu in Gpu::sweep_trio() {
+        let (qr, bs) = lstsq_model_profiles::<Qd>(&gpu, &opts);
+        let ratio = qr.all_kernels_ms() / bs.all_kernels_ms();
+        assert!(
+            (20.0..2000.0).contains(&ratio),
+            "{}: QR/BS ratio {ratio:.0}",
+            gpu.name
+        );
+    }
+    let (qr, bs) = lstsq_model_profiles::<Qd>(&Gpu::v100(), &opts);
+    let mut total = qr.clone();
+    total.absorb(&bs);
+    assert!(
+        total.kernel_gflops() >= 1000.0,
+        "solver below a teraflop: {:.0}",
+        total.kernel_gflops()
+    );
+}
+
+/// Claim 6 (§4.5, §4.6, Tables 5–6): `compute W` dominates the QR at
+/// dimension 512; by dimension 2048 the two matrix-matrix products are
+/// the two most expensive stages.
+#[test]
+fn stage_dominance_crossover() {
+    let v100 = Gpu::v100();
+    let small = qr_model_profile::<Qd>(
+        &v100,
+        512,
+        &QrOptions {
+            tiles: 4,
+            tile_size: 128,
+        },
+    );
+    let w = small.stage(STAGE_COMPUTE_W).unwrap().kernel_ms;
+    for s in small.stages() {
+        assert!(
+            s.kernel_ms <= w + 1e-9,
+            "at 512, {} ({:.1} ms) beats compute W ({:.1} ms)",
+            s.name,
+            s.kernel_ms,
+            w
+        );
+    }
+    let big = qr_model_profile::<Qd>(
+        &v100,
+        2048,
+        &QrOptions {
+            tiles: 16,
+            tile_size: 128,
+        },
+    );
+    let mut by_time: Vec<_> = big.stages().iter().collect();
+    by_time.sort_by(|a, b| b.kernel_ms.total_cmp(&a.kernel_ms));
+    let top2: Vec<&str> = by_time[..2].iter().map(|s| s.name.as_str()).collect();
+    assert!(
+        top2.contains(&STAGE_QWYT) && top2.contains(&STAGE_YWTC),
+        "top stages at 2048: {top2:?}"
+    );
+}
+
+/// Claim 7 (§4.8, Figure 5): the roofline dots move up and to the right
+/// as the tile size grows.
+#[test]
+fn roofline_moves_up_right() {
+    let v100 = Gpu::v100();
+    let pts: Vec<RooflinePoint> = (1..=8)
+        .map(|k| {
+            let n = 32 * k;
+            RooflinePoint::from_profile(
+                n,
+                &backsub_model_profile::<Qd>(
+                    &v100,
+                    &BacksubOptions {
+                        tiles: 80,
+                        tile_size: n,
+                    },
+                ),
+            )
+        })
+        .collect();
+    for w in pts.windows(2) {
+        assert!(
+            w[1].intensity > w[0].intensity,
+            "intensity not increasing at n = {}",
+            w[1].label
+        );
+        assert!(
+            w[1].gflops > w[0].gflops,
+            "gflops not increasing at n = {}",
+            w[1].label
+        );
+    }
+}
+
+/// Claim 8 (Table 7): the octo double 20,480 back substitution blows past
+/// the host's RAM, wrecking the wall clock but not the kernel times.
+#[test]
+fn octo_double_ram_outlier() {
+    let v100 = Gpu::v100();
+    let qd = backsub_model_profile::<Qd>(
+        &v100,
+        &BacksubOptions {
+            tiles: 160,
+            tile_size: 128,
+        },
+    );
+    let od = backsub_model_profile::<Od>(
+        &v100,
+        &BacksubOptions {
+            tiles: 160,
+            tile_size: 128,
+        },
+    );
+    // kernels scale by the arithmetic; the wall clock explodes with swap
+    let kernel_ratio = od.all_kernels_ms() / qd.all_kernels_ms();
+    let wall_ratio = od.wall_ms() / qd.wall_ms();
+    assert!(kernel_ratio < 6.0, "kernel ratio {kernel_ratio:.1}");
+    assert!(wall_ratio > 10.0, "wall ratio {wall_ratio:.1} (no swap blowup)");
+}
+
+/// Claim 9 (§4.3): the V100/P100 total-kernel ratio of the QR is in the
+/// neighbourhood of the 1.68 peak-performance ratio.
+#[test]
+fn v100_over_p100_near_peak_ratio() {
+    let p = qr1024::<Dd>(&Gpu::p100()).all_kernels_ms();
+    let v = qr1024::<Dd>(&Gpu::v100()).all_kernels_ms();
+    let ratio = p / v;
+    assert!(
+        (1.2..2.4).contains(&ratio),
+        "P100/V100 kernel ratio {ratio:.2} far from 1.68"
+    );
+}
