@@ -54,23 +54,15 @@ pub fn backsub_on_sim<S: MdScalar>(
     assert_eq!(x.len(), opts.dim());
 
     // 1. invert all diagonal tiles: N blocks of n threads
-    sim.launch(
-        STAGE_INVERT,
-        nt,
-        n,
-        cost::invert_cost::<S>(nt, n),
-        |ctx| kernels::invert_tile_block(ctx, u, n),
-    );
+    sim.launch(STAGE_INVERT, nt, n, cost::invert_cost::<S>(nt, n), |ctx| {
+        kernels::invert_tile_block(ctx, u, n)
+    });
 
     // 2. alternate multiplies and updates
     for i in (0..nt).rev() {
-        sim.launch(
-            STAGE_MULTIPLY,
-            1,
-            n,
-            cost::multiply_cost::<S>(n),
-            |ctx| kernels::multiply_inverse_block(ctx, u, b, x, i, n),
-        );
+        sim.launch(STAGE_MULTIPLY, 1, n, cost::multiply_cost::<S>(n), |ctx| {
+            kernels::multiply_inverse_block(ctx, u, b, x, i, n)
+        });
         if i > 0 {
             // the paper counts each b_j update as its own launch while
             // executing the i blocks of one step simultaneously
@@ -196,10 +188,7 @@ mod tests {
         let u = mdls_matrix::well_conditioned_upper::<Dd, _>(20, &mut rng);
         let b: Vec<Dd> = mdls_matrix::random_vector(20, &mut rng);
         let run = backsub(&Gpu::v100(), ExecMode::Sequential, &u, &b, &opts);
-        assert_eq!(
-            run.profile.total_launches(),
-            crate::cost::total_launches(5)
-        );
+        assert_eq!(run.profile.total_launches(), crate::cost::total_launches(5));
         // the three stages of the paper's tables are all present
         assert!(run.profile.stage(STAGE_INVERT).is_some());
         assert!(run.profile.stage(STAGE_MULTIPLY).is_some());

@@ -100,7 +100,7 @@ mod tests {
     use super::*;
     use gpusim::{ExecMode, Gpu, Sim};
     use mdls_matrix::HostMat;
-    use multidouble::{MdReal, Qd};
+    use multidouble::Qd;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

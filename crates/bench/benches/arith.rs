@@ -10,7 +10,9 @@ use std::hint::black_box;
 
 fn pairs<S: MdScalar>(n: usize, seed: u64) -> Vec<(S, S)> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| (S::rand(&mut rng), S::rand(&mut rng))).collect()
+    (0..n)
+        .map(|_| (S::rand(&mut rng), S::rand(&mut rng)))
+        .collect()
 }
 
 fn bench_ops(c: &mut Criterion) {

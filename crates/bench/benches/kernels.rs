@@ -24,7 +24,14 @@ fn bench_qr(c: &mut Criterion) {
         tile_size: 16,
     };
     g.bench_function("dd 64x64 (4x16)", |b| {
-        b.iter(|| black_box(qr_decompose(&Gpu::v100(), ExecMode::Sequential, &a_dd, &opts)))
+        b.iter(|| {
+            black_box(qr_decompose(
+                &Gpu::v100(),
+                ExecMode::Sequential,
+                &a_dd,
+                &opts,
+            ))
+        })
     });
     let a_qd = HostMat::<Qd>::random(32, 32, &mut rng);
     let opts_qd = QrOptions {
@@ -32,7 +39,14 @@ fn bench_qr(c: &mut Criterion) {
         tile_size: 16,
     };
     g.bench_function("qd 32x32 (2x16)", |b| {
-        b.iter(|| black_box(qr_decompose(&Gpu::v100(), ExecMode::Sequential, &a_qd, &opts_qd)))
+        b.iter(|| {
+            black_box(qr_decompose(
+                &Gpu::v100(),
+                ExecMode::Sequential,
+                &a_qd,
+                &opts_qd,
+            ))
+        })
     });
     g.finish();
 }

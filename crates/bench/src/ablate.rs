@@ -47,11 +47,7 @@ pub fn smem_ablation() -> TextTable {
         let (reg, smem) = f(&v100);
         t.row(
             tag,
-            vec![
-                fmt_ms(reg),
-                fmt_ms(smem),
-                format!("{:.2}", reg / smem),
-            ],
+            vec![fmt_ms(reg), fmt_ms(smem), format!("{:.2}", reg / smem)],
         );
     }
     t
@@ -65,7 +61,8 @@ pub fn invert_ablation() -> TextTable {
         "Ablation — parallel tile inversion vs serialized diagonal divisions, qd, V100 (modeled ms)",
         "N x n",
     );
-    t.col("invert tiles (80 blocks)").col("serial diagonal (1 block)");
+    t.col("invert tiles (80 blocks)")
+        .col("serial diagonal (1 block)");
     for (tiles, n) in [(80usize, 64usize), (80, 128), (80, 256)] {
         let inv = mdls_backsub::cost::invert_cost::<Qd>(tiles, n);
         let par = gpusim::model::kernel_ms(&v100, tiles, n, &inv);
@@ -99,7 +96,10 @@ mod tests {
         for (label, cells) in &t.rows {
             let par: f64 = cells[0].parse().unwrap();
             let ser: f64 = cells[1].parse().unwrap();
-            assert!(par < ser, "{label}: parallel {par} not faster than serial {ser}");
+            assert!(
+                par < ser,
+                "{label}: parallel {par} not faster than serial {ser}"
+            );
         }
     }
 }

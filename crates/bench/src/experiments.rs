@@ -64,7 +64,13 @@ pub fn qr_profile(gpu: &Gpu, prec: Prec, rows: usize, tiles: usize, tile: usize)
 
 /// Model-only complex QR profile (double double only is what Table 5 uses,
 /// but any precision works).
-pub fn qr_profile_complex(gpu: &Gpu, prec: Prec, rows: usize, tiles: usize, tile: usize) -> Profile {
+pub fn qr_profile_complex(
+    gpu: &Gpu,
+    prec: Prec,
+    rows: usize,
+    tiles: usize,
+    tile: usize,
+) -> Profile {
     let opts = QrOptions {
         tiles,
         tile_size: tile,
@@ -117,7 +123,10 @@ pub fn qr_stage_rows(t: &mut TextTable, profiles: &[Profile]) {
     }
     t.row_ms(
         "all kernels",
-        &profiles.iter().map(|p| p.all_kernels_ms()).collect::<Vec<_>>(),
+        &profiles
+            .iter()
+            .map(|p| p.all_kernels_ms())
+            .collect::<Vec<_>>(),
     );
     t.row_ms(
         "wall clock",
@@ -148,7 +157,10 @@ pub fn bs_stage_rows(t: &mut TextTable, profiles: &[Profile]) {
     }
     t.row_ms(
         "time spent by kernels",
-        &profiles.iter().map(|p| p.all_kernels_ms()).collect::<Vec<_>>(),
+        &profiles
+            .iter()
+            .map(|p| p.all_kernels_ms())
+            .collect::<Vec<_>>(),
     );
     t.row_ms(
         "wall clock time",
@@ -178,7 +190,8 @@ pub fn table1() -> TextTable {
         "op",
     );
     t.col("paper").col("split").col("fma");
-    let rows: [(&str, MeasuredCosts, fn(&multidouble::cost::OpCost) -> f64); 3] = [
+    type CostField = fn(&multidouble::cost::OpCost) -> f64;
+    let rows: [(&str, MeasuredCosts, CostField); 3] = [
         ("dd", measure_dd(), |c| c.add),
         ("qd", measure_qd(), |c| c.add),
         ("od", measure_od(), |c| c.add),
@@ -312,21 +325,11 @@ pub fn table4() -> Vec<TextTable> {
         let k8 = profiles[3].all_kernels_ms();
         t.row(
             "overhead 2d->4d",
-            vec![
-                "-".into(),
-                "-".into(),
-                fmt_ratio(k4 / k2),
-                "-".into(),
-            ],
+            vec!["-".into(), "-".into(), fmt_ratio(k4 / k2), "-".into()],
         );
         t.row(
             "overhead 4d->8d",
-            vec![
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                fmt_ratio(k8 / k4),
-            ],
+            vec!["-".into(), "-".into(), "-".into(), fmt_ratio(k8 / k4)],
         );
         out.push(t);
     }
@@ -495,7 +498,10 @@ pub fn table11() -> Vec<TextTable> {
         }
         t.row_ms(
             "QR kernel time",
-            &data.iter().map(|(q, _)| q.all_kernels_ms()).collect::<Vec<_>>(),
+            &data
+                .iter()
+                .map(|(q, _)| q.all_kernels_ms())
+                .collect::<Vec<_>>(),
         );
         t.row_ms(
             "QR wall time",
@@ -503,7 +509,10 @@ pub fn table11() -> Vec<TextTable> {
         );
         t.row_ms(
             "BS kernel time",
-            &data.iter().map(|(_, b)| b.all_kernels_ms()).collect::<Vec<_>>(),
+            &data
+                .iter()
+                .map(|(_, b)| b.all_kernels_ms())
+                .collect::<Vec<_>>(),
         );
         t.row_ms(
             "BS wall time",
@@ -511,7 +520,9 @@ pub fn table11() -> Vec<TextTable> {
         );
         t.row(
             "QR kernel flops",
-            data.iter().map(|(q, _)| fmt_gf(q.kernel_gflops())).collect(),
+            data.iter()
+                .map(|(q, _)| fmt_gf(q.kernel_gflops()))
+                .collect(),
         );
         t.row(
             "QR wall flops",
@@ -519,7 +530,9 @@ pub fn table11() -> Vec<TextTable> {
         );
         t.row(
             "BS kernel flops",
-            data.iter().map(|(_, b)| fmt_gf(b.kernel_gflops())).collect(),
+            data.iter()
+                .map(|(_, b)| fmt_gf(b.kernel_gflops()))
+                .collect(),
         );
         t.row(
             "BS wall flops",

@@ -179,15 +179,9 @@ mod tests {
 
     #[test]
     fn bar_chart_monotone_in_value() {
-        let s = log2_bar_chart(
-            "t",
-            &[("a".into(), 100.0), ("b".into(), 800.0)],
-        );
+        let s = log2_bar_chart("t", &[("a".into(), 100.0), ("b".into(), 800.0)]);
         let lines: Vec<&str> = s.lines().collect();
-        let bars: Vec<usize> = lines[1..]
-            .iter()
-            .map(|l| l.matches('#').count())
-            .collect();
+        let bars: Vec<usize> = lines[1..].iter().map(|l| l.matches('#').count()).collect();
         // 800 = 100 * 2^3: three more doublings -> longer bar
         assert!(bars[1] > bars[0]);
     }

@@ -9,6 +9,7 @@ pub mod ablate;
 pub mod experiments;
 pub mod figures;
 pub mod tables;
+pub mod throughput;
 pub mod verify;
 
 pub use tables::TextTable;

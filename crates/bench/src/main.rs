@@ -7,10 +7,11 @@
 //!   verify              functional runs with residual checks
 //!   ablate-smem         shared-memory ablation
 //!   ablate-invert       tile-inversion ablation
+//!   throughput          batched pipeline: scaling, batch depth, planner
 //!   all                 everything, in paper order
 //! ```
 
-use mdls_bench::{ablate, experiments as ex, figures, verify};
+use mdls_bench::{ablate, experiments as ex, figures, throughput, verify};
 
 fn print_tables(ts: &[mdls_bench::TextTable]) {
     for t in ts {
@@ -39,11 +40,33 @@ fn run(cmd: &str) -> bool {
         "verify" => println!("{}", verify::report()),
         "ablate-smem" => println!("{}", ablate::smem_ablation().render()),
         "ablate-invert" => println!("{}", ablate::invert_ablation().render()),
+        "throughput" => {
+            println!("{}", throughput::throughput_scaling().render());
+            println!("{}", throughput::batch_size_sweep().render());
+            println!("{}", throughput::planner_choices().render());
+        }
         "all" => {
             for c in [
-                "table1", "table2", "table3", "table4", "fig1", "table5", "table6", "fig2",
-                "table7", "fig3", "table8", "table9", "fig4", "table10", "fig5", "table11",
-                "ablate-smem", "ablate-invert", "verify",
+                "table1",
+                "table2",
+                "table3",
+                "table4",
+                "fig1",
+                "table5",
+                "table6",
+                "fig2",
+                "table7",
+                "fig3",
+                "table8",
+                "table9",
+                "fig4",
+                "table10",
+                "fig5",
+                "table11",
+                "ablate-smem",
+                "ablate-invert",
+                "throughput",
+                "verify",
             ] {
                 run(c);
             }
@@ -56,7 +79,7 @@ fn run(cmd: &str) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <table1..table11 | fig1..fig5 | verify | ablate-smem | ablate-invert | all>");
+        eprintln!("usage: repro <table1..table11 | fig1..fig5 | verify | ablate-smem | ablate-invert | throughput | all>");
         std::process::exit(2);
     }
     for a in &args {

@@ -95,7 +95,13 @@ pub fn run_all() -> Vec<Check> {
         lstsq_check::<Complex<Dd>>("least squares complex 2d, dim 32 (2x16)", 32, 2, 1e-26, 5),
         qr_check::<Dd>("QR orthogonality 2d, dim 64 (4x16)", 64, 4, 1e-27, 6),
         qr_check::<Qd>("QR orthogonality 4d, dim 32 (2x16)", 32, 2, 1e-57, 7),
-        qr_check::<Complex<Qd>>("QR orthogonality complex 4d, dim 24 (2x12)", 24, 2, 1e-56, 8),
+        qr_check::<Complex<Qd>>(
+            "QR orthogonality complex 4d, dim 24 (2x12)",
+            24,
+            2,
+            1e-56,
+            8,
+        ),
         bs_check::<Dd>("back substitution 2d, dim 128 (8x16)", 8, 16, 1e-26, 9),
         bs_check::<Qd>("back substitution 4d, dim 96 (6x16)", 6, 16, 1e-55, 10),
         bs_check::<Od>("back substitution 8d, dim 32 (4x8)", 4, 8, 1e-112, 11),

@@ -44,6 +44,17 @@ impl Default for LstsqOptions {
 }
 
 impl LstsqOptions {
+    /// Options for an explicit tiling — the constructor planners use
+    /// (the pipeline crate picks `tiles`/`tile_size` from the cost model
+    /// instead of hard-coding the paper's 8 × 128).
+    pub fn tiled(tiles: usize, tile_size: usize, mode: ExecMode) -> Self {
+        LstsqOptions {
+            tiles,
+            tile_size,
+            mode,
+        }
+    }
+
     /// Number of unknowns `N · n`.
     pub fn cols(&self) -> usize {
         self.tiles * self.tile_size
@@ -85,19 +96,25 @@ fn qtb_kernel<S: MdScalar>(
         ..OpCounts::ZERO
     };
     let cost = KernelCost::of::<S>(ops, (m * cols + m) as u64, cols as u64);
-    sim.launch(STAGE_QTB, cols.div_ceil(block).max(1), block, cost, |ctx: BlockCtx| {
-        for t in ctx.thread_ids() {
-            let j = ctx.global_tid(t);
-            if j >= cols {
-                continue;
+    sim.launch(
+        STAGE_QTB,
+        cols.div_ceil(block).max(1),
+        block,
+        cost,
+        |ctx: BlockCtx| {
+            for t in ctx.thread_ids() {
+                let j = ctx.global_tid(t);
+                if j >= cols {
+                    continue;
+                }
+                let mut acc = S::zero();
+                for i in 0..m {
+                    acc += q.get(i, j).conj() * b.get(i);
+                }
+                out.set(j, acc);
             }
-            let mut acc = S::zero();
-            for i in 0..m {
-                acc += q.get(i, j).conj() * b.get(i);
-            }
-            out.set(j, acc);
-        }
-    });
+        },
+    );
 }
 
 /// Copy the top `cols × cols` block of `R` into a square matrix for the
@@ -111,17 +128,23 @@ fn copy_r_square<S: MdScalar>(
 ) {
     let elems = (cols * (cols + 1) / 2) as u64;
     let cost = KernelCost::of::<S>(OpCounts::ZERO, elems, elems);
-    sim.launch("copy R", cols.div_ceil(block).max(1), block, cost, |ctx: BlockCtx| {
-        for t in ctx.thread_ids() {
-            let c = ctx.global_tid(t);
-            if c >= cols {
-                continue;
+    sim.launch(
+        "copy R",
+        cols.div_ceil(block).max(1),
+        block,
+        cost,
+        |ctx: BlockCtx| {
+            for t in ctx.thread_ids() {
+                let c = ctx.global_tid(t);
+                if c >= cols {
+                    continue;
+                }
+                for row in 0..=c {
+                    u.set(row, c, r.get(row, c));
+                }
             }
-            for row in 0..=c {
-                u.set(row, c, r.get(row, c));
-            }
-        }
-    });
+        },
+    );
 }
 
 /// Solve `A x = b` in the least squares sense.
@@ -190,12 +213,21 @@ pub fn lstsq<S: MdScalar>(gpu: &Gpu, a: &HostMat<S>, b: &[S], opts: &LstsqOption
 
 /// Model-only solver profiles `(qr, back substitution)` for a square
 /// `dim × dim` system — the Table 11 generator at paper dimensions.
-pub fn lstsq_model_profiles<S: MdScalar>(
+pub fn lstsq_model_profiles<S: MdScalar>(gpu: &Gpu, opts: &LstsqOptions) -> (Profile, Profile) {
+    lstsq_model_profiles_rect::<S>(gpu, opts.cols(), opts)
+}
+
+/// Model-only solver profiles for a rectangular `rows × N·n` system
+/// (`rows ≥ N·n`). This is the planner's cost oracle: no host data, no
+/// device storage, just the analytic launch sequence of a full solve.
+pub fn lstsq_model_profiles_rect<S: MdScalar>(
     gpu: &Gpu,
+    rows: usize,
     opts: &LstsqOptions,
 ) -> (Profile, Profile) {
     let cols = opts.cols();
-    let m = cols;
+    assert!(rows >= cols, "least squares needs rows >= cols");
+    let m = rows;
     let sim = Sim::new(gpu.clone(), ExecMode::ModelOnly);
     let qr_opts = QrOptions {
         tiles: opts.tiles,
@@ -216,7 +248,13 @@ pub fn lstsq_model_profiles<S: MdScalar>(
         tiles: opts.tiles,
         tile_size: opts.tile_size,
     };
-    backsub_on_sim(&sim, &st.r, &dqtb, &dx, &bs_opts);
+    if m == cols {
+        backsub_on_sim(&sim, &st.r, &dqtb, &dx, &bs_opts);
+    } else {
+        let u = sim.alloc_mat::<S>(cols, cols);
+        copy_r_square(&sim, &st.r, &u, cols, opts.tile_size);
+        backsub_on_sim(&sim, &u, &dqtb, &dx, &bs_opts);
+    }
     sim.record_transfer((cols * S::BYTES) as u64);
     (qr_profile, sim.profile())
 }
@@ -339,6 +377,30 @@ mod tests {
         let total = run.total_profile();
         let sum = run.qr_profile.all_kernels_ms() + run.bs_profile.all_kernels_ms();
         assert!((total.all_kernels_ms() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rect_model_profile_matches_functional_accounting() {
+        // the planner's cost oracle must charge exactly what a real
+        // (functional) solve of the same tall shape records
+        let mut rng = StdRng::seed_from_u64(307);
+        let opts = LstsqOptions {
+            tiles: 2,
+            tile_size: 4,
+            mode: ExecMode::Sequential,
+        };
+        let m = 16;
+        let a = HostMat::<Qd>::random(m, opts.cols(), &mut rng);
+        let b: Vec<Qd> = mdls_matrix::random_vector(m, &mut rng);
+        let run = lstsq(&Gpu::v100(), &a, &b, &opts);
+        let (qr, bs) = lstsq_model_profiles_rect::<Qd>(&Gpu::v100(), m, &opts);
+        assert_eq!(qr.all_kernels_ms(), run.qr_profile.all_kernels_ms());
+        assert_eq!(bs.all_kernels_ms(), run.bs_profile.all_kernels_ms());
+        assert_eq!(bs.total_flops_paper(), run.bs_profile.total_flops_paper());
+        // the wall clock is what the pipeline's scheduler books onto
+        // device clocks — the oracle must match it exactly too
+        assert_eq!(qr.wall_ms(), run.qr_profile.wall_ms());
+        assert_eq!(bs.wall_ms(), run.bs_profile.wall_ms());
     }
 
     #[test]

@@ -209,6 +209,34 @@ impl Gpu {
         }
     }
 
+    /// Ampere A100 (SXM4 40 GB) — not part of the paper's Table 2, but
+    /// the natural next device for the batched pipeline's device pools.
+    /// Spec-sheet constants: 9.7 TFLOPS FP64 (non-tensor), 1555 GB/s
+    /// HBM2e; ILP/efficiency constants extrapolated from the V100 (same
+    /// 64-core FP64-capable SM organisation, one generation newer).
+    pub fn a100() -> Gpu {
+        Gpu {
+            name: "A100",
+            cuda_capability: "8.0",
+            multiprocessors: 108,
+            cores_per_mp: 64,
+            ghz: 1.41,
+            host_cpu: "AMD EPYC 7742",
+            host_ghz: 2.25,
+            host_os: HostOs::Linux,
+            peak_dp_gflops: 9700.0,
+            mem_bw_gbs: 1555.0,
+            pcie_gbs: 10.0,
+            host_ram_gb: 256.0,
+            launch_gap_us: 4.0,
+            kernel_base_us: 6.0,
+            mem_eff: 0.82,
+            ilp_base: 0.145,
+            ilp_slope: 0.0045,
+            host_overhead_ms: 10.0,
+        }
+    }
+
     /// All five devices, oldest first (the paper's Table 2 order).
     pub fn all() -> Vec<Gpu> {
         vec![
@@ -225,11 +253,13 @@ impl Gpu {
         vec![Gpu::rtx2080(), Gpu::p100(), Gpu::v100()]
     }
 
-    /// Look up a device by (case-insensitive) name.
+    /// Look up a device by (case-insensitive) name — the paper's five
+    /// plus the pool-era A100.
     pub fn by_name(name: &str) -> Option<Gpu> {
         let lower = name.to_ascii_lowercase().replace(' ', "");
         Gpu::all()
             .into_iter()
+            .chain([Gpu::a100()])
             .find(|g| g.name.to_ascii_lowercase().replace(' ', "") == lower)
     }
 }
@@ -264,6 +294,17 @@ mod tests {
     fn lookup_by_name() {
         assert_eq!(Gpu::by_name("v100").unwrap().name, "V100");
         assert_eq!(Gpu::by_name("RTX2080").unwrap().name, "RTX 2080");
+        assert_eq!(Gpu::by_name("a100").unwrap().name, "A100");
         assert!(Gpu::by_name("H100").is_none());
+    }
+
+    #[test]
+    fn a100_extends_but_does_not_join_table2() {
+        // Table 2 stays the paper's five devices
+        assert_eq!(Gpu::all().len(), 5);
+        assert!(Gpu::all().iter().all(|g| g.name != "A100"));
+        let a = Gpu::a100();
+        assert_eq!(a.cores(), 6912);
+        assert!(a.peak_dp_gflops > Gpu::v100().peak_dp_gflops);
     }
 }

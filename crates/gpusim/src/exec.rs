@@ -147,9 +147,11 @@ impl Sim {
                     }
                 } else {
                     let next = std::sync::atomic::AtomicUsize::new(0);
-                    crossbeam::scope(|scope| {
+                    let body = &body;
+                    let next = &next;
+                    std::thread::scope(|scope| {
                         for _ in 0..workers {
-                            scope.spawn(|_| loop {
+                            scope.spawn(move || loop {
                                 let b = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                                 if b >= grid {
                                     break;
@@ -161,8 +163,7 @@ impl Sim {
                                 });
                             });
                         }
-                    })
-                    .expect("block worker panicked");
+                    });
                 }
             }
         }

@@ -159,11 +159,7 @@ mod tests {
     #[test]
     fn efficiency_grows_with_planes() {
         for g in [Gpu::rtx2080(), Gpu::v100()] {
-            assert!(
-                ilp_efficiency(&g, 8) > ilp_efficiency(&g, 2),
-                "{}",
-                g.name
-            );
+            assert!(ilp_efficiency(&g, 8) > ilp_efficiency(&g, 2), "{}", g.name);
         }
     }
 }

@@ -38,9 +38,7 @@ pub fn well_conditioned_upper<S: MdScalar, R: Rng + ?Sized>(n: usize, rng: &mut 
 /// ill-conditioned example used by the precision-ladder example to show
 /// why multiple double precision earns its keep.
 pub fn hilbert<S: MdScalar>(n: usize) -> HostMat<S> {
-    HostMat::from_fn(n, n, |i, j| {
-        S::one() / S::from_f64((i + j + 1) as f64)
-    })
+    HostMat::from_fn(n, n, |i, j| S::one() / S::from_f64((i + j + 1) as f64))
 }
 
 /// Crude 2-norm condition estimate by power iteration on `A^H A` and

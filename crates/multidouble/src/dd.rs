@@ -152,8 +152,8 @@ impl Dd {
     /// π to double double accuracy (QDlib constant).
     #[allow(clippy::approx_constant)]
     pub const PI: Dd = Dd {
-        hi: 3.141592653589793116e+00,
-        lo: 1.224646799147353207e-16,
+        hi: 3.141_592_653_589_793,
+        lo: 1.224_646_799_147_353_2e-16,
     };
 
     /// Build from a pair of doubles, renormalizing.

@@ -170,7 +170,7 @@ mod tests {
     fn exact_total(x: &[f64]) -> crate::od::Od {
         let mut s = crate::od::Od::ZERO;
         for &v in x {
-            s = s + crate::od::Od::from_f64(v);
+            s += crate::od::Od::from_f64(v);
         }
         s
     }
@@ -190,7 +190,13 @@ mod tests {
     fn renormalize_compacts_to_nonoverlapping() {
         let mut s = Scratch::<f64>::new();
         // a deliberately overlapping pile of terms
-        for t in [1.0, 2f64.powi(-30), 2f64.powi(-31), 2f64.powi(-90), 2f64.powi(-140)] {
+        for t in [
+            1.0,
+            2f64.powi(-30),
+            2f64.powi(-31),
+            2f64.powi(-90),
+            2f64.powi(-140),
+        ] {
             s.push(t);
         }
         let mut out = [0.0; 4];

@@ -17,7 +17,7 @@ pub fn pow10<T: MdReal>(e: i32) -> T {
     let mut acc = T::one();
     while n > 0 {
         if n & 1 == 1 {
-            acc = acc * base;
+            acc *= base;
         }
         base = base * base;
         n >>= 1;
@@ -37,7 +37,11 @@ pub fn to_decimal<T: MdReal>(x: T, ndigits: usize) -> String {
         return "NaN".into();
     }
     if hi.is_infinite() {
-        return if hi > 0.0 { "inf".into() } else { "-inf".into() };
+        return if hi > 0.0 {
+            "inf".into()
+        } else {
+            "-inf".into()
+        };
     }
     if x == T::zero() {
         return format!("{:.*}e+00", ndigits.saturating_sub(1), 0.0);
@@ -46,15 +50,15 @@ pub fn to_decimal<T: MdReal>(x: T, ndigits: usize) -> String {
     let mut r = x.abs();
     let mut e10 = hi.abs().log10().floor() as i32;
     // normalize r into [1, 10)
-    r = r * pow10::<T>(-e10);
+    r *= pow10::<T>(-e10);
     let ten = T::from_f64(10.0);
     let one = T::one();
     while r >= ten {
-        r = r / ten;
+        r /= ten;
         e10 += 1;
     }
     while r < one {
-        r = r * ten;
+        r *= ten;
         e10 -= 1;
     }
 

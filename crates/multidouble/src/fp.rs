@@ -131,7 +131,7 @@ mod tests {
     #[test]
     fn two_prod_split_matches_fma() {
         let cases = [
-            (3.1415926535897931, 2.7182818284590451),
+            (std::f64::consts::PI, std::f64::consts::E),
             (1.0e8 + 7.0, 1.0e-8 + 3.0e-17),
             (-123456.789, 0.000123456789),
         ];

@@ -205,7 +205,7 @@ pub struct Od(pub [f64; 8]);
 
 impl Od {
     /// Unit roundoff of octo double: `2^-424`.
-    pub const EPSILON: f64 = 1.4437229004430901e-128;
+    pub const EPSILON: f64 = 1.443_722_900_443_09e-128;
 
     /// The value zero.
     pub const ZERO: Od = Od([0.0; 8]);
@@ -376,7 +376,7 @@ mod tests {
         for i in 0..8 {
             let p = 2f64.powi(-(60 * i as i32));
             want[i] = p;
-            s = s + Od::from_f64(p);
+            s += Od::from_f64(p);
         }
         assert_eq!(s.0, want);
     }
@@ -384,7 +384,12 @@ mod tests {
     #[test]
     fn mul_matches_qd_at_qd_precision() {
         let a = Qd::PI;
-        let b = Qd([1.0 / 7.0, 7.93016446160826e-18, 9.154059786546312e-35, -9.434636863305835e-52]);
+        let b = Qd([
+            1.0 / 7.0,
+            7.93016446160826e-18,
+            9.154059786546312e-35,
+            -9.434636863305835e-52,
+        ]);
         let od_prod = Od::from_qd(a) * Od::from_qd(b);
         let qd_prod = a * b;
         let diff = (od_prod - Od::from_qd(qd_prod)).abs().to_f64();

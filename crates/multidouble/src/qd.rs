@@ -254,10 +254,10 @@ impl Qd {
     /// π to quad double accuracy (QDlib constant).
     #[allow(clippy::approx_constant)]
     pub const PI: Qd = Qd([
-        3.141592653589793116e+00,
-        1.224646799147353207e-16,
-        -2.994769809718339666e-33,
-        1.112454220863365282e-49,
+        3.141_592_653_589_793,
+        1.224_646_799_147_353_2e-16,
+        -2.994_769_809_718_339_7e-33,
+        1.112_454_220_863_365_3e-49,
     ]);
 
     /// Convert a double exactly.
@@ -419,7 +419,12 @@ mod tests {
     #[test]
     fn mul_div_roundtrip() {
         let a = Qd::PI;
-        let b = Qd([1.0 / 3.0, -1.850371707708594e-17, 1.0271626370065257e-33, -5.7005748537714954e-50]);
+        let b = Qd([
+            1.0 / 3.0,
+            -1.850371707708594e-17,
+            1.0271626370065257e-33,
+            -5.700_574_853_771_496e-50,
+        ]);
         let q = (a * b) / b;
         assert!(close(q, a, 16.0), "q = {q:?}");
     }

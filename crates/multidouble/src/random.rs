@@ -15,7 +15,7 @@ pub fn rand_real<T: MdReal, R: Rng + ?Sized>(rng: &mut R) -> T {
     let mut scale = 1.0f64;
     for _ in 0..T::LIMBS {
         let u: f64 = rng.random_range(-1.0..1.0);
-        acc = acc + T::from_f64(u).mul_pwr2(scale);
+        acc += T::from_f64(u).mul_pwr2(scale);
         scale *= 2f64.powi(-53);
     }
     acc

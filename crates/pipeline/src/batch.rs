@@ -1,0 +1,286 @@
+//! The batched solve service: plan, schedule, execute, aggregate.
+//!
+//! [`solve_batch`] is the pipeline's public entry point: it takes a
+//! device pool and a batch of [`Job`]s, schedules every job greedily
+//! over the pool (see [`crate::scheduler`]), runs each solve
+//! *functionally* through [`mdls_core::lstsq`] at the planned precision
+//! and tiling, and returns per-job outcomes plus pool-level throughput.
+//!
+//! Numerics are exactly those of sequential `lstsq` calls: the planner
+//! only chooses options, and job solves are independent, so the batch
+//! results are bit-identical to solving each job alone with the same
+//! plan (asserted by the `tests/pipeline.rs` property test). Host-side
+//! worker threads only shorten *our* wall clock; simulated device time
+//! is unaffected.
+
+use gpusim::{ExecMode, Gpu};
+use mdls_core::lstsq;
+use mdls_matrix::{vec_norm2, HostMat};
+use multidouble::{Dd, MdReal, MdScalar, Od, Qd};
+
+use crate::job::{Job, Precision, Solution};
+use crate::planner::{Plan, Planner};
+use crate::pool::{DevicePool, DeviceStats};
+use crate::scheduler::{schedule, Dispatch, JobShape};
+
+/// Outcome of one job.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// The job's caller-chosen id.
+    pub job_id: u64,
+    /// Pool id of the device that ran the solve.
+    pub device: usize,
+    /// The plan the solve ran under.
+    pub plan: Plan,
+    /// The minimizer, at the planned precision.
+    pub x: Solution,
+    /// Relative residual `‖b − A x‖₂ / ‖b‖₂` (leading double).
+    pub residual: f64,
+    /// Simulated start time on the device, ms.
+    pub start_ms: f64,
+    /// Simulated completion time on the device, ms.
+    pub end_ms: f64,
+}
+
+/// Outcomes plus aggregates for one batch.
+///
+/// `makespan_ms` and `solves_per_sec` describe *this batch*: the
+/// simulated time at which its last job completes and this batch's
+/// jobs over that time. `device_stats` snapshots the pool, which is
+/// cumulative — reusing a pool across batches carries its clocks and
+/// counters forward (call [`DevicePool::reset`] between independent
+/// batches to start from idle).
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-job outcomes, in submission order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Simulated completion time of this batch's last job, ms.
+    pub makespan_ms: f64,
+    /// This batch's jobs per simulated second of `makespan_ms`.
+    pub solves_per_sec: f64,
+    /// Per-device snapshots of the (cumulative) pool state.
+    pub device_stats: Vec<DeviceStats>,
+    /// Number of distinct plans the planner computed (cache pressure).
+    pub distinct_plans: usize,
+}
+
+/// Promote an `f64` matrix into the working precision.
+fn promote_mat<S: MdScalar>(a: &HostMat<f64>) -> HostMat<S> {
+    HostMat::from_fn(a.rows, a.cols, |r, c| S::from_f64(a.get(r, c)))
+}
+
+/// Promote an `f64` vector into the working precision.
+fn promote_vec<S: MdScalar>(v: &[f64]) -> Vec<S> {
+    v.iter().map(|x| S::from_f64(*x)).collect()
+}
+
+fn solve_as<S: MdScalar>(gpu: &Gpu, job: &Job, plan: &Plan) -> (Vec<S>, f64) {
+    let a = promote_mat::<S>(&job.a);
+    let b = promote_vec::<S>(&job.b);
+    let run = lstsq(gpu, &a, &b, &plan.options(ExecMode::Sequential));
+    let r = a.residual(&run.x, &b).to_f64();
+    let bn = vec_norm2(&b).to_f64();
+    let residual = if bn > 0.0 { r / bn } else { r };
+    (run.x, residual)
+}
+
+/// Run one job under an already-chosen plan on a device model. This is
+/// exactly what the batch executor does per job — exposed so callers
+/// (and the equivalence property test) can reproduce any batch result
+/// with a single sequential solve.
+pub fn solve_planned(gpu: &Gpu, job: &Job, plan: &Plan) -> (Solution, f64) {
+    match plan.precision {
+        Precision::D1 => {
+            let (x, r) = solve_as::<f64>(gpu, job, plan);
+            (Solution::D1(x), r)
+        }
+        Precision::D2 => {
+            let (x, r) = solve_as::<Dd>(gpu, job, plan);
+            (Solution::D2(x), r)
+        }
+        Precision::D4 => {
+            let (x, r) = solve_as::<Qd>(gpu, job, plan);
+            (Solution::D4(x), r)
+        }
+        Precision::D8 => {
+            let (x, r) = solve_as::<Od>(gpu, job, plan);
+            (Solution::D8(x), r)
+        }
+    }
+}
+
+/// Solve a batch of jobs over the pool, using up to
+/// `available_parallelism` host worker threads for the functional
+/// execution.
+pub fn solve_batch(pool: &mut DevicePool, jobs: &[Job]) -> BatchReport {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    solve_batch_with(pool, jobs, workers)
+}
+
+/// [`solve_batch`] with an explicit host worker-thread count
+/// (`host_threads = 1` executes jobs on the calling thread).
+pub fn solve_batch_with(pool: &mut DevicePool, jobs: &[Job], host_threads: usize) -> BatchReport {
+    let planner = Planner::new();
+    let shapes: Vec<JobShape> = jobs.iter().map(JobShape::from).collect();
+    let dispatches = schedule(pool, &planner, &shapes);
+
+    let mut outcomes: Vec<Option<JobOutcome>> = Vec::new();
+    outcomes.resize_with(jobs.len(), || None);
+    let outcomes_mx = std::sync::Mutex::new(outcomes);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let run_one = |i: usize| {
+        let d: &Dispatch = &dispatches[i];
+        let job = &jobs[i];
+        let (x, residual) = solve_planned(pool.gpu(d.device), job, &d.plan);
+        let outcome = JobOutcome {
+            job_id: job.id,
+            device: d.device,
+            plan: d.plan,
+            x,
+            residual,
+            start_ms: d.start_ms,
+            end_ms: d.end_ms,
+        };
+        outcomes_mx.lock().unwrap()[i] = Some(outcome);
+    };
+
+    let workers = host_threads.max(1).min(jobs.len().max(1));
+    if workers <= 1 {
+        for i in 0..jobs.len() {
+            run_one(i);
+        }
+    } else {
+        let run_one = &run_one;
+        let next = &next;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    run_one(i);
+                });
+            }
+        });
+    }
+
+    let outcomes: Vec<JobOutcome> = outcomes_mx
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|o| o.expect("every job executed"))
+        .collect();
+    // batch-relative aggregates: the completion time of *this* batch's
+    // last job, not the pool's cumulative clock
+    let makespan_ms = dispatches.iter().map(|d| d.end_ms).fold(0.0, f64::max);
+    let solves_per_sec = if makespan_ms > 0.0 {
+        outcomes.len() as f64 / (makespan_ms * 1.0e-3)
+    } else {
+        0.0
+    };
+    BatchReport {
+        makespan_ms,
+        solves_per_sec,
+        device_stats: pool.stats(),
+        distinct_plans: planner.cached_plans(),
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn little_jobs(count: usize, seed: u64) -> Vec<Job> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count as u64)
+            .map(|id| {
+                let n = [4, 6, 8][id as usize % 3];
+                let a = HostMat::<f64>::from_fn(n, n, |r, c| {
+                    let u: f64 = multidouble::random::rand_real(&mut rng);
+                    u + if r == c { 4.0 } else { 0.0 }
+                });
+                let b: Vec<f64> = (0..n)
+                    .map(|_| multidouble::random::rand_real(&mut rng))
+                    .collect();
+                Job {
+                    id,
+                    a,
+                    b,
+                    target_digits: [12, 25, 50][id as usize % 3],
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn residuals_meet_the_target_digits() {
+        let jobs = little_jobs(9, 77);
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 2);
+        let report = solve_batch(&mut pool, &jobs);
+        assert_eq!(report.outcomes.len(), 9);
+        for (job, out) in jobs.iter().zip(&report.outcomes) {
+            assert_eq!(job.id, out.job_id);
+            let bound = 10f64.powi(-(job.target_digits as i32));
+            assert!(
+                out.residual < bound,
+                "job {} residual {:e} above 1e-{}",
+                job.id,
+                out.residual,
+                job.target_digits
+            );
+            assert_eq!(out.x.len(), job.cols());
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_execution_agree() {
+        let jobs = little_jobs(12, 78);
+        let mut pool_a = DevicePool::homogeneous(&Gpu::v100(), 3);
+        let mut pool_b = DevicePool::homogeneous(&Gpu::v100(), 3);
+        let serial = solve_batch_with(&mut pool_a, &jobs, 1);
+        let parallel = solve_batch_with(&mut pool_b, &jobs, 4);
+        assert_eq!(serial.makespan_ms, parallel.makespan_ms);
+        for (s, p) in serial.outcomes.iter().zip(&parallel.outcomes) {
+            assert_eq!(s.x, p.x, "job {} diverged across host threads", s.job_id);
+            assert_eq!(s.device, p.device);
+        }
+    }
+
+    #[test]
+    fn ladder_assigns_increasing_precision() {
+        let jobs = little_jobs(3, 79); // digits 12, 25, 50
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+        let report = solve_batch(&mut pool, &jobs);
+        let rungs: Vec<Precision> = report.outcomes.iter().map(|o| o.x.precision()).collect();
+        assert_eq!(rungs, [Precision::D1, Precision::D2, Precision::D4]);
+    }
+
+    #[test]
+    fn reused_pool_reports_per_batch_aggregates() {
+        let jobs = little_jobs(4, 80);
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 2);
+        let first = solve_batch_with(&mut pool, &jobs, 1);
+        let second = solve_batch_with(&mut pool, &jobs, 1);
+        // clocks carry across batches: the second batch finishes later...
+        assert!(second.makespan_ms > first.makespan_ms);
+        // ...but its rate counts only its own four jobs over that time
+        let expect = 4.0 / (second.makespan_ms * 1.0e-3);
+        assert!((second.solves_per_sec - expect).abs() < 1e-9);
+        // the pool's cumulative view keeps both batches
+        assert_eq!(pool.total_solves(), 8);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 2);
+        let report = solve_batch(&mut pool, &[]);
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.makespan_ms, 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Jobs and solutions of the batched solve service.
+//!
+//! A [`Job`] arrives as hardware-double data plus an accuracy target in
+//! decimal digits — the shape of the paper's motivating workloads, where
+//! path trackers and power-flow embeddings produce `f64` systems whose
+//! *solves* need more precision than `f64` carries. The planner promotes
+//! the data to the cheapest precision of the d → dd → qd → od ladder
+//! that covers the target, so the solution comes back at a
+//! planner-chosen precision: the [`Solution`] enum.
+
+use mdls_matrix::HostMat;
+use multidouble::{Dd, Od, Qd};
+
+/// The four rungs of the working-precision ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Precision {
+    /// Hardware double (the paper's `1d`).
+    D1,
+    /// Double double (`2d`).
+    D2,
+    /// Quad double (`4d`).
+    D4,
+    /// Octo double (`8d`).
+    D8,
+}
+
+impl Precision {
+    /// All rungs, cheapest first.
+    pub const LADDER: [Precision; 4] = [Precision::D1, Precision::D2, Precision::D4, Precision::D8];
+
+    /// The paper's tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Precision::D1 => "1d",
+            Precision::D2 => "2d",
+            Precision::D4 => "4d",
+            Precision::D8 => "8d",
+        }
+    }
+
+    /// Number of `f64` limbs per real scalar.
+    pub fn limbs(self) -> usize {
+        match self {
+            Precision::D1 => 1,
+            Precision::D2 => 2,
+            Precision::D4 => 4,
+            Precision::D8 => 8,
+        }
+    }
+
+    /// Decimal digits a well-conditioned solve retains at this rung
+    /// (slightly conservative against the unit roundoffs ~1e-16 /
+    /// 1e-32 / 1e-64 / 1e-128, leaving headroom for accumulation).
+    pub fn digits(self) -> u32 {
+        match self {
+            Precision::D1 => 14,
+            Precision::D2 => 29,
+            Precision::D4 => 60,
+            Precision::D8 => 123,
+        }
+    }
+
+    /// Cheapest rung delivering `target_digits`; octo double is the
+    /// ceiling — targets beyond it saturate there.
+    pub fn for_digits(target_digits: u32) -> Precision {
+        Precision::LADDER
+            .into_iter()
+            .find(|p| p.digits() >= target_digits)
+            .unwrap_or(Precision::D8)
+    }
+}
+
+/// One least squares solve request: minimize `‖b − A x‖₂` to at least
+/// `target_digits` decimal digits.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Caller-chosen identifier, carried through to the outcome.
+    pub id: u64,
+    /// The `m × n` system matrix (`m ≥ n`), in hardware doubles.
+    pub a: HostMat<f64>,
+    /// Right hand side of length `m`.
+    pub b: Vec<f64>,
+    /// Required decimal digits of accuracy.
+    pub target_digits: u32,
+}
+
+impl Job {
+    /// Rows `m`.
+    pub fn rows(&self) -> usize {
+        self.a.rows
+    }
+
+    /// Columns (unknowns) `n`.
+    pub fn cols(&self) -> usize {
+        self.a.cols
+    }
+}
+
+/// A solution vector at the precision the planner chose.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Solution {
+    /// Hardware double solution.
+    D1(Vec<f64>),
+    /// Double double solution.
+    D2(Vec<Dd>),
+    /// Quad double solution.
+    D4(Vec<Qd>),
+    /// Octo double solution.
+    D8(Vec<Od>),
+}
+
+impl Solution {
+    /// The rung this solution was computed at.
+    pub fn precision(&self) -> Precision {
+        match self {
+            Solution::D1(_) => Precision::D1,
+            Solution::D2(_) => Precision::D2,
+            Solution::D4(_) => Precision::D4,
+            Solution::D8(_) => Precision::D8,
+        }
+    }
+
+    /// Number of unknowns.
+    pub fn len(&self) -> usize {
+        match self {
+            Solution::D1(x) => x.len(),
+            Solution::D2(x) => x.len(),
+            Solution::D4(x) => x.len(),
+            Solution::D8(x) => x.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Leading-double view of the solution (lossy for deep rungs).
+    pub fn leading_f64(&self) -> Vec<f64> {
+        match self {
+            Solution::D1(x) => x.clone(),
+            Solution::D2(x) => x.iter().map(|v| v.to_f64()).collect(),
+            Solution::D4(x) => x.iter().map(|v| v.to_f64()).collect(),
+            Solution::D8(x) => x.iter().map(|v| v.to_f64()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_selection_is_cheapest_sufficient() {
+        assert_eq!(Precision::for_digits(10), Precision::D1);
+        assert_eq!(Precision::for_digits(14), Precision::D1);
+        assert_eq!(Precision::for_digits(15), Precision::D2);
+        assert_eq!(Precision::for_digits(30), Precision::D4);
+        assert_eq!(Precision::for_digits(60), Precision::D4);
+        assert_eq!(Precision::for_digits(61), Precision::D8);
+        // beyond the ladder: saturate at octo double
+        assert_eq!(Precision::for_digits(500), Precision::D8);
+    }
+
+    #[test]
+    fn ladder_is_monotone() {
+        for w in Precision::LADDER.windows(2) {
+            assert!(w[0].digits() < w[1].digits());
+            assert!(w[0].limbs() < w[1].limbs());
+        }
+    }
+}

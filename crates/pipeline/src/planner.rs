@@ -1,0 +1,279 @@
+//! The planner: cost-model-driven autotuning of one solve.
+//!
+//! For a job `(m, n, target digits)` on a given device model the planner
+//! picks
+//!
+//! * the **precision rung** — cheapest of d → dd → qd → od that covers
+//!   the accuracy target ([`Precision::for_digits`]);
+//! * the **tiling** `(N, n)` with `N · n = cols` — by *running the
+//!   analytic cost model* ([`mdls_core::lstsq_model_profiles_rect`]) for
+//!   every candidate tiling and keeping the cheapest predicted wall
+//!   clock. The model already encodes the real trade-offs: small tiles
+//!   pay `1 + N(N+1)/2` launch gaps, oversized tiles lose occupancy
+//!   past the device's threads-per-block sweet spot, and the precision
+//!   rung moves kernels across the roofline's memory/compute boundary —
+//!   so the winning tiling legitimately differs per shape and device.
+//!
+//! Plans are memoized per `(device, rows, cols, precision)`: a batch of
+//! thousands of same-shaped jobs plans once.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use gpusim::{ExecMode, Gpu};
+use mdls_core::{lstsq_model_profiles_rect, LstsqOptions};
+use multidouble::{Dd, MdScalar, Od, Qd};
+
+use crate::job::Precision;
+
+/// A fully planned solve configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Plan {
+    /// Chosen precision rung.
+    pub precision: Precision,
+    /// Number of tiles `N`.
+    pub tiles: usize,
+    /// Tile size `n` (threads per block).
+    pub tile_size: usize,
+    /// Model-predicted wall clock of the solve on the target device, ms.
+    pub predicted_ms: f64,
+    /// Model-predicted kernel time (the paper's "all kernels" row), ms.
+    pub predicted_kernel_ms: f64,
+    /// Table 1 flops of the solve (device independent).
+    pub flops_paper: f64,
+}
+
+impl Plan {
+    /// Solver options realizing this plan.
+    pub fn options(&self, mode: ExecMode) -> LstsqOptions {
+        LstsqOptions::tiled(self.tiles, self.tile_size, mode)
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    device: &'static str,
+    /// Timing-model fingerprint: `Gpu` fields are public, so two
+    /// same-named devices may carry different calibration constants
+    /// (e.g. a derated clone) and must not share cached plans.
+    device_fp: u64,
+    rows: usize,
+    cols: usize,
+    precision: Precision,
+}
+
+/// Mix every timing-relevant device constant into one word.
+fn device_fingerprint(gpu: &Gpu) -> u64 {
+    let mut h: u64 = gpu.multiprocessors as u64 ^ ((gpu.cores_per_mp as u64) << 16);
+    for f in [
+        gpu.ghz,
+        gpu.peak_dp_gflops,
+        gpu.mem_bw_gbs,
+        gpu.pcie_gbs,
+        gpu.host_ram_gb,
+        gpu.launch_gap_us,
+        gpu.kernel_base_us,
+        gpu.mem_eff,
+        gpu.ilp_base,
+        gpu.ilp_slope,
+        gpu.host_overhead_ms,
+    ] {
+        h = h.rotate_left(7) ^ f.to_bits();
+    }
+    h
+}
+
+/// A memoizing planner. One planner is shared by a whole batch run.
+#[derive(Default)]
+pub struct Planner {
+    cache: Mutex<HashMap<PlanKey, Plan>>,
+}
+
+/// Hard ceiling on the tile size: one tile is one thread block, and no
+/// modeled device launches blocks wider than CUDA's 1024-thread limit.
+pub const MAX_TILE_SIZE: usize = 1024;
+
+/// Candidate tile sizes, largest first. Only divisors of the column
+/// count are usable (the tiling must satisfy `N · n = cols` exactly),
+/// and no candidate exceeds [`MAX_TILE_SIZE`]; the single-tile
+/// configuration is a candidate whenever it fits in one block.
+pub fn tile_candidates(cols: usize) -> Vec<usize> {
+    const PREFERRED: [usize; 16] = [256, 192, 128, 96, 64, 48, 32, 24, 16, 12, 8, 6, 4, 3, 2, 1];
+    let mut v: Vec<usize> = PREFERRED
+        .into_iter()
+        .filter(|&d| d <= cols && cols.is_multiple_of(d))
+        .collect();
+    if cols <= MAX_TILE_SIZE && !v.contains(&cols) {
+        v.insert(0, cols); // one tile of all columns
+    }
+    // tile size 1 always divides, so the list is never empty
+    v.truncate(8);
+    v
+}
+
+/// Model prediction for one candidate: `(wall ms, kernel ms, flops)`.
+fn predict(gpu: &Gpu, precision: Precision, rows: usize, opts: &LstsqOptions) -> (f64, f64, f64) {
+    fn run<S: MdScalar>(gpu: &Gpu, rows: usize, opts: &LstsqOptions) -> (f64, f64, f64) {
+        let (qr, bs) = lstsq_model_profiles_rect::<S>(gpu, rows, opts);
+        (
+            qr.wall_ms() + bs.wall_ms(),
+            qr.all_kernels_ms() + bs.all_kernels_ms(),
+            qr.total_flops_paper() + bs.total_flops_paper(),
+        )
+    }
+    match precision {
+        Precision::D1 => run::<f64>(gpu, rows, opts),
+        Precision::D2 => run::<Dd>(gpu, rows, opts),
+        Precision::D4 => run::<Qd>(gpu, rows, opts),
+        Precision::D8 => run::<Od>(gpu, rows, opts),
+    }
+}
+
+impl Planner {
+    /// Fresh planner with an empty memo table.
+    pub fn new() -> Self {
+        Planner::default()
+    }
+
+    /// Plan a solve of a `rows × cols` system to `target_digits` on
+    /// device `gpu`.
+    pub fn plan(&self, gpu: &Gpu, rows: usize, cols: usize, target_digits: u32) -> Plan {
+        assert!(cols > 0, "cannot plan an empty system");
+        assert!(rows >= cols, "least squares needs rows >= cols");
+        let precision = Precision::for_digits(target_digits);
+        let key = PlanKey {
+            device: gpu.name,
+            device_fp: device_fingerprint(gpu),
+            rows,
+            cols,
+            precision,
+        };
+        if let Some(p) = self.cache.lock().unwrap().get(&key) {
+            return *p;
+        }
+        let plan = plan_uncached(gpu, rows, cols, precision);
+        self.cache.lock().unwrap().insert(key, plan);
+        plan
+    }
+
+    /// Number of distinct plans computed so far.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+}
+
+fn plan_uncached(gpu: &Gpu, rows: usize, cols: usize, precision: Precision) -> Plan {
+    let mut best: Option<Plan> = None;
+    for tile_size in tile_candidates(cols) {
+        let tiles = cols / tile_size;
+        let opts = LstsqOptions::tiled(tiles, tile_size, ExecMode::ModelOnly);
+        let (ms, kernel_ms, flops) = predict(gpu, precision, rows, &opts);
+        if best.map(|b| ms < b.predicted_ms).unwrap_or(true) {
+            best = Some(Plan {
+                precision,
+                tiles,
+                tile_size,
+                predicted_ms: ms,
+                predicted_kernel_ms: kernel_ms,
+                flops_paper: flops,
+            });
+        }
+    }
+    best.expect("tile_candidates is never empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_tile_exactly() {
+        for cols in [1, 7, 24, 96, 128, 1000, 1366, 2048] {
+            let c = tile_candidates(cols);
+            assert!(!c.is_empty(), "no candidates for {cols}");
+            for ts in c {
+                assert_eq!(cols % ts, 0, "{ts} does not tile {cols}");
+                assert!(ts <= MAX_TILE_SIZE, "tile {ts} exceeds a thread block");
+            }
+        }
+    }
+
+    #[test]
+    fn no_plan_exceeds_the_block_limit() {
+        // 1366 = 2 * 683: the only launchable tilings are narrow; the
+        // planner must not fabricate a 1366-thread block
+        let plan = Planner::new().plan(&Gpu::v100(), 1366, 1366, 25);
+        assert!(plan.tile_size <= MAX_TILE_SIZE);
+        assert_eq!(plan.tiles * plan.tile_size, 1366);
+    }
+
+    #[test]
+    fn same_name_different_constants_do_not_share_plans() {
+        let planner = Planner::new();
+        let v100 = Gpu::v100();
+        let mut derated = Gpu::v100();
+        derated.peak_dp_gflops /= 4.0;
+        derated.mem_bw_gbs /= 4.0;
+        let a = planner.plan(&v100, 128, 128, 25);
+        let b = planner.plan(&derated, 128, 128, 25);
+        assert_eq!(planner.cached_plans(), 2, "derated clone hit the cache");
+        assert!(
+            b.predicted_ms > a.predicted_ms,
+            "derated V100 predicted no slower: {} vs {}",
+            b.predicted_ms,
+            a.predicted_ms
+        );
+    }
+
+    #[test]
+    fn plan_is_cheapest_candidate() {
+        let gpu = Gpu::v100();
+        let plan = Planner::new().plan(&gpu, 96, 96, 25);
+        assert_eq!(plan.precision, Precision::D2);
+        assert_eq!(plan.tiles * plan.tile_size, 96);
+        for ts in tile_candidates(96) {
+            let opts = LstsqOptions::tiled(96 / ts, ts, ExecMode::ModelOnly);
+            let (ms, _, _) = predict(&gpu, Precision::D2, 96, &opts);
+            assert!(
+                plan.predicted_ms <= ms + 1e-12,
+                "tiling {}x{ts} beats the plan ({ms} < {})",
+                96 / ts,
+                plan.predicted_ms
+            );
+        }
+    }
+
+    #[test]
+    fn plans_differ_across_shapes() {
+        // the acceptance bar: the cost model must steer different job
+        // shapes to different tile configurations
+        let gpu = Gpu::v100();
+        let planner = Planner::new();
+        let small = planner.plan(&gpu, 24, 24, 25);
+        let large = planner.plan(&gpu, 768, 768, 25);
+        assert_ne!(
+            (small.tiles, small.tile_size),
+            (large.tiles, large.tile_size),
+            "planner chose one tiling for very different shapes"
+        );
+    }
+
+    #[test]
+    fn memoization_hits() {
+        let planner = Planner::new();
+        let gpu = Gpu::v100();
+        let a = planner.plan(&gpu, 64, 64, 25);
+        let b = planner.plan(&gpu, 64, 64, 20); // same rung
+        assert_eq!(a, b);
+        assert_eq!(planner.cached_plans(), 1);
+        planner.plan(&gpu, 64, 64, 80); // deeper rung: new plan
+        assert_eq!(planner.cached_plans(), 2);
+    }
+
+    #[test]
+    fn prime_dimension_degrades_gracefully() {
+        let plan = Planner::new().plan(&Gpu::v100(), 37, 37, 10);
+        assert_eq!(plan.tiles * plan.tile_size, 37);
+        assert_eq!(plan.precision, Precision::D1);
+    }
+}

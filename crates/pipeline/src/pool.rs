@@ -1,0 +1,249 @@
+//! The device pool: N simulated GPUs with per-device simulated-time
+//! clocks and throughput aggregates.
+//!
+//! The pool is the pipeline's model of a multi-GPU server: every device
+//! owns a clock in *simulated* milliseconds (the analytic timing model's
+//! currency, not host wall time). Dispatching a job advances the chosen
+//! device's clock by the solve's modeled wall clock; the batch makespan
+//! is the maximum clock over the pool, and throughput is solves per
+//! simulated second of makespan.
+
+use gpusim::Gpu;
+
+/// One pooled device and its running aggregates.
+#[derive(Clone, Debug)]
+pub struct PoolDevice {
+    /// Pool-unique device id.
+    pub id: usize,
+    /// The device model (cloned into the pool, so heterogeneous pools
+    /// may mix V100s, A100s, …).
+    pub gpu: Gpu,
+    busy_until_ms: f64,
+    solves: u64,
+    kernel_ms: f64,
+    flops_paper: f64,
+}
+
+impl PoolDevice {
+    /// Simulated time at which this device becomes idle.
+    pub fn clock_ms(&self) -> f64 {
+        self.busy_until_ms
+    }
+
+    /// Number of solves dispatched to this device.
+    pub fn solves(&self) -> u64 {
+        self.solves
+    }
+}
+
+/// Throughput snapshot of one device, relative to a batch makespan.
+#[derive(Clone, Debug)]
+pub struct DeviceStats {
+    /// Pool-unique device id.
+    pub id: usize,
+    /// Device model name.
+    pub name: &'static str,
+    /// Solves completed.
+    pub solves: u64,
+    /// Simulated busy time, ms.
+    pub busy_ms: f64,
+    /// Busy fraction of the batch makespan (occupancy of the device).
+    pub utilization: f64,
+    /// Kernel-time gigaflops under the paper's reporting convention.
+    pub kernel_gflops: f64,
+    /// Solves per simulated second of busy time.
+    pub solves_per_busy_sec: f64,
+}
+
+/// A pool of simulated devices.
+#[derive(Clone, Debug, Default)]
+pub struct DevicePool {
+    devices: Vec<PoolDevice>,
+}
+
+impl DevicePool {
+    /// Pool over an explicit device list (heterogeneous pools allowed).
+    pub fn new(gpus: Vec<Gpu>) -> Self {
+        DevicePool {
+            devices: gpus
+                .into_iter()
+                .enumerate()
+                .map(|(id, gpu)| PoolDevice {
+                    id,
+                    gpu,
+                    busy_until_ms: 0.0,
+                    solves: 0,
+                    kernel_ms: 0.0,
+                    flops_paper: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Pool of `n` clones of one device model.
+    pub fn homogeneous(gpu: &Gpu, n: usize) -> Self {
+        DevicePool::new(std::iter::repeat_with(|| gpu.clone()).take(n).collect())
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when the pool has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The pooled devices.
+    pub fn devices(&self) -> &[PoolDevice] {
+        &self.devices
+    }
+
+    /// The device model behind pool id `id`.
+    pub fn gpu(&self, id: usize) -> &Gpu {
+        &self.devices[id].gpu
+    }
+
+    /// Id of the least-loaded device: the earliest-idle clock, ties to
+    /// the lowest id (deterministic dispatch).
+    pub fn least_loaded(&self) -> usize {
+        assert!(!self.devices.is_empty(), "empty device pool");
+        self.devices
+            .iter()
+            .min_by(|a, b| {
+                a.busy_until_ms
+                    .total_cmp(&b.busy_until_ms)
+                    .then(a.id.cmp(&b.id))
+            })
+            .unwrap()
+            .id
+    }
+
+    /// Commit one solve to device `id`: advance its clock by `wall_ms`
+    /// and fold the solve's accounting into the aggregates. Returns the
+    /// simulated `(start, end)` interval of the solve.
+    pub fn commit(
+        &mut self,
+        id: usize,
+        wall_ms: f64,
+        kernel_ms: f64,
+        flops_paper: f64,
+    ) -> (f64, f64) {
+        let d = &mut self.devices[id];
+        let start = d.busy_until_ms;
+        d.busy_until_ms += wall_ms;
+        d.solves += 1;
+        d.kernel_ms += kernel_ms;
+        d.flops_paper += flops_paper;
+        (start, d.busy_until_ms)
+    }
+
+    /// Batch makespan: the latest clock over the pool, ms.
+    pub fn makespan_ms(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(|d| d.busy_until_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total solves across the pool.
+    pub fn total_solves(&self) -> u64 {
+        self.devices.iter().map(|d| d.solves).sum()
+    }
+
+    /// Aggregate throughput: solves per simulated second of makespan.
+    pub fn solves_per_sec(&self) -> f64 {
+        let ms = self.makespan_ms();
+        if ms <= 0.0 {
+            return 0.0;
+        }
+        self.total_solves() as f64 / (ms * 1.0e-3)
+    }
+
+    /// Zero all clocks and aggregates (reuse the pool for a new batch).
+    pub fn reset(&mut self) {
+        for d in &mut self.devices {
+            d.busy_until_ms = 0.0;
+            d.solves = 0;
+            d.kernel_ms = 0.0;
+            d.flops_paper = 0.0;
+        }
+    }
+
+    /// Per-device throughput snapshots against the current makespan.
+    pub fn stats(&self) -> Vec<DeviceStats> {
+        let makespan = self.makespan_ms();
+        self.devices
+            .iter()
+            .map(|d| DeviceStats {
+                id: d.id,
+                name: d.gpu.name,
+                solves: d.solves,
+                busy_ms: d.busy_until_ms,
+                utilization: if makespan > 0.0 {
+                    d.busy_until_ms / makespan
+                } else {
+                    0.0
+                },
+                kernel_gflops: if d.kernel_ms > 0.0 {
+                    d.flops_paper / (d.kernel_ms * 1.0e-3) / 1.0e9
+                } else {
+                    0.0
+                },
+                solves_per_busy_sec: if d.busy_until_ms > 0.0 {
+                    d.solves as f64 / (d.busy_until_ms * 1.0e-3)
+                } else {
+                    0.0
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn least_loaded_prefers_earliest_then_lowest_id() {
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 3);
+        assert_eq!(pool.least_loaded(), 0);
+        pool.commit(0, 10.0, 8.0, 1.0e9);
+        assert_eq!(pool.least_loaded(), 1);
+        pool.commit(1, 4.0, 3.0, 1.0e9);
+        pool.commit(2, 4.0, 3.0, 1.0e9);
+        // devices 1 and 2 tie at 4.0 ms: lowest id wins
+        assert_eq!(pool.least_loaded(), 1);
+    }
+
+    #[test]
+    fn makespan_and_throughput() {
+        let mut pool = DevicePool::homogeneous(&Gpu::a100(), 2);
+        pool.commit(0, 100.0, 80.0, 1.0e9);
+        pool.commit(1, 250.0, 200.0, 2.0e9);
+        assert_eq!(pool.makespan_ms(), 250.0);
+        assert_eq!(pool.total_solves(), 2);
+        // 2 solves / 0.25 s = 8 solves/s
+        assert!((pool.solves_per_sec() - 8.0).abs() < 1e-12);
+        let stats = pool.stats();
+        assert!((stats[0].utilization - 0.4).abs() < 1e-12);
+        assert!((stats[1].utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+        pool.commit(0, 5.0, 4.0, 1.0);
+        pool.reset();
+        assert_eq!(pool.makespan_ms(), 0.0);
+        assert_eq!(pool.total_solves(), 0);
+    }
+
+    #[test]
+    fn heterogeneous_pool_keeps_models() {
+        let pool = DevicePool::new(vec![Gpu::v100(), Gpu::a100(), Gpu::p100()]);
+        assert_eq!(pool.gpu(1).name, "A100");
+        assert_eq!(pool.devices()[2].gpu.name, "P100");
+    }
+}

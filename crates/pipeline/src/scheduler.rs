@@ -1,0 +1,174 @@
+//! The scheduler: greedy dispatch of planned jobs onto the device pool.
+//!
+//! Jobs are dispatched in arrival order to the least-loaded device (the
+//! earliest-idle simulated clock, ties to the lowest id). Each dispatch
+//! plans the job *for the chosen device's model* — a heterogeneous pool
+//! plans the same shape differently on a V100 than on an A100 — and
+//! advances that device's clock by the plan's predicted wall clock.
+//!
+//! Because the analytic timing model is data-independent, the predicted
+//! wall clock of a plan *is* the modeled wall clock of the functional
+//! solve (asserted by `functional_and_model_profiles_agree` in the seed
+//! suite), so schedules built from predictions are exact.
+
+use crate::job::Job;
+use crate::planner::{Plan, Planner};
+use crate::pool::DevicePool;
+
+/// The scheduling-relevant part of a job: its shape and accuracy target.
+#[derive(Clone, Copy, Debug)]
+pub struct JobShape {
+    /// Rows `m`.
+    pub rows: usize,
+    /// Columns `n`.
+    pub cols: usize,
+    /// Required decimal digits.
+    pub target_digits: u32,
+}
+
+impl From<&Job> for JobShape {
+    fn from(job: &Job) -> Self {
+        JobShape {
+            rows: job.rows(),
+            cols: job.cols(),
+            target_digits: job.target_digits,
+        }
+    }
+}
+
+/// One scheduled solve.
+#[derive(Clone, Copy, Debug)]
+pub struct Dispatch {
+    /// Index of the job in the submitted batch.
+    pub job: usize,
+    /// Pool id of the device the job runs on.
+    pub device: usize,
+    /// The plan chosen for this job on that device.
+    pub plan: Plan,
+    /// Simulated start time on the device, ms.
+    pub start_ms: f64,
+    /// Simulated completion time on the device, ms.
+    pub end_ms: f64,
+}
+
+/// Dispatch one job: pick the least-loaded device *now*, plan the job
+/// for that device's model, and commit the predicted cost to its
+/// clock. The single dispatch step shared by [`schedule`] and the
+/// streaming API — scheduling-policy changes happen here, once.
+pub fn dispatch_one(
+    pool: &mut DevicePool,
+    planner: &Planner,
+    job: usize,
+    shape: &JobShape,
+) -> Dispatch {
+    let device = pool.least_loaded();
+    let plan = planner.plan(
+        pool.gpu(device),
+        shape.rows,
+        shape.cols,
+        shape.target_digits,
+    );
+    let (start_ms, end_ms) = pool.commit(
+        device,
+        plan.predicted_ms,
+        plan.predicted_kernel_ms,
+        plan.flops_paper,
+    );
+    Dispatch {
+        job,
+        device,
+        plan,
+        start_ms,
+        end_ms,
+    }
+}
+
+/// Greedily schedule `shapes` over `pool`, committing each job's
+/// predicted cost to its device clock. Returns one [`Dispatch`] per
+/// shape, in submission order.
+pub fn schedule(pool: &mut DevicePool, planner: &Planner, shapes: &[JobShape]) -> Vec<Dispatch> {
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(job, shape)| dispatch_one(pool, planner, job, shape))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::Gpu;
+
+    fn mixed_shapes() -> Vec<JobShape> {
+        let mut shapes = Vec::new();
+        for i in 0..24 {
+            let cols = [16, 24, 32, 48][i % 4];
+            shapes.push(JobShape {
+                rows: cols + 8 * (i % 3),
+                cols,
+                target_digits: [12, 25, 50][i % 3],
+            });
+        }
+        shapes
+    }
+
+    #[test]
+    fn makespan_shrinks_as_devices_grow() {
+        let shapes = mixed_shapes();
+        let mut prev = f64::INFINITY;
+        for n in 1..=4 {
+            let mut pool = DevicePool::homogeneous(&Gpu::v100(), n);
+            schedule(&mut pool, &Planner::new(), &shapes);
+            let makespan = pool.makespan_ms();
+            assert!(
+                makespan < prev,
+                "makespan {makespan} ms did not shrink at {n} devices (was {prev})"
+            );
+            prev = makespan;
+        }
+    }
+
+    #[test]
+    fn dispatch_covers_all_devices_and_jobs() {
+        let shapes = mixed_shapes();
+        let mut pool = DevicePool::homogeneous(&Gpu::a100(), 3);
+        let dispatches = schedule(&mut pool, &Planner::new(), &shapes);
+        assert_eq!(dispatches.len(), shapes.len());
+        for d in 0..3 {
+            assert!(
+                dispatches.iter().any(|x| x.device == d),
+                "device {d} never used"
+            );
+        }
+        // per-device intervals are contiguous and non-overlapping
+        for d in 0..3 {
+            let mut clock = 0.0;
+            for x in dispatches.iter().filter(|x| x.device == d) {
+                assert_eq!(x.start_ms, clock);
+                assert!(x.end_ms > x.start_ms);
+                clock = x.end_ms;
+            }
+        }
+        assert_eq!(pool.total_solves(), shapes.len() as u64);
+    }
+
+    #[test]
+    fn heterogeneous_pool_plans_per_device() {
+        // same shape, two device models: the planner runs per device
+        let shapes = vec![
+            JobShape {
+                rows: 96,
+                cols: 96,
+                target_digits: 25
+            };
+            8
+        ];
+        let mut pool = DevicePool::new(vec![Gpu::v100(), Gpu::rtx2080()]);
+        let planner = Planner::new();
+        let dispatches = schedule(&mut pool, &planner, &shapes);
+        // both devices got work, and the predicted cost differs by model
+        let v = dispatches.iter().find(|d| d.device == 0).unwrap();
+        let r = dispatches.iter().find(|d| d.device == 1).unwrap();
+        assert_ne!(v.plan.predicted_ms, r.plan.predicted_ms);
+    }
+}

@@ -1,0 +1,113 @@
+//! Streaming variant of the batch service: jobs flow in through any
+//! iterator and outcomes flow out one by one, with the pool's simulated
+//! clocks advancing as the stream is consumed.
+//!
+//! Dispatch decisions are made per job at pull time (least-loaded
+//! device *now*), so a stream interleaved with other pool usage behaves
+//! like a live service queue. Numerics per job are identical to
+//! [`crate::batch::solve_batch`] — the solution never depends on which
+//! device a job lands on, only the simulated timing does.
+
+use crate::batch::{solve_planned, JobOutcome};
+use crate::job::Job;
+use crate::planner::Planner;
+use crate::pool::DevicePool;
+use crate::scheduler::{dispatch_one, JobShape};
+
+/// A lazy job-to-outcome pipeline over a device pool.
+pub struct BatchStream<'p, I> {
+    pool: &'p mut DevicePool,
+    planner: Planner,
+    jobs: I,
+    pulled: usize,
+}
+
+/// Stream `jobs` through `pool`: each `next()` plans, dispatches and
+/// solves one job.
+pub fn solve_stream<'p, I>(pool: &'p mut DevicePool, jobs: I) -> BatchStream<'p, I::IntoIter>
+where
+    I: IntoIterator<Item = Job>,
+{
+    BatchStream {
+        pool,
+        planner: Planner::new(),
+        jobs: jobs.into_iter(),
+        pulled: 0,
+    }
+}
+
+impl<I> Iterator for BatchStream<'_, I>
+where
+    I: Iterator<Item = Job>,
+{
+    type Item = JobOutcome;
+
+    fn next(&mut self) -> Option<JobOutcome> {
+        let job = self.jobs.next()?;
+        let d = dispatch_one(self.pool, &self.planner, self.pulled, &JobShape::from(&job));
+        self.pulled += 1;
+        let (x, residual) = solve_planned(self.pool.gpu(d.device), &job, &d.plan);
+        Some(JobOutcome {
+            job_id: job.id,
+            device: d.device,
+            plan: d.plan,
+            x,
+            residual,
+            start_ms: d.start_ms,
+            end_ms: d.end_ms,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.jobs.size_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::solve_batch_with;
+    use crate::workload::power_flow_jobs;
+    use gpusim::Gpu;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stream_matches_batch() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let jobs = power_flow_jobs(10, &mut rng);
+
+        let mut pool_b = DevicePool::homogeneous(&Gpu::v100(), 2);
+        let batch = solve_batch_with(&mut pool_b, &jobs, 1);
+
+        let mut pool_s = DevicePool::homogeneous(&Gpu::v100(), 2);
+        let streamed: Vec<JobOutcome> = solve_stream(&mut pool_s, jobs).collect();
+
+        assert_eq!(streamed.len(), batch.outcomes.len());
+        for (s, b) in streamed.iter().zip(&batch.outcomes) {
+            assert_eq!(s.job_id, b.job_id);
+            assert_eq!(
+                s.x, b.x,
+                "job {}: stream and batch solutions differ",
+                s.job_id
+            );
+            assert_eq!(s.device, b.device);
+            assert_eq!(s.end_ms, b.end_ms);
+        }
+        assert_eq!(pool_s.makespan_ms(), pool_b.makespan_ms());
+    }
+
+    #[test]
+    fn stream_is_lazy() {
+        let mut rng = StdRng::seed_from_u64(92);
+        let jobs = power_flow_jobs(6, &mut rng);
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+        {
+            let mut stream = solve_stream(&mut pool, jobs);
+            assert!(stream.next().is_some());
+            assert!(stream.next().is_some());
+            // four jobs never pulled, never solved
+        }
+        assert_eq!(pool.total_solves(), 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Workload generators: randomized jobs shaped like the paper's
+//! motivating applications.
+//!
+//! The power-flow generator models the holomorphic embedding load flow
+//! method (the paper's §1.1): per network, a family of small dense
+//! systems — Padé-denominator solves and Newton corrections at a bus
+//! count's scale — in hardware-double data that must be *solved* far
+//! beyond hardware-double accuracy. Systems are drawn diagonally
+//! dominant so every precision rung reaches its unit roundoff (the
+//! paper's §4.1 well-conditioned convention); accuracy targets are
+//! mixed across the d → dd → qd → od ladder the way a tracker mixes
+//! loose predictor steps with tight corrector steps.
+
+use mdls_matrix::HostMat;
+use multidouble::random::rand_real;
+use rand::Rng;
+
+use crate::job::Job;
+
+/// Column counts of the generated systems (bus-system-scaled: a handful
+/// of buses up to a few dozen states).
+const COLS: [usize; 6] = [6, 8, 10, 12, 16, 24];
+
+/// Extra rows for the overdetermined (measurement-augmented) variants.
+const EXTRA_ROWS: [usize; 3] = [0, 4, 8];
+
+/// Accuracy targets, weighted toward the cheap rungs like a tracker's
+/// step mix: many hardware-double predictor solves, fewer deep
+/// corrector solves.
+const DIGITS: [u32; 6] = [10, 12, 25, 25, 50, 100];
+
+/// Generate `count` randomized power-flow-shaped jobs.
+pub fn power_flow_jobs<R: Rng + ?Sized>(count: usize, rng: &mut R) -> Vec<Job> {
+    (0..count as u64)
+        .map(|id| {
+            let cols = COLS[pick(rng, COLS.len())];
+            let rows = cols + EXTRA_ROWS[pick(rng, EXTRA_ROWS.len())];
+            let target_digits = DIGITS[pick(rng, DIGITS.len())];
+            // dense random entries with a dominant diagonal (tame
+            // conditioning), quantized to 2⁻²⁰ so that products against a
+            // small-integer solution are exact dyadics
+            let a = HostMat::<f64>::from_fn(rows, cols, |r, c| {
+                let u: f64 = rand_real(rng);
+                let q = (u * (1 << 20) as f64).round() / (1 << 20) as f64;
+                q + if r == c { 4.0 } else { 0.0 }
+            });
+            // `b = A x_true` computed *exactly* in f64 (quantized entries ×
+            // integer solution never round): the right hand side lies
+            // exactly in the column space, so even the tall
+            // measurement-augmented systems solve to the working precision
+            // and the accuracy target is checkable at every rung
+            let x_true: Vec<f64> = (0..cols)
+                .map(|_| (rand_real::<f64, _>(rng) * 8.0).round())
+                .collect();
+            let b = a.matvec(&x_true);
+            Job {
+                id,
+                a,
+                b,
+                target_digits,
+            }
+        })
+        .collect()
+}
+
+fn pick<R: Rng + ?Sized>(rng: &mut R, n: usize) -> usize {
+    (rng.random_range(0.0..n as f64) as usize).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn jobs_are_solvable_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let jobs = power_flow_jobs(100, &mut rng);
+        assert_eq!(jobs.len(), 100);
+        for job in &jobs {
+            assert!(job.rows() >= job.cols());
+            assert_eq!(job.b.len(), job.rows());
+            assert!(COLS.contains(&job.cols()));
+        }
+        // ids are unique and the mix covers several shapes and targets
+        let mut shapes: Vec<_> = jobs.iter().map(|j| (j.rows(), j.cols())).collect();
+        shapes.sort();
+        shapes.dedup();
+        assert!(shapes.len() >= 4, "only {} distinct shapes", shapes.len());
+        let mut digits: Vec<_> = jobs.iter().map(|j| j.target_digits).collect();
+        digits.sort();
+        digits.dedup();
+        assert!(digits.len() >= 3, "only {} distinct targets", digits.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = power_flow_jobs(5, &mut StdRng::seed_from_u64(9));
+        let b = power_flow_jobs(5, &mut StdRng::seed_from_u64(9));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.a, y.a);
+            assert_eq!(x.b, y.b);
+            assert_eq!(x.target_digits, y.target_digits);
+        }
+    }
+}

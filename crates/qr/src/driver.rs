@@ -78,8 +78,7 @@ impl<S: MdScalar> QrDeviceState<S> {
         }
         for i in 0..self.q.rows {
             for j in 0..self.q.cols {
-                self.q
-                    .set(i, j, if i == j { S::one() } else { S::zero() });
+                self.q.set(i, j, if i == j { S::one() } else { S::zero() });
             }
         }
         self.q.buf.reset_traffic();
@@ -144,27 +143,15 @@ pub fn qr_on_sim<S: MdScalar>(sim: &Sim, st: &QrDeviceState<S>, opts: &QrOptions
         }
 
         // --- stage 3: Q update ------------------------------------------
-        sim.launch(
-            STAGE_YWT,
-            m,
-            n,
-            cost::gemm_cost::<S>(m, m, n, n),
-            |ctx| kernels::ywt_block(ctx, &st.y, &st.w, &st.ywh, col0, n),
-        );
-        sim.launch(
-            STAGE_QWYT,
-            m,
-            n,
-            cost::gemm_cost::<S>(m, m, m, n),
-            |ctx| kernels::qwyt_block(ctx, &st.q, &st.ywh, &st.qwy, col0),
-        );
-        sim.launch(
-            STAGE_Q_ADD,
-            m,
-            n,
-            cost::add_cost::<S>(m, m),
-            |ctx| kernels::q_add_block(ctx, &st.q, &st.qwy, col0),
-        );
+        sim.launch(STAGE_YWT, m, n, cost::gemm_cost::<S>(m, m, n, n), |ctx| {
+            kernels::ywt_block(ctx, &st.y, &st.w, &st.ywh, col0, n)
+        });
+        sim.launch(STAGE_QWYT, m, n, cost::gemm_cost::<S>(m, m, m, n), |ctx| {
+            kernels::qwyt_block(ctx, &st.q, &st.ywh, &st.qwy, col0)
+        });
+        sim.launch(STAGE_Q_ADD, m, n, cost::add_cost::<S>(m, m), |ctx| {
+            kernels::q_add_block(ctx, &st.q, &st.qwy, col0)
+        });
 
         // --- stage 4: trailing-column update -----------------------------
         if k + 1 < nt {
@@ -177,13 +164,9 @@ pub fn qr_on_sim<S: MdScalar>(sim: &Sim, st: &QrDeviceState<S>, opts: &QrOptions
                 cost::gemm_cost::<S>(m, c_k, m, n),
                 |ctx| kernels::ywtc_block(ctx, &st.ywh, &st.r, &st.ywtc, col0, cstart),
             );
-            sim.launch(
-                STAGE_R_ADD,
-                c_k,
-                n,
-                cost::add_cost::<S>(m, c_k),
-                |ctx| kernels::r_add_block(ctx, &st.r, &st.ywtc, col0, cstart),
-            );
+            sim.launch(STAGE_R_ADD, c_k, n, cost::add_cost::<S>(m, c_k), |ctx| {
+                kernels::r_add_block(ctx, &st.r, &st.ywtc, col0, cstart)
+            });
         }
     }
 }

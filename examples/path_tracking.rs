@@ -29,7 +29,7 @@
 //! ```
 
 use multidouble_ls::matrix::HostMat;
-use multidouble_ls::md::{Dd, MdReal, MdScalar, Od, Qd};
+use multidouble_ls::md::{Dd, MdScalar, Od, Qd};
 use multidouble_ls::sim::{ExecMode, Gpu};
 use multidouble_ls::solver::{lstsq, LstsqOptions};
 use rand::rngs::StdRng;
@@ -46,7 +46,9 @@ const ORDER: usize = 12; // series truncation order
 fn track_series<S: MdScalar>(seed: u64) -> Vec<Vec<S>> {
     let mut rng = StdRng::seed_from_u64(seed);
     let f = HostMat::<f64>::random(DIM, DIM, &mut rng);
-    let a0 = HostMat::<S>::from_fn(DIM, DIM, |i, j| S::from_f64(f.get(i, j) + if i == j { 4.0 } else { 0.0 }));
+    let a0 = HostMat::<S>::from_fn(DIM, DIM, |i, j| {
+        S::from_f64(f.get(i, j) + if i == j { 4.0 } else { 0.0 })
+    });
     let f1 = HostMat::<f64>::random(DIM, DIM, &mut rng);
     let a1 = HostMat::<S>::from_fn(DIM, DIM, |i, j| S::from_f64(f1.get(i, j)));
     let bf: Vec<f64> = multidouble_ls::matrix::random_vector(DIM, &mut rng);

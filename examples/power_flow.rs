@@ -47,7 +47,7 @@ fn pade<S: MdScalar>() -> (Vec<S>, Vec<S>) {
     };
     let run = lstsq(&Gpu::v100(), &t, &rhs, &opts);
     let b = run.x; // b_1 .. b_m
-    // numerator by convolution: a_i = c_i + sum_{j=1..min(i,m)} b_j c_{i-j}
+                   // numerator by convolution: a_i = c_i + sum_{j=1..min(i,m)} b_j c_{i-j}
     let mut a = vec![S::zero(); M + 1];
     for (i, ai) in a.iter_mut().enumerate() {
         let mut acc = series_coeff::<S>(i);

@@ -11,7 +11,7 @@
 //! cargo run --release --example precision_ladder
 //! ```
 
-use multidouble_ls::matrix::{hilbert, vec_norm2, HostMat};
+use multidouble_ls::matrix::{hilbert, HostMat};
 use multidouble_ls::md::{Dd, MdReal, MdScalar, Od, Qd};
 use multidouble_ls::sim::{ExecMode, Gpu};
 use multidouble_ls::solver::{lstsq, LstsqOptions};
@@ -36,7 +36,10 @@ fn ladder_step<S: MdScalar>(n: usize, tiles: usize) -> (f64, f64) {
 fn main() {
     let n = 24; // cond(H_24) ~ 3e34: hopeless in double, easy in octo double
     println!("Hilbert least squares, dimension {n} (cond ~ 1e35), simulated V100\n");
-    println!("{:<14} {:>14} {:>14}", "precision", "residual", "forward error");
+    println!(
+        "{:<14} {:>14} {:>14}",
+        "precision", "residual", "forward error"
+    );
     println!("{}", "-".repeat(44));
 
     let (r, f) = ladder_step::<f64>(n, 2);

@@ -28,7 +28,10 @@ fn main() {
     let b = a.matvec(&x_true);
 
     let gpu = Gpu::v100();
-    println!("solving a {n} x {n} quad double system on a simulated {}", gpu.name);
+    println!(
+        "solving a {n} x {n} quad double system on a simulated {}",
+        gpu.name
+    );
     let run = lstsq(&gpu, &a, &b, &opts);
 
     // accuracy: the residual lands at quad double roundoff (~1e-64)
@@ -36,10 +39,16 @@ fn main() {
     let err = multidouble_ls::matrix::norms::vec_diff_norm2(&run.x, &x_true);
     println!("  |b - A x|_2          = {:.3e}", residual.to_f64());
     println!("  |x - x_true|_2       = {:.3e}", err.to_f64());
-    assert!(residual.to_f64() < 1e-50, "quad double accuracy not reached");
+    assert!(
+        residual.to_f64() < 1e-50,
+        "quad double accuracy not reached"
+    );
 
     // the modeled device profile, split as in the paper's Table 11
-    println!("\nmodeled timing on the {} (paper's conventions):", gpu.name);
+    println!(
+        "\nmodeled timing on the {} (paper's conventions):",
+        gpu.name
+    );
     println!(
         "  QR  : {:8.2} ms kernels, {:8.2} ms wall, {:7.1} GF",
         run.qr_profile.all_kernels_ms(),
@@ -54,6 +63,9 @@ fn main() {
     );
     println!("\nQR stage breakdown (ms):");
     for s in run.qr_profile.stages() {
-        println!("  {:<12} {:9.3}  ({} launches)", s.name, s.kernel_ms, s.launches);
+        println!(
+            "  {:<12} {:9.3}  ({} launches)",
+            s.name, s.kernel_ms, s.launches
+        );
     }
 }

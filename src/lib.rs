@@ -15,7 +15,9 @@
 //!   linear algebra;
 //! * [`backsub`] — Algorithm 1: tiled accelerated back substitution;
 //! * [`qr`] — Algorithm 2: blocked accelerated Householder QR;
-//! * [`solver`] — the least squares solver combining the two.
+//! * [`solver`] — the least squares solver combining the two;
+//! * [`pipeline`] — the batched multi-GPU solve service (cost-model
+//!   planner, device pool, scheduler, `solve_batch`/`solve_stream`).
 //!
 //! ## Quickstart
 //!
@@ -46,3 +48,7 @@ pub use multidouble as md;
 
 /// The GPU simulator substrate.
 pub use gpusim as sim;
+
+/// The batched multi-GPU solve pipeline: cost-model planner, device
+/// pool, greedy scheduler and the `solve_batch` / `solve_stream` API.
+pub use mdls_pipeline as pipeline;

@@ -1,0 +1,124 @@
+//! Integration tests of the batched multi-GPU solve pipeline.
+
+use multidouble_ls::pipeline::{
+    power_flow_jobs, schedule, solve_batch, solve_planned, DevicePool, JobShape, Planner,
+};
+use multidouble_ls::sim::Gpu;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The headline property: `solve_batch` over ≥ 1000 mixed-shape jobs is
+/// *bit-identical* to solving each job sequentially with the same plan —
+/// batching, device pooling and host worker threads change simulated
+/// timing and real wall clock, never numerics.
+#[test]
+fn batch_matches_sequential_lstsq_on_1000_jobs() {
+    let mut rng = StdRng::seed_from_u64(0xba7c4);
+    let jobs = power_flow_jobs(1000, &mut rng);
+
+    let mut pool = DevicePool::new(vec![Gpu::v100(), Gpu::v100(), Gpu::a100(), Gpu::p100()]);
+    let report = solve_batch(&mut pool, &jobs);
+    assert_eq!(report.outcomes.len(), 1000);
+
+    let planner = Planner::new();
+    for (job, out) in jobs.iter().zip(&report.outcomes) {
+        // replan for the device the batch used: the plan must agree...
+        let gpu = pool.gpu(out.device);
+        let plan = planner.plan(gpu, job.rows(), job.cols(), job.target_digits);
+        assert_eq!(plan, out.plan, "job {}: plans diverge", job.id);
+        // ...and the sequential solve must reproduce the batch solution
+        // exactly (same options => same arithmetic => same bits)
+        let (x, residual) = solve_planned(gpu, job, &plan);
+        assert_eq!(x, out.x, "job {}: batch and sequential bits differ", job.id);
+        assert_eq!(residual, out.residual, "job {}", job.id);
+        // accuracy targets hold on these well-conditioned consistent jobs
+        let bound = 10f64.powi(-(job.target_digits as i32));
+        assert!(
+            out.residual < bound,
+            "job {}: residual {:e} misses {} digits",
+            job.id,
+            out.residual,
+            job.target_digits
+        );
+    }
+
+    // mixed shapes really exercised the planner
+    assert!(
+        report.distinct_plans >= 4,
+        "only {} distinct plans over 1000 mixed jobs",
+        report.distinct_plans
+    );
+    // every device of the pool took a share of the load
+    for s in &report.device_stats {
+        assert!(s.solves > 0, "device {} ({}) idle", s.id, s.name);
+    }
+}
+
+/// Scheduler invariant: the simulated makespan of a fixed job set
+/// decreases monotonically as the pool grows.
+#[test]
+fn makespan_decreases_with_device_count() {
+    let mut rng = StdRng::seed_from_u64(0x5c4ed);
+    let shapes: Vec<JobShape> = power_flow_jobs(64, &mut rng)
+        .iter()
+        .map(JobShape::from)
+        .collect();
+    let planner = Planner::new();
+    let mut prev = f64::INFINITY;
+    for devices in 1..=6 {
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), devices);
+        schedule(&mut pool, &planner, &shapes);
+        let makespan = pool.makespan_ms();
+        assert!(
+            makespan < prev,
+            "{devices} devices: makespan {makespan:.3} ms not below {prev:.3} ms"
+        );
+        prev = makespan;
+    }
+}
+
+/// Throughput scales near-linearly from one to two devices (the greedy
+/// scheduler keeps both busy on a deep queue).
+#[test]
+fn two_devices_give_1_8x_throughput() {
+    let mut rng = StdRng::seed_from_u64(0x7410);
+    let shapes: Vec<JobShape> = power_flow_jobs(256, &mut rng)
+        .iter()
+        .map(JobShape::from)
+        .collect();
+    let planner = Planner::new();
+    let throughput = |devices: usize| {
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), devices);
+        schedule(&mut pool, &planner, &shapes);
+        pool.solves_per_sec()
+    };
+    let t1 = throughput(1);
+    let t2 = throughput(2);
+    assert!(
+        t2 >= 1.8 * t1,
+        "1→2 devices: {t1:.1} → {t2:.1} solves/s ({:.2}x)",
+        t2 / t1
+    );
+}
+
+/// The planner chooses different tile configurations for different job
+/// shapes (cost-model-driven autotuning, not a fixed default).
+#[test]
+fn planner_adapts_tiling_to_shape() {
+    let planner = Planner::new();
+    let gpu = Gpu::v100();
+    let configs: Vec<(usize, usize)> = [16usize, 96, 512]
+        .iter()
+        .map(|&n| {
+            let p = planner.plan(&gpu, n, n, 25);
+            (p.tiles, p.tile_size)
+        })
+        .collect();
+    let mut distinct = configs.clone();
+    distinct.sort();
+    distinct.dedup();
+    assert!(
+        distinct.len() >= 2,
+        "one tiling {configs:?} for shapes 16/96/512"
+    );
+}

@@ -1,13 +1,16 @@
 //! Property-based tests over the whole stack: arithmetic identities on
 //! random multi-limb values, and solver invariants on random shapes.
+//!
+//! Written as seeded random-case loops (the offline build has no
+//! `proptest`); every case prints enough context in its assertion
+//! message to reproduce from the seed.
 
 use multidouble_ls::matrix::{vec_norm2, HostMat};
 use multidouble_ls::md::{Dd, MdReal, MdScalar, Od, Qd};
 use multidouble_ls::sim::{ExecMode, Gpu};
 use multidouble_ls::solver::{lstsq, LstsqOptions};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Build a full-entropy multiple double from four raw doubles.
 fn md_from_parts<T: MdReal>(parts: [f64; 4]) -> T {
@@ -17,18 +20,26 @@ fn md_from_parts<T: MdReal>(parts: [f64; 4]) -> T {
         if i >= T::LIMBS {
             break;
         }
-        acc = acc + T::from_f64(*p).mul_pwr2(scale);
+        acc += T::from_f64(*p).mul_pwr2(scale);
         scale *= 2f64.powi(-53);
     }
     acc
 }
 
-fn finite_parts() -> impl Strategy<Value = [f64; 4]> {
-    prop::array::uniform4(-1.0e3..1.0e3f64)
+/// Four uniform doubles in `(-1e3, 1e3)` — the proptest strategy's range.
+fn finite_parts(rng: &mut StdRng) -> [f64; 4] {
+    [
+        rng.random_range(-1.0e3..1.0e3),
+        rng.random_range(-1.0e3..1.0e3),
+        rng.random_range(-1.0e3..1.0e3),
+        rng.random_range(-1.0e3..1.0e3),
+    ]
 }
 
+const ARITH_CASES: usize = 64;
+
 macro_rules! arithmetic_props {
-    ($mod_name:ident, $T:ty, $ulps:expr) => {
+    ($mod_name:ident, $T:ty, $ulps:expr, $seed:expr) => {
         mod $mod_name {
             use super::*;
 
@@ -37,54 +48,84 @@ macro_rules! arithmetic_props {
                 (a - b).abs().to_f64() <= $ulps * <$T as MdReal>::EPS * scale
             }
 
-            proptest! {
-                #![proptest_config(ProptestConfig::with_cases(64))]
-
-                #[test]
-                fn add_commutes(a in finite_parts(), b in finite_parts()) {
-                    let (x, y) = (md_from_parts::<$T>(a), md_from_parts::<$T>(b));
-                    prop_assert_eq!(x + y, y + x);
+            #[test]
+            fn add_commutes() {
+                let mut rng = StdRng::seed_from_u64($seed);
+                for case in 0..ARITH_CASES {
+                    let x = md_from_parts::<$T>(finite_parts(&mut rng));
+                    let y = md_from_parts::<$T>(finite_parts(&mut rng));
+                    assert_eq!(x + y, y + x, "case {case}");
                 }
+            }
 
-                #[test]
-                fn sub_inverts_add(a in finite_parts(), b in finite_parts()) {
-                    let (x, y) = (md_from_parts::<$T>(a), md_from_parts::<$T>(b));
-                    prop_assert!(close((x + y) - y, x));
+            #[test]
+            fn sub_inverts_add() {
+                let mut rng = StdRng::seed_from_u64($seed + 1);
+                for case in 0..ARITH_CASES {
+                    let x = md_from_parts::<$T>(finite_parts(&mut rng));
+                    let y = md_from_parts::<$T>(finite_parts(&mut rng));
+                    assert!(close((x + y) - y, x), "case {case}: x {x}, y {y}");
                 }
+            }
 
-                #[test]
-                fn mul_div_roundtrip(a in finite_parts(), b in finite_parts()) {
-                    let x = md_from_parts::<$T>(a);
-                    let y = md_from_parts::<$T>(b);
-                    prop_assume!(MdScalar::abs_val(y).to_f64() > 1e-3);
-                    prop_assert!(close((x * y) / y, x));
+            #[test]
+            fn mul_div_roundtrip() {
+                let mut rng = StdRng::seed_from_u64($seed + 2);
+                for case in 0..ARITH_CASES {
+                    let x = md_from_parts::<$T>(finite_parts(&mut rng));
+                    let y = md_from_parts::<$T>(finite_parts(&mut rng));
+                    if MdScalar::abs_val(y).to_f64() <= 1e-3 {
+                        continue;
+                    }
+                    assert!(close((x * y) / y, x), "case {case}: x {x}, y {y}");
                 }
+            }
 
-                #[test]
-                fn distributive(a in finite_parts(), b in finite_parts(), c in finite_parts()) {
-                    let x = md_from_parts::<$T>(a);
-                    let y = md_from_parts::<$T>(b);
-                    let z = md_from_parts::<$T>(c);
-                    prop_assert!(close(x * (y + z), x * y + x * z));
+            #[test]
+            fn distributive() {
+                let mut rng = StdRng::seed_from_u64($seed + 3);
+                for case in 0..ARITH_CASES {
+                    let x = md_from_parts::<$T>(finite_parts(&mut rng));
+                    let y = md_from_parts::<$T>(finite_parts(&mut rng));
+                    let z = md_from_parts::<$T>(finite_parts(&mut rng));
+                    // the roundoff of `x*y + x*z` scales with the summand
+                    // magnitudes, which cancellation can dwarf the result by
+                    let scale = (MdScalar::abs_val(x * y).to_f64()
+                        + MdScalar::abs_val(x * z).to_f64())
+                    .max(1.0);
+                    let diff = (x * (y + z) - (x * y + x * z)).abs().to_f64();
+                    assert!(
+                        diff <= $ulps * <$T as MdReal>::EPS * scale,
+                        "case {case}: x {x}, y {y}, z {z}"
+                    );
                 }
+            }
 
-                #[test]
-                fn sqrt_squares_back(a in finite_parts()) {
-                    let x = md_from_parts::<$T>(a).abs();
-                    prop_assume!(x.to_f64() > 1e-6);
+            #[test]
+            fn sqrt_squares_back() {
+                let mut rng = StdRng::seed_from_u64($seed + 4);
+                for case in 0..ARITH_CASES {
+                    let x = md_from_parts::<$T>(finite_parts(&mut rng)).abs();
+                    if x.to_f64() <= 1e-6 {
+                        continue;
+                    }
                     let r = x.sqrt();
-                    prop_assert!(close(r * r, x));
+                    assert!(close(r * r, x), "case {case}: x {x}");
                 }
+            }
 
-                #[test]
-                fn normalized_limbs(a in finite_parts(), b in finite_parts()) {
-                    let x = md_from_parts::<$T>(a) * md_from_parts::<$T>(b);
+            #[test]
+            fn normalized_limbs() {
+                let mut rng = StdRng::seed_from_u64($seed + 5);
+                for case in 0..ARITH_CASES {
+                    let x = md_from_parts::<$T>(finite_parts(&mut rng))
+                        * md_from_parts::<$T>(finite_parts(&mut rng));
                     // ulp-nonoverlapping: adding a lower limb to the one
                     // above must not change it
                     for i in 0..<$T as MdReal>::LIMBS - 1 {
                         let (hi, lo) = (x.limb(i), x.limb(i + 1));
                         if lo != 0.0 {
-                            prop_assert_eq!(hi + lo, hi, "limb {} overlaps", i);
+                            assert_eq!(hi + lo, hi, "case {case}: limb {i} overlaps in {x}");
                         }
                     }
                 }
@@ -93,40 +134,55 @@ macro_rules! arithmetic_props {
     };
 }
 
-arithmetic_props!(dd_props, Dd, 8.0);
-arithmetic_props!(qd_props, Qd, 64.0);
-arithmetic_props!(od_props, Od, 512.0);
+arithmetic_props!(dd_props, Dd, 8.0, 0xdd00);
+arithmetic_props!(qd_props, Qd, 64.0, 0x4d00);
+arithmetic_props!(od_props, Od, 512.0, 0x0d00);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// The solver's residual lands at the working precision for random
-    /// tilings (tile geometry must never affect correctness).
-    #[test]
-    fn solver_correct_for_any_tiling(tiles in 1usize..5, tile_pow in 2usize..4, seed in 0u64..1000) {
-        let tile = 1 << tile_pow; // 4 or 8
-        let opts = LstsqOptions { tiles, tile_size: tile, mode: ExecMode::Sequential };
+/// The solver's residual lands at the working precision for random
+/// tilings (tile geometry must never affect correctness).
+#[test]
+fn solver_correct_for_any_tiling() {
+    let mut rng = StdRng::seed_from_u64(0x50_1e);
+    for case in 0..8 {
+        let tiles = 1 + (rng.random_range(0.0..4.0) as usize); // 1..=4
+        let tile = 1 << (2 + (rng.random_range(0.0..2.0) as usize)); // 4 or 8
+        let seed = rng.random_range(0.0..1000.0) as u64;
+        let opts = LstsqOptions {
+            tiles,
+            tile_size: tile,
+            mode: ExecMode::Sequential,
+        };
         let n = opts.cols();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let a = HostMat::<Dd>::random(n, n, &mut rng);
-        let xt: Vec<Dd> = multidouble_ls::matrix::random_vector(n, &mut rng);
+        let mut data_rng = StdRng::seed_from_u64(seed);
+        let a = HostMat::<Dd>::random(n, n, &mut data_rng);
+        let xt: Vec<Dd> = multidouble_ls::matrix::random_vector(n, &mut data_rng);
         let b = a.matvec(&xt);
         let run = lstsq(&Gpu::v100(), &a, &b, &opts);
         let res = a.residual(&run.x, &b).to_f64() / vec_norm2(&b).to_f64();
-        prop_assert!(res < 1e-26, "tiles {} x {}: residual {:e}", tiles, tile, res);
-    }
-
-    /// Kernel time and flop accounting are strictly monotone in the
-    /// problem size (sanity of the analytic model).
-    #[test]
-    fn model_monotone_in_dimension(k in 1usize..6) {
-        let f = |tiles: usize| multidouble_ls::backsub::backsub_model_profile::<Qd>(
-            &Gpu::v100(),
-            &multidouble_ls::backsub::BacksubOptions { tiles, tile_size: 32 },
+        assert!(
+            res < 1e-26,
+            "case {case}: tiles {tiles} x {tile}, seed {seed}: residual {res:e}"
         );
+    }
+}
+
+/// Kernel time and flop accounting are strictly monotone in the
+/// problem size (sanity of the analytic model).
+#[test]
+fn model_monotone_in_dimension() {
+    let f = |tiles: usize| {
+        multidouble_ls::backsub::backsub_model_profile::<Qd>(
+            &Gpu::v100(),
+            &multidouble_ls::backsub::BacksubOptions {
+                tiles,
+                tile_size: 32,
+            },
+        )
+    };
+    for k in 1..6 {
         let a = f(k);
         let b = f(k + 1);
-        prop_assert!(b.all_kernels_ms() > a.all_kernels_ms());
-        prop_assert!(b.total_flops_paper() > a.total_flops_paper());
+        assert!(b.all_kernels_ms() > a.all_kernels_ms(), "tiles {k}");
+        assert!(b.total_flops_paper() > a.total_flops_paper(), "tiles {k}");
     }
 }

@@ -229,7 +229,10 @@ fn octo_double_ram_outlier() {
     let kernel_ratio = od.all_kernels_ms() / qd.all_kernels_ms();
     let wall_ratio = od.wall_ms() / qd.wall_ms();
     assert!(kernel_ratio < 6.0, "kernel ratio {kernel_ratio:.1}");
-    assert!(wall_ratio > 10.0, "wall ratio {wall_ratio:.1} (no swap blowup)");
+    assert!(
+        wall_ratio > 10.0,
+        "wall ratio {wall_ratio:.1} (no swap blowup)"
+    );
 }
 
 /// Claim 9 (§4.3): the V100/P100 total-kernel ratio of the QR is in the

@@ -1,0 +1,245 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark
+//! harness with criterion's API shape. Measurements are mean
+//! nanoseconds per iteration over a timed window — good enough to rank
+//! implementation variants, with none of criterion's statistics.
+//!
+//! In test mode (`cargo test` passes `--test` to `harness = false`
+//! bench targets) every benchmark body runs exactly once, so the bench
+//! suites double as smoke tests.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (accepted, not interpreted).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Benchmark session configuration and reporting.
+pub struct Criterion {
+    test_mode: bool,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            measurement: Duration::from_millis(500),
+            warm_up: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self.test_mode, self.warm_up, self.measurement, name, f);
+        self
+    }
+}
+
+/// A named group sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes by time only.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Length of the timed measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Length of the untimed warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up = d;
+        self
+    }
+
+    /// Run one benchmark of this group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name.into());
+        run_bench(
+            self.criterion.test_mode,
+            self.criterion.warm_up,
+            self.criterion.measurement,
+            &label,
+            f,
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(test_mode: bool, warm_up: Duration, measurement: Duration, name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        test_mode,
+        warm_up,
+        measurement,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("  {name}: ok (test mode, 1 iteration)");
+    } else if b.iters > 0 {
+        let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!("  {name}: {} iterations, {:.1} ns/iter", b.iters, ns);
+    } else {
+        println!("  {name}: no iterations recorded");
+    }
+}
+
+/// Runs the measured routine and accumulates timing.
+pub struct Bencher {
+    test_mode: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly over the measurement window.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.iters += 1;
+            return;
+        }
+        let warm_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measurement {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.iters += iters;
+        self.elapsed += start.elapsed();
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            self.iters += 1;
+            return;
+        }
+        let warm_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_until {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let deadline = Instant::now() + self.measurement;
+        let mut iters = 0u64;
+        let mut timed = Duration::ZERO;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            timed += start.elapsed();
+            iters += 1;
+        }
+        self.iters += iters;
+        self.elapsed += timed;
+    }
+}
+
+/// Define a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion {
+            test_mode: false,
+            measurement: Duration::from_millis(10),
+            warm_up: Duration::from_millis(1),
+        };
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            measurement: Duration::from_secs(100),
+            warm_up: Duration::from_secs(100),
+        };
+        let mut ran = 0u64;
+        c.bench_function("once", |b| {
+            b.iter_batched(|| 1u64, |x| ran += x, BatchSize::SmallInput)
+        });
+        assert_eq!(ran, 1);
+    }
+}

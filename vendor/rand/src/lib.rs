@@ -1,0 +1,113 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements only the surface this workspace uses (rand 0.9 naming):
+//! [`Rng::random_range`] over `f64` ranges, [`SeedableRng::seed_from_u64`]
+//! and [`rngs::StdRng`]. The generator is xoshiro256++ seeded through
+//! SplitMix64 — deterministic across platforms, but *not* stream
+//! compatible with upstream `rand`'s `StdRng`.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform `f64` in `[range.start, range.end)`.
+    fn random_range(&mut self, range: core::ops::Range<f64>) -> f64 {
+        // 53 uniform mantissa bits in [0, 1)
+        let unit = (self.next_u64() >> 11) as f64 * (f64::EPSILON / 2.0);
+        range.start + (range.end - range.start) * unit
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a single `u64` seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// SplitMix64 step — the canonical xoshiro seeding procedure.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(-1.0..1.0), b.random_range(-1.0..1.0));
+        }
+    }
+
+    #[test]
+    fn range_respected_and_varied() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let vals: Vec<f64> = (0..1000).map(|_| rng.random_range(-1.0..1.0)).collect();
+        assert!(vals.iter().all(|v| (-1.0..1.0).contains(v)));
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!(mean.abs() < 0.1, "mean {mean} far from 0");
+        // both halves of the range are hit
+        assert!(vals.iter().any(|v| *v < -0.5) && vals.iter().any(|v| *v > 0.5));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        use super::RngCore;
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}
