@@ -7,7 +7,9 @@
 //!   verify              functional runs with residual checks
 //!   ablate-smem         shared-memory ablation
 //!   ablate-invert       tile-inversion ablation
-//!   throughput          batched pipeline: scaling, batch depth, planner
+//!   throughput          batched pipeline: scaling, batch depth, planner,
+//!                       greedy-vs-SECT dispatch-policy A/B
+//!   throughput-smoke    the policy A/B alone at a small job count (CI)
 //!   all                 everything, in paper order
 //! ```
 
@@ -44,7 +46,9 @@ fn run(cmd: &str) -> bool {
             println!("{}", throughput::throughput_scaling().render());
             println!("{}", throughput::batch_size_sweep().render());
             println!("{}", throughput::planner_choices().render());
+            println!("{}", throughput::policy_ab(60).render());
         }
+        "throughput-smoke" => println!("{}", throughput::policy_ab(24).render()),
         "all" => {
             for c in [
                 "table1",
@@ -79,7 +83,7 @@ fn run(cmd: &str) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <table1..table11 | fig1..fig5 | verify | ablate-smem | ablate-invert | throughput | all>");
+        eprintln!("usage: repro <table1..table11 | fig1..fig5 | verify | ablate-smem | ablate-invert | throughput | throughput-smoke | all>");
         std::process::exit(2);
     }
     for a in &args {

@@ -1,5 +1,6 @@
 //! Pipeline throughput experiments: batch size × device count ×
-//! precision sweeps over the batched solve service.
+//! precision sweeps over the batched solve service, plus the
+//! greedy-vs-SECT dispatch-policy A/B.
 //!
 //! All runs are model-only — the scheduler books each job's modeled
 //! wall clock onto its device's simulated clock, which is exact for the
@@ -7,7 +8,7 @@
 //! these sweeps scale to paper-sized dimensions instantly.
 
 use gpusim::Gpu;
-use mdls_pipeline::{schedule, DevicePool, JobShape, Planner};
+use mdls_pipeline::{schedule, workload_mix, DevicePool, DispatchPolicy, JobShape, Planner};
 
 use crate::tables::TextTable;
 
@@ -30,7 +31,7 @@ fn mixed_shapes(count: usize, target_digits: u32) -> Vec<JobShape> {
 
 fn solves_per_sec(gpu: &Gpu, devices: usize, shapes: &[JobShape], planner: &Planner) -> f64 {
     let mut pool = DevicePool::homogeneous(gpu, devices);
-    schedule(&mut pool, planner, shapes);
+    schedule(&mut pool, planner, shapes, DispatchPolicy::LeastLoaded);
     pool.solves_per_sec()
 }
 
@@ -76,7 +77,7 @@ pub fn batch_size_sweep() -> TextTable {
     for depth in [4usize, 16, 64, 256, 1024] {
         let shapes = mixed_shapes(depth, 50);
         let mut pool = DevicePool::homogeneous(&gpu, 4);
-        schedule(&mut pool, &planner, &shapes);
+        schedule(&mut pool, &planner, &shapes, DispatchPolicy::LeastLoaded);
         let util: f64 = pool.stats().iter().map(|s| s.utilization).sum::<f64>() / pool.len() as f64;
         t.row(
             format!("{depth}"),
@@ -115,6 +116,63 @@ pub fn planner_choices() -> TextTable {
     t
 }
 
+/// The named pools of the dispatch-policy A/B: one homogeneous control
+/// (any SECT gain there comes from LPT ordering alone, not from
+/// device awareness) and two mixed pools of increasing speed spread.
+fn ab_pools() -> Vec<(&'static str, Vec<Gpu>)> {
+    vec![
+        ("4x V100", vec![Gpu::v100(); 4]),
+        ("2x V100 + 2x P100", {
+            vec![Gpu::v100(), Gpu::v100(), Gpu::p100(), Gpu::p100()]
+        }),
+        (
+            "V100 + P100 + A100",
+            vec![Gpu::v100(), Gpu::p100(), Gpu::a100()],
+        ),
+    ]
+}
+
+/// Makespan of `shapes` over `gpus` under `policy`, ms.
+pub fn policy_makespan(gpus: &[Gpu], shapes: &[JobShape], policy: DispatchPolicy) -> f64 {
+    let planner = Planner::new();
+    let mut pool = DevicePool::new(gpus.to_vec());
+    schedule(&mut pool, &planner, shapes, policy);
+    pool.makespan_ms()
+}
+
+/// Greedy-vs-SECT A/B: makespan of the workload mix under both dispatch
+/// policies on homogeneous and heterogeneous pools. On identical
+/// devices SECT's LPT ordering can only help a little; on mixed pools
+/// SECT stops parking long deep-precision solves on the slowest idle
+/// device and wins outright. The gap is widest at service-window
+/// depths (tens of jobs in flight): as the queue grows unboundedly
+/// both heuristics approach the pool's capacity bound and the policy
+/// choice recedes into the tail.
+pub fn policy_ab(jobs: usize) -> TextTable {
+    let shapes = workload_mix(jobs);
+    let mut t = TextTable::new(
+        format!(
+            "Dispatch-policy A/B: {jobs}-job workload mix (32..256 cols, 1d..8d), \
+             makespan ms by pool"
+        ),
+        "pool",
+    );
+    t.col("greedy").col("sect").col("sect gain");
+    for (name, gpus) in ab_pools() {
+        let greedy = policy_makespan(&gpus, &shapes, DispatchPolicy::LeastLoaded);
+        let sect = policy_makespan(&gpus, &shapes, DispatchPolicy::ShortestExpectedCompletion);
+        t.row(
+            name,
+            vec![
+                format!("{greedy:.1}"),
+                format!("{sect:.1}"),
+                format!("{:+.1}%", 100.0 * (greedy - sect) / greedy),
+            ],
+        );
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +195,7 @@ mod tests {
         assert!(throughput_scaling().render().contains("2d"));
         assert!(batch_size_sweep().render().contains("1024"));
         assert!(planner_choices().render().contains("x"));
+        assert!(policy_ab(60).render().contains("sect"));
     }
 
     #[test]
@@ -146,5 +205,32 @@ mod tests {
         let a = planner.plan(&gpu, 64, 64, 50);
         let b = planner.plan(&gpu, 1024, 1024, 50);
         assert_ne!((a.tiles, a.tile_size), (b.tiles, b.tile_size));
+    }
+
+    #[test]
+    fn sect_beats_greedy_on_the_mixed_ab_pool() {
+        // the acceptance bar: ≥ 5% makespan gain on the mixed V100+P100
+        // pool over the workload mix at service-window depth, and no
+        // regression on the homogeneous pool
+        let shapes = workload_mix(60);
+        for mixed in [
+            vec![Gpu::v100(), Gpu::p100()],
+            vec![Gpu::v100(), Gpu::v100(), Gpu::p100(), Gpu::p100()],
+        ] {
+            let greedy = policy_makespan(&mixed, &shapes, DispatchPolicy::LeastLoaded);
+            let sect = policy_makespan(&mixed, &shapes, DispatchPolicy::ShortestExpectedCompletion);
+            assert!(
+                sect <= 0.95 * greedy,
+                "{} devices: SECT {sect:.1} ms not ≥5% under greedy {greedy:.1} ms",
+                mixed.len()
+            );
+        }
+        let homog = vec![Gpu::v100(); 4];
+        let g = policy_makespan(&homog, &shapes, DispatchPolicy::LeastLoaded);
+        let s = policy_makespan(&homog, &shapes, DispatchPolicy::ShortestExpectedCompletion);
+        assert!(
+            s <= g * (1.0 + 1e-9),
+            "SECT {s:.1} ms regressed greedy {g:.1} ms on identical devices"
+        );
     }
 }

@@ -21,7 +21,7 @@ use multidouble::{Dd, MdReal, MdScalar, Od, Qd};
 use crate::job::{Job, Precision, Solution};
 use crate::planner::{Plan, Planner};
 use crate::pool::{DevicePool, DeviceStats};
-use crate::scheduler::{schedule, Dispatch, JobShape};
+use crate::scheduler::{schedule, Dispatch, DispatchPolicy, JobShape};
 
 /// Outcome of one job.
 #[derive(Clone, Debug)]
@@ -109,22 +109,40 @@ pub fn solve_planned(gpu: &Gpu, job: &Job, plan: &Plan) -> (Solution, f64) {
     }
 }
 
-/// Solve a batch of jobs over the pool, using up to
+/// Solve a batch of jobs over the pool under the default
+/// [`DispatchPolicy::LeastLoaded`], using up to
 /// `available_parallelism` host worker threads for the functional
 /// execution.
 pub fn solve_batch(pool: &mut DevicePool, jobs: &[Job]) -> BatchReport {
+    solve_batch_policy(pool, jobs, DispatchPolicy::LeastLoaded)
+}
+
+/// [`solve_batch`] with an explicit dispatch policy
+/// (`DispatchPolicy::ShortestExpectedCompletion` pays off on
+/// heterogeneous pools; solutions are bit-identical either way).
+pub fn solve_batch_policy(
+    pool: &mut DevicePool,
+    jobs: &[Job],
+    policy: DispatchPolicy,
+) -> BatchReport {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    solve_batch_with(pool, jobs, workers)
+    solve_batch_with(pool, jobs, workers, policy)
 }
 
 /// [`solve_batch`] with an explicit host worker-thread count
-/// (`host_threads = 1` executes jobs on the calling thread).
-pub fn solve_batch_with(pool: &mut DevicePool, jobs: &[Job], host_threads: usize) -> BatchReport {
+/// (`host_threads = 1` executes jobs on the calling thread) and
+/// dispatch policy.
+pub fn solve_batch_with(
+    pool: &mut DevicePool,
+    jobs: &[Job],
+    host_threads: usize,
+    policy: DispatchPolicy,
+) -> BatchReport {
     let planner = Planner::new();
     let shapes: Vec<JobShape> = jobs.iter().map(JobShape::from).collect();
-    let dispatches = schedule(pool, &planner, &shapes);
+    let dispatches = schedule(pool, &planner, &shapes, policy);
 
     let mut outcomes: Vec<Option<JobOutcome>> = Vec::new();
     outcomes.resize_with(jobs.len(), || None);
@@ -208,12 +226,7 @@ mod tests {
                 let b: Vec<f64> = (0..n)
                     .map(|_| multidouble::random::rand_real(&mut rng))
                     .collect();
-                Job {
-                    id,
-                    a,
-                    b,
-                    target_digits: [12, 25, 50][id as usize % 3],
-                }
+                Job::new(id, a, b, [12, 25, 50][id as usize % 3])
             })
             .collect()
     }
@@ -243,8 +256,8 @@ mod tests {
         let jobs = little_jobs(12, 78);
         let mut pool_a = DevicePool::homogeneous(&Gpu::v100(), 3);
         let mut pool_b = DevicePool::homogeneous(&Gpu::v100(), 3);
-        let serial = solve_batch_with(&mut pool_a, &jobs, 1);
-        let parallel = solve_batch_with(&mut pool_b, &jobs, 4);
+        let serial = solve_batch_with(&mut pool_a, &jobs, 1, DispatchPolicy::LeastLoaded);
+        let parallel = solve_batch_with(&mut pool_b, &jobs, 4, DispatchPolicy::LeastLoaded);
         assert_eq!(serial.makespan_ms, parallel.makespan_ms);
         for (s, p) in serial.outcomes.iter().zip(&parallel.outcomes) {
             assert_eq!(s.x, p.x, "job {} diverged across host threads", s.job_id);
@@ -265,8 +278,8 @@ mod tests {
     fn reused_pool_reports_per_batch_aggregates() {
         let jobs = little_jobs(4, 80);
         let mut pool = DevicePool::homogeneous(&Gpu::v100(), 2);
-        let first = solve_batch_with(&mut pool, &jobs, 1);
-        let second = solve_batch_with(&mut pool, &jobs, 1);
+        let first = solve_batch_with(&mut pool, &jobs, 1, DispatchPolicy::LeastLoaded);
+        let second = solve_batch_with(&mut pool, &jobs, 1, DispatchPolicy::LeastLoaded);
         // clocks carry across batches: the second batch finishes later...
         assert!(second.makespan_ms > first.makespan_ms);
         // ...but its rate counts only its own four jobs over that time
@@ -274,6 +287,26 @@ mod tests {
         assert!((second.solves_per_sec - expect).abs() < 1e-9);
         // the pool's cumulative view keeps both batches
         assert_eq!(pool.total_solves(), 8);
+    }
+
+    #[test]
+    fn policies_only_move_jobs_never_bits() {
+        let jobs = little_jobs(10, 81);
+        let gpus = || vec![Gpu::v100(), Gpu::p100()];
+        let mut pool_g = DevicePool::new(gpus());
+        let greedy = solve_batch_with(&mut pool_g, &jobs, 1, DispatchPolicy::LeastLoaded);
+        let mut pool_s = DevicePool::new(gpus());
+        let sect = solve_batch_with(
+            &mut pool_s,
+            &jobs,
+            1,
+            DispatchPolicy::ShortestExpectedCompletion,
+        );
+        for (g, s) in greedy.outcomes.iter().zip(&sect.outcomes) {
+            assert_eq!(g.job_id, s.job_id);
+            assert_eq!(g.x, s.x, "job {}: policy changed the bits", g.job_id);
+            assert_eq!(g.residual, s.residual);
+        }
     }
 
     #[test]

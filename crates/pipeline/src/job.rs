@@ -82,9 +82,42 @@ pub struct Job {
     pub b: Vec<f64>,
     /// Required decimal digits of accuracy.
     pub target_digits: u32,
+    /// Scheduling priority: higher values drain first from the stream's
+    /// reorder buffer (a path tracker marks corrector solves above
+    /// speculative predictor solves). Priority never changes numerics,
+    /// only placement and simulated timing. Default 0.
+    pub priority: i32,
+    /// Optional completion deadline in simulated ms. Within one
+    /// priority class the reorder buffer drains earliest deadline
+    /// first; jobs without a deadline come after deadlined peers.
+    pub deadline_ms: Option<f64>,
 }
 
 impl Job {
+    /// A default-priority, no-deadline job.
+    pub fn new(id: u64, a: HostMat<f64>, b: Vec<f64>, target_digits: u32) -> Job {
+        Job {
+            id,
+            a,
+            b,
+            target_digits,
+            priority: 0,
+            deadline_ms: None,
+        }
+    }
+
+    /// Set the scheduling priority (higher drains first).
+    pub fn with_priority(mut self, priority: i32) -> Job {
+        self.priority = priority;
+        self
+    }
+
+    /// Set a completion deadline in simulated ms.
+    pub fn with_deadline_ms(mut self, deadline_ms: f64) -> Job {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
     /// Rows `m`.
     pub fn rows(&self) -> usize {
         self.a.rows

@@ -14,12 +14,20 @@
 //! 2. **Device pool + scheduler** ([`pool`], [`scheduler`]) — N
 //!    simulated GPUs (`Gpu::v100()`, `Gpu::a100()`, …, cloned or
 //!    mixed), each with a simulated-time clock; queued jobs dispatch
-//!    greedily to the least-loaded device, and the pool aggregates
-//!    solves/sec, gigaflops and utilization per device.
+//!    under a pluggable [`DispatchPolicy`] — greedy least-loaded, or
+//!    shortest-expected-completion for heterogeneous pools — and the
+//!    pool aggregates solves/sec, gigaflops and utilization per device.
 //! 3. **Batched API** ([`batch`], [`stream`]) — [`solve_batch`] for a
 //!    whole queue at once (host worker threads shorten real wall time;
 //!    simulated timing is unaffected), [`solve_stream`] as the lazy,
-//!    iterator-style variant for live queues.
+//!    iterator-style variant for live queues, and
+//!    [`solve_stream_with`] adding a priority/deadline reorder buffer
+//!    (corrector solves overtake speculative predictor solves) plus
+//!    policy selection.
+//!
+//! Policies and priorities move jobs across devices and through time;
+//! they never change numerics — every outcome stays bit-identical to a
+//! sequential [`mdls_core::lstsq`] call under the same plan.
 //!
 //! ```
 //! use gpusim::Gpu;
@@ -43,10 +51,12 @@ pub mod scheduler;
 pub mod stream;
 pub mod workload;
 
-pub use batch::{solve_batch, solve_batch_with, solve_planned, BatchReport, JobOutcome};
+pub use batch::{
+    solve_batch, solve_batch_policy, solve_batch_with, solve_planned, BatchReport, JobOutcome,
+};
 pub use job::{Job, Precision, Solution};
 pub use planner::{Plan, Planner};
 pub use pool::{DevicePool, DeviceStats, PoolDevice};
-pub use scheduler::{dispatch_one, schedule, Dispatch, JobShape};
-pub use stream::{solve_stream, BatchStream};
-pub use workload::power_flow_jobs;
+pub use scheduler::{dispatch_one, schedule, Dispatch, DispatchPolicy, JobShape};
+pub use stream::{solve_stream, solve_stream_with, BatchStream};
+pub use workload::{power_flow_jobs, tracker_jobs, workload_mix};

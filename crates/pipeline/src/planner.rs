@@ -14,6 +14,18 @@
 //!   rung moves kernels across the roofline's memory/compute boundary —
 //!   so the winning tiling legitimately differs per shape and device.
 //!
+//! **Placement invariance.** The tiling is *numerics-determining*: the
+//! tiled back substitution inverts diagonal tiles, so two tilings of
+//! the same system round differently. The planner therefore autotunes
+//! the tiling once per `(rows, cols, precision)` on a fixed reference
+//! model (the paper's V100) and reuses that tiling on every device,
+//! predicting only the *timing* per device model. A job's solution is
+//! then bit-identical no matter which device the scheduler picks —
+//! the guarantee the scheduling policies and the priority stream rely
+//! on. (Originally the tiling was re-tuned per device, which silently
+//! broke that guarantee on heterogeneous pools: a 24×24 8d job tiled
+//! 3×8 on a V100 but 2×12 on a P100, with different bits.)
+//!
 //! Plans are memoized per `(device, rows, cols, precision)`: a batch of
 //! thousands of same-shaped jobs plans once.
 
@@ -83,31 +95,49 @@ fn device_fingerprint(gpu: &Gpu) -> u64 {
     h
 }
 
+/// A canonical tiling choice `(tiles, tile_size)`, keyed by
+/// `(rows, cols, precision)` — device-free, because the tiling fixes
+/// the arithmetic (see module docs).
+type TilingMemo = HashMap<(usize, usize, Precision), (usize, usize)>;
+
 /// A memoizing planner. One planner is shared by a whole batch run.
-#[derive(Default)]
 pub struct Planner {
     cache: Mutex<HashMap<PlanKey, Plan>>,
+    tilings: Mutex<TilingMemo>,
+    /// The numerics reference model the tiling is tuned on.
+    reference: Gpu,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner::new()
+    }
 }
 
 /// Hard ceiling on the tile size: one tile is one thread block, and no
 /// modeled device launches blocks wider than CUDA's 1024-thread limit.
 pub const MAX_TILE_SIZE: usize = 1024;
 
-/// Candidate tile sizes, largest first. Only divisors of the column
-/// count are usable (the tiling must satisfy `N · n = cols` exactly),
-/// and no candidate exceeds [`MAX_TILE_SIZE`]; the single-tile
-/// configuration is a candidate whenever it fits in one block.
+/// Candidate tile sizes: *every* divisor of the column count up to
+/// [`MAX_TILE_SIZE`], largest first. Only divisors are usable (the
+/// tiling must satisfy `N · n = cols` exactly), and no candidate
+/// exceeds the block limit; the single-tile configuration is a
+/// candidate whenever it fits in one block.
+///
+/// A fixed preferred-size list is not enough: `cols = 1366 = 2 · 683`
+/// has the perfectly launchable 683-wide tile that no power-of-two-ish
+/// shortlist contains, leaving only {2, 1} and a silently terrible
+/// plan. Divisor enumeration is O(min(cols, 1024)) per *uncached* plan
+/// — noise next to the model evaluations it feeds.
 pub fn tile_candidates(cols: usize) -> Vec<usize> {
-    const PREFERRED: [usize; 16] = [256, 192, 128, 96, 64, 48, 32, 24, 16, 12, 8, 6, 4, 3, 2, 1];
-    let mut v: Vec<usize> = PREFERRED
-        .into_iter()
-        .filter(|&d| d <= cols && cols.is_multiple_of(d))
+    let mut v: Vec<usize> = (1..=cols.min(MAX_TILE_SIZE))
+        .filter(|&d| cols.is_multiple_of(d))
+        .rev()
         .collect();
-    if cols <= MAX_TILE_SIZE && !v.contains(&cols) {
-        v.insert(0, cols); // one tile of all columns
-    }
-    // tile size 1 always divides, so the list is never empty
-    v.truncate(8);
+    // tile size 1 always divides, so the list is never empty; keep the
+    // search bounded for highly composite widths (divisors are already
+    // largest-first, and the model never favors the tiniest tiles)
+    v.truncate(24);
     v
 }
 
@@ -130,13 +160,26 @@ fn predict(gpu: &Gpu, precision: Precision, rows: usize, opts: &LstsqOptions) ->
 }
 
 impl Planner {
-    /// Fresh planner with an empty memo table.
+    /// Fresh planner with an empty memo table, tuning tilings on the
+    /// paper's V100 reference model.
     pub fn new() -> Self {
-        Planner::default()
+        Planner::with_reference(Gpu::v100())
+    }
+
+    /// Fresh planner tuning tilings on an explicit reference model.
+    /// Every planner sharing a reference produces the same tilings —
+    /// and therefore the same bits — for the same jobs.
+    pub fn with_reference(reference: Gpu) -> Self {
+        Planner {
+            cache: Mutex::new(HashMap::new()),
+            tilings: Mutex::new(HashMap::new()),
+            reference,
+        }
     }
 
     /// Plan a solve of a `rows × cols` system to `target_digits` on
-    /// device `gpu`.
+    /// device `gpu`: the canonical (device-free) tiling, timed for
+    /// `gpu`'s model.
     pub fn plan(&self, gpu: &Gpu, rows: usize, cols: usize, target_digits: u32) -> Plan {
         assert!(cols > 0, "cannot plan an empty system");
         assert!(rows >= cols, "least squares needs rows >= cols");
@@ -151,35 +194,57 @@ impl Planner {
         if let Some(p) = self.cache.lock().unwrap().get(&key) {
             return *p;
         }
-        let plan = plan_uncached(gpu, rows, cols, precision);
-        self.cache.lock().unwrap().insert(key, plan);
-        plan
+        // compute outside the lock (model evaluation is the slow part;
+        // holding the mutex here would serialize all concurrent
+        // planning), then insert through `entry` so a racing thread's
+        // in-flight result is never clobbered — the old blind insert
+        // overwrote it. Racing threads may duplicate the computation,
+        // but plans are deterministic, so whichever lands first wins
+        // and both callers return the cached entry.
+        let (tiles, tile_size) = self.tiling(rows, cols, precision);
+        let opts = LstsqOptions::tiled(tiles, tile_size, ExecMode::ModelOnly);
+        let (ms, kernel_ms, flops) = predict(gpu, precision, rows, &opts);
+        let plan = Plan {
+            precision,
+            tiles,
+            tile_size,
+            predicted_ms: ms,
+            predicted_kernel_ms: kernel_ms,
+            flops_paper: flops,
+        };
+        *self.cache.lock().unwrap().entry(key).or_insert(plan)
+    }
+
+    /// The canonical tiling `(tiles, tile_size)` for a shape and rung:
+    /// the cheapest candidate on the reference model, memoized (same
+    /// compute-outside-the-lock discipline as the plan cache).
+    fn tiling(&self, rows: usize, cols: usize, precision: Precision) -> (usize, usize) {
+        let key = (rows, cols, precision);
+        if let Some(t) = self.tilings.lock().unwrap().get(&key) {
+            return *t;
+        }
+        let mut best: Option<(f64, usize)> = None;
+        for tile_size in tile_candidates(cols) {
+            let tiles = cols / tile_size;
+            let opts = LstsqOptions::tiled(tiles, tile_size, ExecMode::ModelOnly);
+            let (ms, _, _) = predict(&self.reference, precision, rows, &opts);
+            if best.map(|(b, _)| ms < b).unwrap_or(true) {
+                best = Some((ms, tile_size));
+            }
+        }
+        let (_, tile_size) = best.expect("tile_candidates is never empty");
+        *self
+            .tilings
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert((cols / tile_size, tile_size))
     }
 
     /// Number of distinct plans computed so far.
     pub fn cached_plans(&self) -> usize {
         self.cache.lock().unwrap().len()
     }
-}
-
-fn plan_uncached(gpu: &Gpu, rows: usize, cols: usize, precision: Precision) -> Plan {
-    let mut best: Option<Plan> = None;
-    for tile_size in tile_candidates(cols) {
-        let tiles = cols / tile_size;
-        let opts = LstsqOptions::tiled(tiles, tile_size, ExecMode::ModelOnly);
-        let (ms, kernel_ms, flops) = predict(gpu, precision, rows, &opts);
-        if best.map(|b| ms < b.predicted_ms).unwrap_or(true) {
-            best = Some(Plan {
-                precision,
-                tiles,
-                tile_size,
-                predicted_ms: ms,
-                predicted_kernel_ms: kernel_ms,
-                flops_paper: flops,
-            });
-        }
-    }
-    best.expect("tile_candidates is never empty")
 }
 
 #[cfg(test)]
@@ -196,6 +261,42 @@ mod tests {
                 assert!(ts <= MAX_TILE_SIZE, "tile {ts} exceeds a thread block");
             }
         }
+    }
+
+    #[test]
+    fn wide_prime_factors_are_not_skipped() {
+        // regression: the preferred-size shortlist proposed only {2, 1}
+        // for 1366 = 2 * 683, silently skipping the launchable 683-wide
+        // tile (683 <= MAX_TILE_SIZE)
+        let c = tile_candidates(1366);
+        assert!(c.contains(&683), "683 missing from {c:?}");
+        assert_eq!(c, vec![683, 2, 1]);
+        // and the planner actually prefers it: 2 wide tiles beat 683
+        // launch-gap-dominated 2-wide ones
+        let plan = Planner::new().plan(&Gpu::v100(), 1366, 1366, 25);
+        assert_eq!(plan.tile_size, 683);
+    }
+
+    #[test]
+    fn concurrent_planning_caches_once() {
+        // regression: plan() took the memo lock twice (get, then
+        // insert), so racing callers recomputed and re-inserted the
+        // same key; with the entry API the cache holds exactly one
+        // entry per key no matter the interleaving
+        let planner = Planner::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..4 {
+                        let p = planner.plan(&Gpu::v100(), 96, 96, 25);
+                        assert_eq!(p.tiles * p.tile_size, 96);
+                        let q = planner.plan(&Gpu::a100(), 128, 128, 50);
+                        assert_eq!(q.tiles * q.tile_size, 128);
+                    }
+                });
+            }
+        });
+        assert_eq!(planner.cached_plans(), 2, "racing planners duplicated work");
     }
 
     #[test]
@@ -256,6 +357,28 @@ mod tests {
             (large.tiles, large.tile_size),
             "planner chose one tiling for very different shapes"
         );
+    }
+
+    #[test]
+    fn tiling_is_placement_invariant() {
+        // regression: per-device tiling tuning gave a 24x24 8d job a
+        // 3x8 tiling on the V100 but 2x12 on the P100 — different
+        // arithmetic, different bits, on whatever device the scheduler
+        // happened to pick. The canonical tiling must match across
+        // devices (timing may differ).
+        let planner = Planner::new();
+        for (rows, cols, digits) in [(24, 24, 100), (16, 16, 25), (96, 96, 50), (128, 96, 12)] {
+            let v = planner.plan(&Gpu::v100(), rows, cols, digits);
+            let p = planner.plan(&Gpu::p100(), rows, cols, digits);
+            let a = planner.plan(&Gpu::a100(), rows, cols, digits);
+            assert_eq!(
+                (v.tiles, v.tile_size),
+                (p.tiles, p.tile_size),
+                "{rows}x{cols} d{digits}: V100/P100 tilings differ"
+            );
+            assert_eq!((v.tiles, v.tile_size), (a.tiles, a.tile_size));
+            assert_ne!(v.predicted_ms, p.predicted_ms, "timing should differ");
+        }
     }
 
     #[test]

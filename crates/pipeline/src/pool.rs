@@ -19,6 +19,10 @@ pub struct PoolDevice {
     /// may mix V100s, A100s, …).
     pub gpu: Gpu,
     busy_until_ms: f64,
+    /// Accumulated solve time, ms. Distinct from the clock: holding a
+    /// device idle (a gap before a delayed job) advances the clock but
+    /// not the busy aggregate, so utilization stays honest.
+    busy_ms: f64,
     solves: u64,
     kernel_ms: f64,
     flops_paper: f64,
@@ -28,6 +32,12 @@ impl PoolDevice {
     /// Simulated time at which this device becomes idle.
     pub fn clock_ms(&self) -> f64 {
         self.busy_until_ms
+    }
+
+    /// Simulated time this device spent solving, ms — excludes idle
+    /// gaps, unlike [`PoolDevice::clock_ms`].
+    pub fn busy_ms(&self) -> f64 {
+        self.busy_ms
     }
 
     /// Number of solves dispatched to this device.
@@ -72,6 +82,7 @@ impl DevicePool {
                     id,
                     gpu,
                     busy_until_ms: 0.0,
+                    busy_ms: 0.0,
                     solves: 0,
                     kernel_ms: 0.0,
                     flops_paper: 0.0,
@@ -133,10 +144,20 @@ impl DevicePool {
         let d = &mut self.devices[id];
         let start = d.busy_until_ms;
         d.busy_until_ms += wall_ms;
+        d.busy_ms += wall_ms;
         d.solves += 1;
         d.kernel_ms += kernel_ms;
         d.flops_paper += flops_paper;
         (start, d.busy_until_ms)
+    }
+
+    /// Hold device `id` idle until simulated time `until_ms` (no-op if
+    /// its clock is already past). Advances the clock without touching
+    /// the busy aggregate — the modeled idle gap before a delayed or
+    /// deadline-held job.
+    pub fn hold_until(&mut self, id: usize, until_ms: f64) {
+        let d = &mut self.devices[id];
+        d.busy_until_ms = d.busy_until_ms.max(until_ms);
     }
 
     /// Batch makespan: the latest clock over the pool, ms.
@@ -165,6 +186,7 @@ impl DevicePool {
     pub fn reset(&mut self) {
         for d in &mut self.devices {
             d.busy_until_ms = 0.0;
+            d.busy_ms = 0.0;
             d.solves = 0;
             d.kernel_ms = 0.0;
             d.flops_paper = 0.0;
@@ -180,9 +202,9 @@ impl DevicePool {
                 id: d.id,
                 name: d.gpu.name,
                 solves: d.solves,
-                busy_ms: d.busy_until_ms,
+                busy_ms: d.busy_ms,
                 utilization: if makespan > 0.0 {
-                    d.busy_until_ms / makespan
+                    d.busy_ms / makespan
                 } else {
                     0.0
                 },
@@ -191,8 +213,8 @@ impl DevicePool {
                 } else {
                     0.0
                 },
-                solves_per_busy_sec: if d.busy_until_ms > 0.0 {
-                    d.solves as f64 / (d.busy_until_ms * 1.0e-3)
+                solves_per_busy_sec: if d.busy_ms > 0.0 {
+                    d.solves as f64 / (d.busy_ms * 1.0e-3)
                 } else {
                     0.0
                 },
@@ -232,12 +254,35 @@ mod tests {
     }
 
     #[test]
+    fn idle_gaps_do_not_inflate_utilization() {
+        // regression: `busy_until_ms` doubled as the busy aggregate, so
+        // any idle gap counted as busy time and over-reported
+        // utilization (and under-reported solves/busy-sec)
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 2);
+        pool.hold_until(0, 60.0); // 60 ms idle gap before the first solve
+        pool.commit(0, 40.0, 30.0, 1.0e9);
+        pool.commit(1, 100.0, 80.0, 1.0e9);
+        assert_eq!(pool.makespan_ms(), 100.0);
+        let stats = pool.stats();
+        assert_eq!(stats[0].busy_ms, 40.0);
+        assert!((stats[0].utilization - 0.4).abs() < 1e-12);
+        assert!((stats[1].utilization - 1.0).abs() < 1e-12);
+        // 1 solve / 0.04 busy-sec = 25 solves per busy second
+        assert!((stats[0].solves_per_busy_sec - 25.0).abs() < 1e-9);
+        // holding a device never rewinds its clock
+        pool.hold_until(1, 10.0);
+        assert_eq!(pool.devices()[1].clock_ms(), 100.0);
+    }
+
+    #[test]
     fn reset_clears_everything() {
         let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+        pool.hold_until(0, 2.0);
         pool.commit(0, 5.0, 4.0, 1.0);
         pool.reset();
         assert_eq!(pool.makespan_ms(), 0.0);
         assert_eq!(pool.total_solves(), 0);
+        assert_eq!(pool.devices()[0].busy_ms(), 0.0);
     }
 
     #[test]

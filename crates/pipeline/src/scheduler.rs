@@ -1,19 +1,61 @@
-//! The scheduler: greedy dispatch of planned jobs onto the device pool.
+//! The scheduler: policy-driven dispatch of planned jobs onto the
+//! device pool.
 //!
-//! Jobs are dispatched in arrival order to the least-loaded device (the
-//! earliest-idle simulated clock, ties to the lowest id). Each dispatch
-//! plans the job *for the chosen device's model* — a heterogeneous pool
-//! plans the same shape differently on a V100 than on an A100 — and
-//! advances that device's clock by the plan's predicted wall clock.
+//! Dispatch is a pluggable [`DispatchPolicy`]:
+//!
+//! * [`DispatchPolicy::LeastLoaded`] — the legacy greedy rule: the job
+//!   goes to the earliest-idle simulated clock (ties to the lowest id),
+//!   then is planned *for that device's model*. Cheap (one plan per
+//!   dispatch) but blind to device speed: on a mixed pool an idle P100
+//!   wins over an A100 that would finish the job sooner.
+//! * [`DispatchPolicy::ShortestExpectedCompletion`] — plans the job on
+//!   *every* device model and commits where `clock + predicted_ms` is
+//!   minimal (ties to the lowest id). The planner's memo table makes
+//!   the extra plans nearly free — a pool mixes a handful of device
+//!   models, so each (shape, model) pair is planned once per run.
+//!
+//! Either way, each dispatch plans the job for the chosen device's
+//! model — a heterogeneous pool plans the same shape differently on a
+//! V100 than on an A100 — and advances that device's clock by the
+//! plan's predicted wall clock.
 //!
 //! Because the analytic timing model is data-independent, the predicted
 //! wall clock of a plan *is* the modeled wall clock of the functional
 //! solve (asserted by `functional_and_model_profiles_agree` in the seed
-//! suite), so schedules built from predictions are exact.
+//! suite), so schedules built from predictions are exact. And because a
+//! policy only chooses *placement*, never solver options beyond the
+//! per-device plan, solutions are bit-identical across policies.
 
 use crate::job::Job;
 use crate::planner::{Plan, Planner};
 use crate::pool::DevicePool;
+
+/// How the scheduler picks a device for the next job.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum DispatchPolicy {
+    /// Greedy: earliest-idle device clock wins, ties to the lowest id —
+    /// the same placement decisions as the pipeline's original
+    /// hard-wired dispatch. (Solution bits on non-V100 devices may
+    /// still differ from pre-policy releases: tilings are now tuned on
+    /// the reference model instead of per device, so numerics are
+    /// placement-invariant — see [`crate::planner`].)
+    #[default]
+    LeastLoaded,
+    /// Plan the job on every device and commit where
+    /// `clock + predicted_ms` is minimal, ties to the lowest id.
+    /// Strictly better informed on heterogeneous pools.
+    ShortestExpectedCompletion,
+}
+
+impl DispatchPolicy {
+    /// Short label for tables and logs.
+    pub fn tag(self) -> &'static str {
+        match self {
+            DispatchPolicy::LeastLoaded => "greedy",
+            DispatchPolicy::ShortestExpectedCompletion => "sect",
+        }
+    }
+}
 
 /// The scheduling-relevant part of a job: its shape and accuracy target.
 #[derive(Clone, Copy, Debug)]
@@ -51,23 +93,52 @@ pub struct Dispatch {
     pub end_ms: f64,
 }
 
-/// Dispatch one job: pick the least-loaded device *now*, plan the job
-/// for that device's model, and commit the predicted cost to its
-/// clock. The single dispatch step shared by [`schedule`] and the
-/// streaming API — scheduling-policy changes happen here, once.
+/// Pick the device and plan for one job under `policy`, without
+/// committing anything to the pool.
+fn place(
+    pool: &DevicePool,
+    planner: &Planner,
+    shape: &JobShape,
+    policy: DispatchPolicy,
+) -> (usize, Plan) {
+    match policy {
+        DispatchPolicy::LeastLoaded => {
+            let device = pool.least_loaded();
+            let plan = planner.plan(
+                pool.gpu(device),
+                shape.rows,
+                shape.cols,
+                shape.target_digits,
+            );
+            (device, plan)
+        }
+        DispatchPolicy::ShortestExpectedCompletion => {
+            assert!(!pool.is_empty(), "empty device pool");
+            pool.devices()
+                .iter()
+                .map(|d| {
+                    let plan = planner.plan(&d.gpu, shape.rows, shape.cols, shape.target_digits);
+                    (d.clock_ms() + plan.predicted_ms, d.id, plan)
+                })
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                .map(|(_, id, plan)| (id, plan))
+                .unwrap()
+        }
+    }
+}
+
+/// Dispatch one job: pick a device under `policy`, plan the job for
+/// that device's model, and commit the predicted cost to its clock.
+/// The single dispatch step shared by [`schedule`] and the streaming
+/// API — scheduling-policy changes happen here, once.
 pub fn dispatch_one(
     pool: &mut DevicePool,
     planner: &Planner,
     job: usize,
     shape: &JobShape,
+    policy: DispatchPolicy,
 ) -> Dispatch {
-    let device = pool.least_loaded();
-    let plan = planner.plan(
-        pool.gpu(device),
-        shape.rows,
-        shape.cols,
-        shape.target_digits,
-    );
+    let (device, plan) = place(pool, planner, shape, policy);
     let (start_ms, end_ms) = pool.commit(
         device,
         plan.predicted_ms,
@@ -83,15 +154,41 @@ pub fn dispatch_one(
     }
 }
 
-/// Greedily schedule `shapes` over `pool`, committing each job's
+/// Schedule `shapes` over `pool` under `policy`, committing each job's
 /// predicted cost to its device clock. Returns one [`Dispatch`] per
 /// shape, in submission order.
-pub fn schedule(pool: &mut DevicePool, planner: &Planner, shapes: &[JobShape]) -> Vec<Dispatch> {
-    shapes
-        .iter()
-        .enumerate()
-        .map(|(job, shape)| dispatch_one(pool, planner, job, shape))
-        .collect()
+///
+/// Unlike the streaming path, the batch scheduler sees the whole queue
+/// up front, so under [`DispatchPolicy::ShortestExpectedCompletion`] it
+/// places jobs longest-first (classic LPT): purely arrival-ordered
+/// SECT equalizes `clock + cost` instead of `clock`, leaving slow
+/// devices idle at the tail, and a long job landing late on a slow
+/// device is exactly the makespan overhang LPT exists to prevent. The
+/// sort key is the plan's device-independent Table 1 flop count, so
+/// the order does not depend on the pool's composition.
+pub fn schedule(
+    pool: &mut DevicePool,
+    planner: &Planner,
+    shapes: &[JobShape],
+    policy: DispatchPolicy,
+) -> Vec<Dispatch> {
+    let mut order: Vec<usize> = (0..shapes.len()).collect();
+    if policy == DispatchPolicy::ShortestExpectedCompletion && !pool.is_empty() {
+        let flops: Vec<f64> = shapes
+            .iter()
+            .map(|s| {
+                planner
+                    .plan(pool.gpu(0), s.rows, s.cols, s.target_digits)
+                    .flops_paper
+            })
+            .collect();
+        order.sort_by(|&a, &b| flops[b].total_cmp(&flops[a]));
+    }
+    let mut dispatches: Vec<Option<Dispatch>> = vec![None; shapes.len()];
+    for &job in &order {
+        dispatches[job] = Some(dispatch_one(pool, planner, job, &shapes[job], policy));
+    }
+    dispatches.into_iter().map(|d| d.unwrap()).collect()
 }
 
 #[cfg(test)]
@@ -115,16 +212,22 @@ mod tests {
     #[test]
     fn makespan_shrinks_as_devices_grow() {
         let shapes = mixed_shapes();
-        let mut prev = f64::INFINITY;
-        for n in 1..=4 {
-            let mut pool = DevicePool::homogeneous(&Gpu::v100(), n);
-            schedule(&mut pool, &Planner::new(), &shapes);
-            let makespan = pool.makespan_ms();
-            assert!(
-                makespan < prev,
-                "makespan {makespan} ms did not shrink at {n} devices (was {prev})"
-            );
-            prev = makespan;
+        for policy in [
+            DispatchPolicy::LeastLoaded,
+            DispatchPolicy::ShortestExpectedCompletion,
+        ] {
+            let mut prev = f64::INFINITY;
+            for n in 1..=4 {
+                let mut pool = DevicePool::homogeneous(&Gpu::v100(), n);
+                schedule(&mut pool, &Planner::new(), &shapes, policy);
+                let makespan = pool.makespan_ms();
+                assert!(
+                    makespan < prev,
+                    "{}: makespan {makespan} ms did not shrink at {n} devices (was {prev})",
+                    policy.tag()
+                );
+                prev = makespan;
+            }
         }
     }
 
@@ -132,7 +235,12 @@ mod tests {
     fn dispatch_covers_all_devices_and_jobs() {
         let shapes = mixed_shapes();
         let mut pool = DevicePool::homogeneous(&Gpu::a100(), 3);
-        let dispatches = schedule(&mut pool, &Planner::new(), &shapes);
+        let dispatches = schedule(
+            &mut pool,
+            &Planner::new(),
+            &shapes,
+            DispatchPolicy::LeastLoaded,
+        );
         assert_eq!(dispatches.len(), shapes.len());
         for d in 0..3 {
             assert!(
@@ -165,10 +273,92 @@ mod tests {
         ];
         let mut pool = DevicePool::new(vec![Gpu::v100(), Gpu::rtx2080()]);
         let planner = Planner::new();
-        let dispatches = schedule(&mut pool, &planner, &shapes);
+        let dispatches = schedule(&mut pool, &planner, &shapes, DispatchPolicy::LeastLoaded);
         // both devices got work, and the predicted cost differs by model
         let v = dispatches.iter().find(|d| d.device == 0).unwrap();
         let r = dispatches.iter().find(|d| d.device == 1).unwrap();
         assert_ne!(v.plan.predicted_ms, r.plan.predicted_ms);
+    }
+
+    #[test]
+    fn per_arrival_policies_agree_on_homogeneous_pools() {
+        // identical devices: `clock + predicted` ranks devices exactly
+        // like `clock` alone, so a single SECT dispatch reduces to
+        // least-loaded
+        let shapes = mixed_shapes();
+        let planner = Planner::new();
+        let mut greedy = DevicePool::homogeneous(&Gpu::v100(), 3);
+        let mut sect = DevicePool::homogeneous(&Gpu::v100(), 3);
+        for (i, shape) in shapes.iter().enumerate() {
+            let g = dispatch_one(&mut greedy, &planner, i, shape, DispatchPolicy::LeastLoaded);
+            let s = dispatch_one(
+                &mut sect,
+                &planner,
+                i,
+                shape,
+                DispatchPolicy::ShortestExpectedCompletion,
+            );
+            assert_eq!(g.device, s.device, "job {i} placed differently");
+            assert_eq!(g.end_ms, s.end_ms);
+        }
+    }
+
+    #[test]
+    fn batch_sect_returns_submission_order() {
+        // LPT reorders placement internally; the returned dispatches
+        // must still line up with the submitted shapes
+        let shapes = mixed_shapes();
+        let mut pool = DevicePool::new(vec![Gpu::v100(), Gpu::p100()]);
+        let planner = Planner::new();
+        let ds = schedule(
+            &mut pool,
+            &planner,
+            &shapes,
+            DispatchPolicy::ShortestExpectedCompletion,
+        );
+        assert_eq!(ds.len(), shapes.len());
+        for (i, (d, s)) in ds.iter().zip(&shapes).enumerate() {
+            assert_eq!(d.job, i);
+            let expect = planner.plan(pool.gpu(d.device), s.rows, s.cols, s.target_digits);
+            assert_eq!(d.plan, expect, "job {i} carries the wrong plan");
+            assert!((d.end_ms - d.start_ms - expect.predicted_ms).abs() < 1e-9);
+        }
+        assert_eq!(pool.total_solves(), shapes.len() as u64);
+    }
+
+    #[test]
+    fn sect_prefers_the_sooner_finishing_device() {
+        // a slow P100 idles at t=0; a fast A100 is busy until t=1. The
+        // greedy rule books the P100 (idle now); SECT books whichever
+        // finishes first. For a deep 8d solve the A100's speed advantage
+        // dwarfs 1 ms of queueing, so the policies must split.
+        let shape = JobShape {
+            rows: 256,
+            cols: 256,
+            target_digits: 100,
+        };
+        let planner = Planner::new();
+
+        let mut pool = DevicePool::new(vec![Gpu::a100(), Gpu::p100()]);
+        pool.commit(0, 1.0, 0.8, 1.0e6);
+        let g = dispatch_one(&mut pool, &planner, 0, &shape, DispatchPolicy::LeastLoaded);
+        assert_eq!(g.device, 1, "greedy must take the idle P100");
+
+        let mut pool = DevicePool::new(vec![Gpu::a100(), Gpu::p100()]);
+        pool.commit(0, 1.0, 0.8, 1.0e6);
+        let s = dispatch_one(
+            &mut pool,
+            &planner,
+            0,
+            &shape,
+            DispatchPolicy::ShortestExpectedCompletion,
+        );
+        assert_eq!(s.device, 0, "SECT must queue behind the faster A100");
+        assert!(
+            s.end_ms < g.end_ms,
+            "SECT completion {} not before greedy's {}",
+            s.end_ms,
+            g.end_ms
+        );
     }
 }

@@ -2,29 +2,109 @@
 //! iterator and outcomes flow out one by one, with the pool's simulated
 //! clocks advancing as the stream is consumed.
 //!
-//! Dispatch decisions are made per job at pull time (least-loaded
-//! device *now*), so a stream interleaved with other pool usage behaves
-//! like a live service queue. Numerics per job are identical to
-//! [`crate::batch::solve_batch`] — the solution never depends on which
-//! device a job lands on, only the simulated timing does.
+//! The pull loop is a two-stage pipeline. **Admit**: each `next()`
+//! first refills a bounded reorder buffer from the input iterator.
+//! **Reorder → dispatch**: the buffer is a binary heap ordered by
+//! (priority desc, deadline asc, arrival asc), so the highest-priority
+//! admitted job dispatches first — a path tracker's corrector solves
+//! overtake speculative predictor solves that arrived earlier, as long
+//! as both sit in the buffer together. With the default window of 1
+//! (see [`solve_stream`]) the buffer holds exactly the next job and the
+//! stream is plain FIFO, bit- and timing-compatible with the original
+//! API.
+//!
+//! Dispatch decisions are made per job at drain time under a
+//! caller-chosen [`DispatchPolicy`], so a stream interleaved with other
+//! pool usage behaves like a live service queue. Numerics per job are
+//! identical to [`crate::batch::solve_batch`] — the solution never
+//! depends on which device a job lands on or when, only the simulated
+//! timing does.
+
+use std::collections::BinaryHeap;
 
 use crate::batch::{solve_planned, JobOutcome};
 use crate::job::Job;
 use crate::planner::Planner;
 use crate::pool::DevicePool;
-use crate::scheduler::{dispatch_one, JobShape};
+use crate::scheduler::{dispatch_one, DispatchPolicy, JobShape};
+
+/// A job waiting in the reorder buffer, ordered so the heap's max is
+/// the next job to dispatch: higher priority first, then earlier
+/// deadline (no deadline sorts last), then earlier arrival (FIFO among
+/// equals — equal-priority streams drain in submission order).
+struct QueuedJob {
+    job: Job,
+    arrival: usize,
+}
+
+impl QueuedJob {
+    /// Deadline as a totally ordered key: missing deadlines sort after
+    /// any finite one.
+    fn deadline(&self) -> f64 {
+        self.job.deadline_ms.unwrap_or(f64::INFINITY)
+    }
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for QueuedJob {}
+
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.job
+            .priority
+            .cmp(&other.job.priority)
+            .then(other.deadline().total_cmp(&self.deadline()))
+            .then(other.arrival.cmp(&self.arrival))
+    }
+}
 
 /// A lazy job-to-outcome pipeline over a device pool.
 pub struct BatchStream<'p, I> {
     pool: &'p mut DevicePool,
     planner: Planner,
     jobs: I,
-    pulled: usize,
+    policy: DispatchPolicy,
+    /// Reorder-buffer capacity: how many admitted jobs compete for the
+    /// next dispatch slot. 1 = FIFO.
+    window: usize,
+    buffer: BinaryHeap<QueuedJob>,
+    admitted: usize,
+    dispatched: usize,
 }
 
-/// Stream `jobs` through `pool`: each `next()` plans, dispatches and
-/// solves one job.
+/// Stream `jobs` through `pool` in FIFO order under the default
+/// [`DispatchPolicy::LeastLoaded`]: each `next()` plans, dispatches and
+/// solves one job. Equivalent to [`solve_stream_with`] with a reorder
+/// window of 1.
 pub fn solve_stream<'p, I>(pool: &'p mut DevicePool, jobs: I) -> BatchStream<'p, I::IntoIter>
+where
+    I: IntoIterator<Item = Job>,
+{
+    solve_stream_with(pool, jobs, DispatchPolicy::LeastLoaded, 1)
+}
+
+/// Stream `jobs` through `pool` under an explicit dispatch `policy` and
+/// reorder `window` (clamped to ≥ 1). A window of `w` admits up to `w`
+/// jobs from the input before every dispatch and drains them highest
+/// priority first, so a late high-priority job can overtake up to
+/// `w − 1` earlier low-priority ones.
+pub fn solve_stream_with<'p, I>(
+    pool: &'p mut DevicePool,
+    jobs: I,
+    policy: DispatchPolicy,
+    window: usize,
+) -> BatchStream<'p, I::IntoIter>
 where
     I: IntoIterator<Item = Job>,
 {
@@ -32,7 +112,11 @@ where
         pool,
         planner: Planner::new(),
         jobs: jobs.into_iter(),
-        pulled: 0,
+        policy,
+        window: window.max(1),
+        buffer: BinaryHeap::new(),
+        admitted: 0,
+        dispatched: 0,
     }
 }
 
@@ -43,9 +127,29 @@ where
     type Item = JobOutcome;
 
     fn next(&mut self) -> Option<JobOutcome> {
-        let job = self.jobs.next()?;
-        let d = dispatch_one(self.pool, &self.planner, self.pulled, &JobShape::from(&job));
-        self.pulled += 1;
+        // admit: refill the reorder buffer up to the window
+        while self.buffer.len() < self.window {
+            match self.jobs.next() {
+                Some(job) => {
+                    self.buffer.push(QueuedJob {
+                        job,
+                        arrival: self.admitted,
+                    });
+                    self.admitted += 1;
+                }
+                None => break,
+            }
+        }
+        // reorder → dispatch: drain the most urgent admitted job
+        let job = self.buffer.pop()?.job;
+        let d = dispatch_one(
+            self.pool,
+            &self.planner,
+            self.dispatched,
+            &JobShape::from(&job),
+            self.policy,
+        );
+        self.dispatched += 1;
         let (x, residual) = solve_planned(self.pool.gpu(d.device), &job, &d.plan);
         Some(JobOutcome {
             job_id: job.id,
@@ -59,7 +163,9 @@ where
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.jobs.size_hint()
+        let (lo, hi) = self.jobs.size_hint();
+        let buffered = self.buffer.len();
+        (lo.saturating_add(buffered), hi.map(|h| h + buffered))
     }
 }
 
@@ -78,7 +184,7 @@ mod tests {
         let jobs = power_flow_jobs(10, &mut rng);
 
         let mut pool_b = DevicePool::homogeneous(&Gpu::v100(), 2);
-        let batch = solve_batch_with(&mut pool_b, &jobs, 1);
+        let batch = solve_batch_with(&mut pool_b, &jobs, 1, DispatchPolicy::LeastLoaded);
 
         let mut pool_s = DevicePool::homogeneous(&Gpu::v100(), 2);
         let streamed: Vec<JobOutcome> = solve_stream(&mut pool_s, jobs).collect();
@@ -109,5 +215,76 @@ mod tests {
             // four jobs never pulled, never solved
         }
         assert_eq!(pool.total_solves(), 2);
+    }
+
+    #[test]
+    fn high_priority_overtakes_the_buffer() {
+        let mut rng = StdRng::seed_from_u64(93);
+        let mut jobs = power_flow_jobs(6, &mut rng);
+        // five speculative predictor solves, then one late corrector
+        let corrector_id = jobs[5].id;
+        jobs[5].priority = 1;
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+        let order: Vec<u64> = solve_stream_with(&mut pool, jobs, DispatchPolicy::LeastLoaded, 8)
+            .map(|o| o.job_id)
+            .collect();
+        assert_eq!(
+            order[0], corrector_id,
+            "late corrector did not overtake: {order:?}"
+        );
+    }
+
+    #[test]
+    fn equal_priority_deadlines_drain_earliest_first() {
+        let mut rng = StdRng::seed_from_u64(94);
+        let mut jobs = power_flow_jobs(4, &mut rng);
+        jobs[0].deadline_ms = None;
+        jobs[1].deadline_ms = Some(9.0);
+        jobs[2].deadline_ms = Some(3.0);
+        jobs[3].deadline_ms = Some(6.0);
+        let expect = vec![jobs[2].id, jobs[3].id, jobs[1].id, jobs[0].id];
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+        let order: Vec<u64> = solve_stream_with(&mut pool, jobs, DispatchPolicy::LeastLoaded, 4)
+            .map(|o| o.job_id)
+            .collect();
+        assert_eq!(order, expect, "not earliest-deadline-first");
+    }
+
+    #[test]
+    fn window_one_is_fifo_even_with_priorities() {
+        let mut rng = StdRng::seed_from_u64(95);
+        let mut jobs = power_flow_jobs(5, &mut rng);
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.priority = i as i32; // ascending: FIFO is maximally "wrong"
+        }
+        let ids: Vec<u64> = jobs.iter().map(|j| j.id).collect();
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+        let order: Vec<u64> = solve_stream(&mut pool, jobs).map(|o| o.job_id).collect();
+        assert_eq!(order, ids, "window 1 must not reorder");
+    }
+
+    #[test]
+    fn reordering_never_changes_numerics() {
+        let mut rng = StdRng::seed_from_u64(96);
+        let mut jobs = power_flow_jobs(12, &mut rng);
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.priority = (i % 3) as i32;
+        }
+        let mut pool_f = DevicePool::homogeneous(&Gpu::v100(), 2);
+        let fifo: Vec<JobOutcome> = solve_stream(&mut pool_f, jobs.clone()).collect();
+        let mut pool_r = DevicePool::homogeneous(&Gpu::v100(), 2);
+        let reordered: Vec<JobOutcome> = solve_stream_with(
+            &mut pool_r,
+            jobs,
+            DispatchPolicy::ShortestExpectedCompletion,
+            6,
+        )
+        .collect();
+        assert_eq!(fifo.len(), reordered.len());
+        for f in &fifo {
+            let r = reordered.iter().find(|r| r.job_id == f.job_id).unwrap();
+            assert_eq!(f.x, r.x, "job {}: reordering changed the bits", f.job_id);
+            assert_eq!(f.residual, r.residual);
+        }
     }
 }

@@ -16,6 +16,7 @@ use multidouble::random::rand_real;
 use rand::Rng;
 
 use crate::job::Job;
+use crate::scheduler::JobShape;
 
 /// Column counts of the generated systems (bus-system-scaled: a handful
 /// of buses up to a few dozen states).
@@ -53,11 +54,49 @@ pub fn power_flow_jobs<R: Rng + ?Sized>(count: usize, rng: &mut R) -> Vec<Job> {
                 .map(|_| (rand_real::<f64, _>(rng) * 8.0).round())
                 .collect();
             let b = a.matvec(&x_true);
-            Job {
-                id,
-                a,
-                b,
-                target_digits,
+            Job::new(id, a, b, target_digits)
+        })
+        .collect()
+}
+
+/// Generate `count` randomized path-tracker-shaped jobs: a mix of
+/// speculative **predictor** solves (loose targets, priority 0) and
+/// **corrector** solves (deep targets, priority 1, deadline-tagged) —
+/// the workload the priority-aware stream exists for. Roughly one job
+/// in three is a corrector, interleaved with the predictors the way a
+/// tracker alternates step kinds.
+pub fn tracker_jobs<R: Rng + ?Sized>(count: usize, rng: &mut R) -> Vec<Job> {
+    power_flow_jobs(count, rng)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut job)| {
+            if i % 3 == 2 {
+                // corrector: must converge before the tracker can step
+                job.target_digits = job.target_digits.max(25);
+                job.priority = 1;
+                job.deadline_ms = Some((i as f64 + 1.0) * 0.5);
+            } else {
+                // predictor: speculative, loose, droppable behind correctors
+                job.target_digits = job.target_digits.min(14);
+            }
+            job
+        })
+        .collect()
+}
+
+/// The deterministic shape queue of the dispatch-policy A/B: shapes
+/// *and* rungs vary sharply per job, so per-job cost varies sharply
+/// across device models — exactly the queue that exposes the greedy
+/// rule's blindness to device speed. Shared by the `repro throughput`
+/// bench and the acceptance tests so both measure the same workload.
+pub fn workload_mix(count: usize) -> Vec<JobShape> {
+    (0..count)
+        .map(|i| {
+            let cols = [32, 64, 96, 128, 192, 256][i % 6];
+            JobShape {
+                rows: cols + [0, 32][i % 2],
+                cols,
+                target_digits: [12, 25, 25, 50, 50, 100][i % 6],
             }
         })
         .collect()

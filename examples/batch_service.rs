@@ -7,7 +7,10 @@
 //! cargo run --release --example batch_service
 //! ```
 
-use multidouble_ls::pipeline::{power_flow_jobs, solve_batch, DevicePool, Precision};
+use multidouble_ls::pipeline::{
+    power_flow_jobs, solve_batch, solve_batch_policy, solve_stream_with, tracker_jobs, DevicePool,
+    DispatchPolicy, JobOutcome, Precision,
+};
 use multidouble_ls::sim::Gpu;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -86,4 +89,53 @@ fn main() {
          (host wall clock: {:.0} ms)",
         report.makespan_ms, report.solves_per_sec, host_ms
     );
+
+    // dispatch-policy selection: on this mixed pool the shortest-
+    // expected-completion policy stops parking long deep-precision
+    // solves on whatever device happens to be idle
+    pool.reset();
+    let sect = solve_batch_policy(&mut pool, &jobs, DispatchPolicy::ShortestExpectedCompletion);
+    println!(
+        "\ndispatch policy A/B on this pool: greedy {:.1} ms vs sect {:.1} ms ({:+.1}%)",
+        report.makespan_ms,
+        sect.makespan_ms,
+        100.0 * (report.makespan_ms - sect.makespan_ms) / report.makespan_ms
+    );
+    assert_eq!(
+        report.outcomes.iter().map(|o| &o.x).collect::<Vec<_>>(),
+        sect.outcomes.iter().map(|o| &o.x).collect::<Vec<_>>(),
+        "policies may move jobs, never change bits"
+    );
+
+    // priority streaming: a path tracker's corrector solves (priority 1,
+    // deadline-tagged) overtake speculative predictor solves inside the
+    // stream's reorder window
+    let tracker = {
+        let mut rng = StdRng::seed_from_u64(2023);
+        tracker_jobs(60, &mut rng)
+    };
+    let correctors: Vec<u64> = tracker
+        .iter()
+        .filter(|j| j.priority > 0)
+        .map(|j| j.id)
+        .collect();
+    pool.reset();
+    let drained: Vec<JobOutcome> = solve_stream_with(
+        &mut pool,
+        tracker,
+        DispatchPolicy::ShortestExpectedCompletion,
+        16,
+    )
+    .collect();
+    let lead: Vec<bool> = drained
+        .iter()
+        .take(8)
+        .map(|o| correctors.contains(&o.job_id))
+        .collect();
+    println!(
+        "priority stream: first 8 of {} drained jobs corrector? {:?}",
+        drained.len(),
+        lead
+    );
+    assert!(lead[0], "a corrector must drain first");
 }

@@ -17,7 +17,8 @@
 //! * [`qr`] — Algorithm 2: blocked accelerated Householder QR;
 //! * [`solver`] — the least squares solver combining the two;
 //! * [`pipeline`] — the batched multi-GPU solve service (cost-model
-//!   planner, device pool, scheduler, `solve_batch`/`solve_stream`).
+//!   planner, device pool, policy-driven scheduler, priority-aware
+//!   `solve_batch`/`solve_stream`).
 //!
 //! ## Quickstart
 //!
@@ -50,5 +51,6 @@ pub use multidouble as md;
 pub use gpusim as sim;
 
 /// The batched multi-GPU solve pipeline: cost-model planner, device
-/// pool, greedy scheduler and the `solve_batch` / `solve_stream` API.
+/// pool, policy-driven scheduler (`DispatchPolicy`), and the
+/// `solve_batch` / `solve_stream` API with priority-aware streaming.
 pub use mdls_pipeline as pipeline;
