@@ -8,8 +8,10 @@
 //!   ablate-smem         shared-memory ablation
 //!   ablate-invert       tile-inversion ablation
 //!   throughput          batched pipeline: scaling, batch depth, planner,
-//!                       greedy-vs-SECT dispatch-policy A/B
-//!   throughput-smoke    the policy A/B alone at a small job count (CI)
+//!                       direct-vs-refinement A/B, greedy-vs-SECT
+//!                       dispatch-policy A/B
+//!   throughput-smoke    policy A/B at a small job count + refinement A/B
+//!                       (CI)
 //!   all                 everything, in paper order
 //! ```
 
@@ -46,9 +48,13 @@ fn run(cmd: &str) -> bool {
             println!("{}", throughput::throughput_scaling().render());
             println!("{}", throughput::batch_size_sweep().render());
             println!("{}", throughput::planner_choices().render());
+            println!("{}", throughput::refinement_ab().render());
             println!("{}", throughput::policy_ab(60).render());
         }
-        "throughput-smoke" => println!("{}", throughput::policy_ab(24).render()),
+        "throughput-smoke" => {
+            println!("{}", throughput::policy_ab(24).render());
+            println!("{}", throughput::refinement_ab().render());
+        }
         "all" => {
             for c in [
                 "table1",

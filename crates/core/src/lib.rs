@@ -10,6 +10,17 @@
 //! The run returns *two* profiles — one for the QR, one for the back
 //! substitution (which absorbs the small `Qᴴ b` product) — exactly the
 //! split of the paper's Table 11, plus the combined totals.
+//!
+//! The two phases are also available separately: [`lstsq_factor`]
+//! produces a [`LstsqFactorization`] whose [`LstsqFactorization::solve`]
+//! can be applied to any number of right hand sides — the primitive the
+//! pipeline's mixed-precision iterative refinement builds on (factor
+//! once at a cheap rung, then re-solve against successive residuals).
+//! [`lstsq`] itself is the factor + one solve composition, so the split
+//! changes no bit of any single-solve result. [`residual_kernel`]
+//! computes `r = b − A x` on the device at an arbitrary rung, with
+//! [`residual_model_profile`] as its analytic cost — the "one rung up"
+//! residual stage of a refinement plan.
 
 use gpusim::{BlockCtx, ExecMode, Gpu, KernelCost, Profile, Sim};
 use mdls_backsub::{backsub_on_sim, BacksubOptions};
@@ -147,66 +158,172 @@ fn copy_r_square<S: MdScalar>(
     );
 }
 
-/// Solve `A x = b` in the least squares sense.
+/// A reusable QR factorization: the device-resident `Q`/`R` of one
+/// system plus the simulator session they live on.
 ///
-/// `A` is `m × N·n` with `m ≥ N·n`; `b` has length `m`. In
-/// [`ExecMode::ModelOnly`] the returned `x` is empty and only the
-/// profiles are meaningful.
-pub fn lstsq<S: MdScalar>(gpu: &Gpu, a: &HostMat<S>, b: &[S], opts: &LstsqOptions) -> LstsqRun<S> {
+/// Produced by [`lstsq_factor`] (functional or model-only, per the
+/// options' [`ExecMode`]) or [`lstsq_factor_model`] (model-only, no host
+/// data). [`LstsqFactorization::solve`] then runs the paper's phase 2 —
+/// `Qᴴ rhs` followed by tiled back substitution — against any right hand
+/// side without re-factoring. Each solve repeats phase 2's full launch
+/// sequence — `Qᴴ b`, a copy of `R`'s upper block to scratch (the tiled
+/// back substitution inverts diagonal tiles in place, so it runs on a
+/// copy to keep the factorization reusable), back substitution — so its
+/// per-solve profile is exactly the `bs_profile` a standalone [`lstsq`]
+/// records and the two compose bit-identically.
+pub struct LstsqFactorization<S: MdScalar> {
+    sim: Sim,
+    st: QrDeviceState<S>,
+    opts: LstsqOptions,
+    rows: usize,
+    factor_profile: Profile,
+}
+
+fn factor_on_sim<S: MdScalar>(
+    gpu: &Gpu,
+    mode: ExecMode,
+    a: Option<&HostMat<S>>,
+    rows: usize,
+    opts: &LstsqOptions,
+) -> LstsqFactorization<S> {
     let cols = opts.cols();
-    assert_eq!(a.cols, cols, "matrix does not match tiling");
-    assert_eq!(b.len(), a.rows, "right hand side length mismatch");
-    let m = a.rows;
-
-    let sim = Sim::new(gpu.clone(), opts.mode);
-
-    // ---- phase 1: QR --------------------------------------------------
+    assert!(rows >= cols, "least squares needs rows >= cols");
+    let sim = Sim::new(gpu.clone(), mode);
     let qr_opts = QrOptions {
         tiles: opts.tiles,
         tile_size: opts.tile_size,
     };
-    let st = QrDeviceState::<S>::alloc(&sim, m, &qr_opts);
+    let st = QrDeviceState::<S>::alloc(&sim, rows, &qr_opts);
     sim.record_host_overhead();
-    sim.record_transfer(((m * cols + m) * S::BYTES) as u64);
+    // the factor phase moves only the system matrix; each solve charges
+    // its own right hand side (see `LstsqFactorization::solve`), so a
+    // refinement plan's extra correction passes pay their residual
+    // uploads instead of getting them for free
+    sim.record_transfer((rows * cols * S::BYTES) as u64);
     if sim.is_functional() {
-        a.upload_to(&st.r);
+        a.expect("functional factorization needs host data")
+            .upload_to(&st.r);
     }
     st.init_q_identity();
     qr_on_sim(&sim, &st, &qr_opts);
-    let qr_profile = sim.profile();
+    let factor_profile = sim.profile();
     sim.reset_profile();
-
-    // ---- phase 2: Q^H b and back substitution --------------------------
-    let db = sim.alloc_vec::<S>(m);
-    let dqtb = sim.alloc_vec::<S>(cols);
-    let dx = sim.alloc_vec::<S>(cols);
-    if sim.is_functional() {
-        db.upload(b);
+    LstsqFactorization {
+        sim,
+        st,
+        opts: *opts,
+        rows,
+        factor_profile,
     }
-    qtb_kernel(&sim, &st.q, &db, &dqtb, cols, opts.tile_size);
+}
 
-    let bs_opts = BacksubOptions {
-        tiles: opts.tiles,
-        tile_size: opts.tile_size,
-    };
-    if m == cols {
-        backsub_on_sim(&sim, &st.r, &dqtb, &dx, &bs_opts);
-    } else {
-        let u = sim.alloc_mat::<S>(cols, cols);
-        copy_r_square(&sim, &st.r, &u, cols, opts.tile_size);
-        backsub_on_sim(&sim, &u, &dqtb, &dx, &bs_opts);
+/// Factor `A = Q R` once (the paper's phase 1, including the host
+/// overhead and the upload of `A` — each solve charges its own right
+/// hand side) and return the reusable factorization.
+pub fn lstsq_factor<S: MdScalar>(
+    gpu: &Gpu,
+    a: &HostMat<S>,
+    opts: &LstsqOptions,
+) -> LstsqFactorization<S> {
+    assert_eq!(a.cols, opts.cols(), "matrix does not match tiling");
+    factor_on_sim(gpu, opts.mode, Some(a), a.rows, opts)
+}
+
+/// Model-only factorization of a `rows × N·n` system: no host data, no
+/// functional state — only the analytic launch sequence and transfer
+/// accounting of phase 1. The planner's per-stage cost oracle for the
+/// `Factor` stage of an execution plan.
+pub fn lstsq_factor_model<S: MdScalar>(
+    gpu: &Gpu,
+    rows: usize,
+    opts: &LstsqOptions,
+) -> LstsqFactorization<S> {
+    factor_on_sim(gpu, ExecMode::ModelOnly, None, rows, opts)
+}
+
+impl<S: MdScalar> LstsqFactorization<S> {
+    /// Rows `m` of the factored system.
+    pub fn rows(&self) -> usize {
+        self.rows
     }
-    sim.record_transfer((cols * S::BYTES) as u64);
-    let bs_profile = sim.profile();
 
-    let x = if sim.is_functional() {
-        dx.download()
-    } else {
-        Vec::new()
-    };
+    /// Columns (unknowns) of the factored system.
+    pub fn cols(&self) -> usize {
+        self.opts.cols()
+    }
+
+    /// Profile of the factorization phase (the paper's QR rows).
+    pub fn factor_profile(&self) -> &Profile {
+        &self.factor_profile
+    }
+
+    /// True when the session executes kernels functionally.
+    pub fn is_functional(&self) -> bool {
+        self.sim.is_functional()
+    }
+
+    /// Solve `R x = Qᴴ b` for one right hand side (the paper's phase 2).
+    ///
+    /// Returns the solution (empty in model-only sessions, where `b` is
+    /// ignored and may be empty) and the profile of exactly this solve.
+    pub fn solve(&self, b: &[S]) -> (Vec<S>, Profile) {
+        let (m, cols) = (self.rows, self.opts.cols());
+        self.sim.reset_profile();
+        let db = self.sim.alloc_vec::<S>(m);
+        let dqtb = self.sim.alloc_vec::<S>(cols);
+        let dx = self.sim.alloc_vec::<S>(cols);
+        // the rhs upload is charged here, per solve (the factor phase
+        // charges only the matrix); the split leaves a factor + one
+        // solve at exactly the fused pipeline's total transfer
+        self.sim.record_transfer((m * S::BYTES) as u64);
+        if self.sim.is_functional() {
+            assert_eq!(b.len(), m, "right hand side length mismatch");
+            db.upload(b);
+        }
+        qtb_kernel(&self.sim, &self.st.q, &db, &dqtb, cols, self.opts.tile_size);
+
+        let bs_opts = BacksubOptions {
+            tiles: self.opts.tiles,
+            tile_size: self.opts.tile_size,
+        };
+        // The tiled back substitution inverts the diagonal tiles of its
+        // input *in place*, so it must never run on `R` itself — the
+        // factorization would be corrupted for every later solve. Each
+        // solve therefore works on a fresh copy of the upper block (the
+        // tall path always needed the copy; square systems now pay the
+        // same cheap copy launch for re-solvability). The copied values
+        // are identical, so solutions are bit-identical either way.
+        let u = self.sim.alloc_mat::<S>(cols, cols);
+        copy_r_square(&self.sim, &self.st.r, &u, cols, self.opts.tile_size);
+        backsub_on_sim(&self.sim, &u, &dqtb, &dx, &bs_opts);
+        self.sim.record_transfer((cols * S::BYTES) as u64);
+        let x = if self.sim.is_functional() {
+            dx.download()
+        } else {
+            Vec::new()
+        };
+        (x, self.sim.profile())
+    }
+}
+
+/// Solve `A x = b` in the least squares sense.
+///
+/// `A` is `m × N·n` with `m ≥ N·n`; `b` has length `m`. In
+/// [`ExecMode::ModelOnly`] the returned `x` is empty and only the
+/// profiles are meaningful. Implemented as [`lstsq_factor`] followed by
+/// one [`LstsqFactorization::solve`]. Solutions are bit-identical to
+/// the original fused pipeline, and total transfers are unchanged (the
+/// rhs charge moved from phase 1 to phase 2); the one profile delta is
+/// that square systems now run the same `copy R` launch tall systems
+/// always did, so the factorization stays reusable (the copied values
+/// are identical — see [`LstsqFactorization::solve`]).
+pub fn lstsq<S: MdScalar>(gpu: &Gpu, a: &HostMat<S>, b: &[S], opts: &LstsqOptions) -> LstsqRun<S> {
+    assert_eq!(b.len(), a.rows, "right hand side length mismatch");
+    let f = lstsq_factor(gpu, a, opts);
+    let (x, bs_profile) = f.solve(b);
     LstsqRun {
         x,
-        qr_profile,
+        qr_profile: f.factor_profile,
         bs_profile,
     }
 }
@@ -225,38 +342,80 @@ pub fn lstsq_model_profiles_rect<S: MdScalar>(
     rows: usize,
     opts: &LstsqOptions,
 ) -> (Profile, Profile) {
-    let cols = opts.cols();
-    assert!(rows >= cols, "least squares needs rows >= cols");
-    let m = rows;
-    let sim = Sim::new(gpu.clone(), ExecMode::ModelOnly);
-    let qr_opts = QrOptions {
-        tiles: opts.tiles,
-        tile_size: opts.tile_size,
-    };
-    let st = QrDeviceState::<S>::alloc(&sim, m, &qr_opts);
-    sim.record_host_overhead();
-    sim.record_transfer(((m * cols + m) * S::BYTES) as u64);
-    qr_on_sim(&sim, &st, &qr_opts);
-    let qr_profile = sim.profile();
-    sim.reset_profile();
+    let f = lstsq_factor_model::<S>(gpu, rows, opts);
+    let (_, bs_profile) = f.solve(&[]);
+    (f.factor_profile, bs_profile)
+}
 
-    let db = sim.alloc_vec::<S>(m);
-    let dqtb = sim.alloc_vec::<S>(cols);
-    let dx = sim.alloc_vec::<S>(cols);
-    qtb_kernel(&sim, &st.q, &db, &dqtb, cols, opts.tile_size);
-    let bs_opts = BacksubOptions {
-        tiles: opts.tiles,
-        tile_size: opts.tile_size,
+/// Stage label of the refinement residual `r = b − A x`.
+pub const STAGE_RESIDUAL: &str = "residual";
+
+/// `r[i] = b[i] − Σ_j A[i,j] x[j]` — one thread per row, `block` threads
+/// per block. The residual stage of a mixed-precision refinement plan:
+/// run at a rung *above* the factorization rung, it recovers the digits
+/// the cheap factorization left behind.
+pub fn residual_kernel<S: MdScalar>(
+    sim: &Sim,
+    a: &gpusim::DeviceMat<S>,
+    x: &gpusim::DeviceBuf<S>,
+    b: &gpusim::DeviceBuf<S>,
+    r: &gpusim::DeviceBuf<S>,
+    block: usize,
+) {
+    let m = a.rows;
+    let n = a.cols;
+    let ops = OpCounts {
+        sub: (m * n) as u64,
+        mul: (m * n) as u64,
+        ..OpCounts::ZERO
     };
-    if m == cols {
-        backsub_on_sim(&sim, &st.r, &dqtb, &dx, &bs_opts);
-    } else {
-        let u = sim.alloc_mat::<S>(cols, cols);
-        copy_r_square(&sim, &st.r, &u, cols, opts.tile_size);
-        backsub_on_sim(&sim, &u, &dqtb, &dx, &bs_opts);
+    let cost = KernelCost::of::<S>(ops, (m * n + n + m) as u64, m as u64);
+    sim.launch(
+        STAGE_RESIDUAL,
+        m.div_ceil(block).max(1),
+        block,
+        cost,
+        |ctx: BlockCtx| {
+            for t in ctx.thread_ids() {
+                let i = ctx.global_tid(t);
+                if i >= m {
+                    continue;
+                }
+                let mut acc = b.get(i);
+                for j in 0..n {
+                    acc -= a.get(i, j) * x.get(j);
+                }
+                r.set(i, acc);
+            }
+        },
+    );
+}
+
+/// Analytic profile of one residual stage at rung `S`: upload of the
+/// iterate (`cols` scalars), the kernel, download of the residual
+/// (`rows` scalars). With `with_system_upload` the one-time transfer of
+/// the high-rung system (`rows × cols` matrix plus the right hand side)
+/// is charged too — a refinement plan charges it to its *first* residual
+/// stage and keeps the system device-resident afterwards.
+pub fn residual_model_profile<S: MdScalar>(
+    gpu: &Gpu,
+    rows: usize,
+    cols: usize,
+    block: usize,
+    with_system_upload: bool,
+) -> Profile {
+    let sim = Sim::new(gpu.clone(), ExecMode::ModelOnly);
+    let da = sim.alloc_mat::<S>(rows, cols);
+    let dx = sim.alloc_vec::<S>(cols);
+    let db = sim.alloc_vec::<S>(rows);
+    let dr = sim.alloc_vec::<S>(rows);
+    if with_system_upload {
+        sim.record_transfer(((rows * cols + rows) * S::BYTES) as u64);
     }
     sim.record_transfer((cols * S::BYTES) as u64);
-    (qr_profile, sim.profile())
+    residual_kernel(&sim, &da, &dx, &db, &dr, block);
+    sim.record_transfer((rows * S::BYTES) as u64);
+    sim.profile()
 }
 
 #[cfg(test)]
@@ -401,6 +560,99 @@ mod tests {
         // device clocks — the oracle must match it exactly too
         assert_eq!(qr.wall_ms(), run.qr_profile.wall_ms());
         assert_eq!(bs.wall_ms(), run.bs_profile.wall_ms());
+    }
+
+    #[test]
+    fn factorization_solve_is_bit_identical_to_lstsq() {
+        // the split must not change a single bit of a one-shot solve,
+        // and re-solving against a second rhs must match a fresh lstsq
+        // of the same system (the factorization is stateless across
+        // solves)
+        let mut rng = StdRng::seed_from_u64(310);
+        let opts = LstsqOptions {
+            tiles: 3,
+            tile_size: 4,
+            mode: ExecMode::Sequential,
+        };
+        let n = opts.cols();
+        let a = HostMat::<Dd>::random(n, n, &mut rng);
+        let b1: Vec<Dd> = mdls_matrix::random_vector(n, &mut rng);
+        let b2: Vec<Dd> = mdls_matrix::random_vector(n, &mut rng);
+
+        let f = lstsq_factor(&Gpu::v100(), &a, &opts);
+        let (x1, p1) = f.solve(&b1);
+        let (x2, p2) = f.solve(&b2);
+
+        let r1 = lstsq(&Gpu::v100(), &a, &b1, &opts);
+        let r2 = lstsq(&Gpu::v100(), &a, &b2, &opts);
+        assert_eq!(x1, r1.x, "first solve diverged from lstsq");
+        assert_eq!(x2, r2.x, "reused factorization diverged from lstsq");
+        // per-solve profiles repeat phase 2 exactly
+        assert_eq!(p1.all_kernels_ms(), r1.bs_profile.all_kernels_ms());
+        assert_eq!(p2.all_kernels_ms(), p1.all_kernels_ms());
+        assert_eq!(p1.total_launches(), r1.bs_profile.total_launches());
+        assert_eq!(
+            f.factor_profile().all_kernels_ms(),
+            r1.qr_profile.all_kernels_ms()
+        );
+    }
+
+    #[test]
+    fn model_factorization_prices_extra_solves() {
+        // the Correct-stage cost oracle: a model-only factorization
+        // prices each extra solve at exactly the bs phase of the fused
+        // model profile
+        let opts = LstsqOptions {
+            tiles: 4,
+            tile_size: 8,
+            mode: ExecMode::ModelOnly,
+        };
+        let f = lstsq_factor_model::<Qd>(&Gpu::v100(), 40, &opts);
+        let (qr, bs) = lstsq_model_profiles_rect::<Qd>(&Gpu::v100(), 40, &opts);
+        assert_eq!(f.factor_profile().wall_ms(), qr.wall_ms());
+        let (x, p) = f.solve(&[]);
+        assert!(x.is_empty());
+        assert_eq!(p.wall_ms(), bs.wall_ms());
+        assert_eq!(p.total_flops_paper(), bs.total_flops_paper());
+    }
+
+    #[test]
+    fn residual_kernel_matches_host_arithmetic() {
+        let mut rng = StdRng::seed_from_u64(311);
+        let (m, n) = (12, 8);
+        let a = HostMat::<Qd>::random(m, n, &mut rng);
+        let x: Vec<Qd> = mdls_matrix::random_vector(n, &mut rng);
+        let b: Vec<Qd> = mdls_matrix::random_vector(m, &mut rng);
+
+        let sim = Sim::new(Gpu::v100(), ExecMode::Sequential);
+        let da = sim.alloc_mat::<Qd>(m, n);
+        let dx = sim.alloc_vec::<Qd>(n);
+        let db = sim.alloc_vec::<Qd>(m);
+        let dr = sim.alloc_vec::<Qd>(m);
+        a.upload_to(&da);
+        dx.upload(&x);
+        db.upload(&b);
+        residual_kernel(&sim, &da, &dx, &db, &dr, 4);
+        let r = dr.download();
+
+        let ax = a.matvec(&x);
+        for i in 0..m {
+            let expect = b[i] - ax[i];
+            let err = (r[i] - expect).abs().to_f64().abs();
+            assert!(err < 1e-60, "row {i}: kernel residual off by {err:e}");
+        }
+        let p = sim.profile();
+        assert!(p.stage(STAGE_RESIDUAL).is_some());
+        // model profile prices the same launch (plus transfers)
+        let mp = residual_model_profile::<Qd>(&Gpu::v100(), m, n, 4, false);
+        assert_eq!(
+            p.stage(STAGE_RESIDUAL).unwrap().kernel_ms,
+            mp.stage(STAGE_RESIDUAL).unwrap().kernel_ms
+        );
+        // the system upload is charged only when asked
+        let with = residual_model_profile::<Qd>(&Gpu::v100(), m, n, 4, true);
+        assert!(with.wall_ms() > mp.wall_ms());
+        assert_eq!(with.all_kernels_ms(), mp.all_kernels_ms());
     }
 
     #[test]

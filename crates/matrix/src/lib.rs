@@ -4,7 +4,7 @@
 //! paper's §4.1 conventions), golden-reference BLAS for verification, LU
 //! factorization (to produce well-conditioned triangular test inputs —
 //! random triangular matrices are exponentially ill conditioned, the
-//! paper's reference [33]), residual and norm computations, and
+//! paper's reference \[33\]), residual and norm computations, and
 //! host/device conversion.
 
 pub mod gen;

@@ -5,7 +5,7 @@
 //! as multipliers to convert kernel operation counts into flop totals
 //! ("for every kernel … a small function accumulates the number of
 //! arithmetical operations … using the numbers in Table 1 as multipliers").
-//! [`CostModel::paper`] reproduces those numbers; [`CostModel::measured`]
+//! [`CostModel::Paper`] reproduces those numbers; [`CostModel::Measured`]
 //! holds the counts measured by instrumenting *this* crate's algorithms
 //! (see [`crate::count`]); the difference is dominated by FMA-based
 //! `two_prod` (2 ops) versus the Dekker split (17 ops) the CAMPARY tallies

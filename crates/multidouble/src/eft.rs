@@ -5,7 +5,7 @@
 //! result equals `s + e`, with `s` the correctly rounded double result.
 //! References: Knuth TAOCP vol. 2; Dekker 1971; the QDlib `inline.h`
 //! primitives of Hida, Li and Bailey; and chapter 4 of the *Handbook of
-//! Floating-Point Arithmetic* (the paper's reference [19]).
+//! Floating-Point Arithmetic* (the paper's reference \[19\]).
 
 use crate::fp::Fp;
 

@@ -5,7 +5,7 @@
 //! multiplication and octo double addition are implemented by forming a
 //! longer intermediate expansion and *renormalizing* it to the target
 //! length, following CAMPARY's `VecSum` / `VecSumErrBranch` pair
-//! (Joldes, Muller, Popescu; the paper's reference [12]).
+//! (Joldes, Muller, Popescu; the paper's reference \[12\]).
 
 use crate::eft::two_sum;
 use crate::fp::Fp;

@@ -46,7 +46,7 @@ pub use cost::{CostModel, OpCounts, ScalarCost};
 pub use dd::Dd;
 pub use od::Od;
 pub use qd::Qd;
-pub use real::MdReal;
+pub use real::{convert_real, MdReal};
 pub use scalar::MdScalar;
 
 /// Complex double (the paper's complex `1d`).

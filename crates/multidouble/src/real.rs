@@ -307,6 +307,26 @@ impl MdReal for Od {
     }
 }
 
+/// Convert between precision rungs by limb transfer.
+///
+/// Widening (`B::LIMBS >= A::LIMBS`) is **exact**: the source limbs are
+/// copied most-significant-first and the tail is zero, so a `Dd` promoted
+/// to `Qd` represents the identical real number — the property the
+/// mixed-precision refinement pipeline relies on when it accumulates a
+/// low-rung correction into a high-rung iterate. Narrowing truncates the
+/// trailing limbs (round toward the leading expansion), which is all the
+/// refinement loop needs when it demotes a high-rung residual to the
+/// factorization rung. The result is renormalized through the target
+/// type's own addition, so non-canonical limb patterns cannot escape.
+pub fn convert_real<A: MdReal, B: MdReal>(x: A) -> B {
+    let mut limbs = [0.0f64; 8];
+    let n = A::LIMBS.min(B::LIMBS);
+    for (i, l) in limbs.iter_mut().enumerate().take(n) {
+        *l = x.limb(i);
+    }
+    B::from_limbs(&limbs[..B::LIMBS]) + B::zero()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,6 +348,36 @@ mod tests {
         floor_cases::<Dd>();
         floor_cases::<Qd>();
         floor_cases::<Od>();
+    }
+
+    #[test]
+    fn widening_is_exact_and_roundtrips() {
+        let d = Dd::PI;
+        let q: Qd = convert_real(d);
+        let o: Od = convert_real(d);
+        // exact embedding: leading limbs agree, tail is zero
+        assert_eq!(q.limb(0), d.limb(0));
+        assert_eq!(q.limb(1), d.limb(1));
+        assert_eq!(q.limb(2), 0.0);
+        assert_eq!(convert_real::<Od, Dd>(o), d);
+        // narrowing back recovers the original exactly
+        assert_eq!(convert_real::<Qd, Dd>(q), d);
+        // f64 both ways
+        let x = 1.0 / 3.0f64;
+        let xq: Qd = convert_real(x);
+        assert_eq!(xq.to_f64(), x);
+        assert_eq!(convert_real::<Qd, f64>(Qd::PI), Qd::PI.to_f64());
+    }
+
+    #[test]
+    fn narrowing_truncates_toward_leading_limbs() {
+        let q = Qd::PI;
+        let d: Dd = convert_real(q);
+        // the narrowed value is the leading two-limb expansion
+        assert_eq!(d.limb(0), q.limb(0));
+        assert_eq!(d.limb(1), q.limb(1));
+        let err = (convert_real::<Dd, Qd>(d) - q).abs().to_f64().abs();
+        assert!(err < 1e-30, "truncation error {err:e} beyond dd roundoff");
     }
 
     #[test]

@@ -6,11 +6,16 @@
 //! (`gpusim` + `mdls-qr` + `mdls-backsub` + `mdls-core`) into a solve
 //! *service* with three layers:
 //!
-//! 1. **Planner** ([`planner`]) — per job `(m, n, target digits,
-//!    device model)`, picks the precision rung of the d → dd → qd → od
-//!    ladder and the QR/back-substitution tiling by evaluating the
-//!    existing analytic cost models, instead of the seed's hard-coded
-//!    `LstsqOptions`. Plans are memoized per shape and device.
+//! 1. **Planner** ([`planner`], [`plan`]) — per job `(m, n, target
+//!    digits)`, *searches* over staged [`ExecPlan`]s: direct solves at
+//!    every sufficient rung of the d → dd → qd → od ladder, and
+//!    mixed-precision refinement plans (factor at a cheap rung, then
+//!    iterate residual-at-the-target-rung / correct-through-the-reused-
+//!    factorization until the digits are met). Stage profiles come from
+//!    the analytic cost models and compose via `Profile::absorb`; the
+//!    cheapest predicted wall clock wins. Plan *structure* is tuned on a
+//!    reference device model so solutions stay placement-invariant;
+//!    plans are memoized per shape, target and device.
 //! 2. **Device pool + scheduler** ([`pool`], [`scheduler`]) — N
 //!    simulated GPUs (`Gpu::v100()`, `Gpu::a100()`, …, cloned or
 //!    mixed), each with a simulated-time clock; queued jobs dispatch
@@ -26,8 +31,11 @@
 //!    policy selection.
 //!
 //! Policies and priorities move jobs across devices and through time;
-//! they never change numerics — every outcome stays bit-identical to a
-//! sequential [`mdls_core::lstsq`] call under the same plan.
+//! they never change numerics — every outcome stays bit-identical to
+//! interpreting the same staged plan sequentially (and, for direct
+//! plans, to a plain [`mdls_core::lstsq`] call). Outcomes report the
+//! digits their measured residual certifies plus the per-stage
+//! predicted breakdown of the plan they ran under.
 //!
 //! ```
 //! use gpusim::Gpu;
@@ -45,6 +53,7 @@
 
 pub mod batch;
 pub mod job;
+pub mod plan;
 pub mod planner;
 pub mod pool;
 pub mod scheduler;
@@ -52,10 +61,12 @@ pub mod stream;
 pub mod workload;
 
 pub use batch::{
-    solve_batch, solve_batch_policy, solve_batch_with, solve_planned, BatchReport, JobOutcome,
+    digits_from_residual, promoted_cache_stats, solve_batch, solve_batch_policy, solve_batch_with,
+    solve_planned, BatchReport, JobOutcome,
 };
 pub use job::{Job, Precision, Solution};
-pub use planner::{Plan, Planner};
+pub use plan::{ExecPlan, PlannedStage, Stage};
+pub use planner::Planner;
 pub use pool::{DevicePool, DeviceStats, PoolDevice};
 pub use scheduler::{dispatch_one, schedule, Dispatch, DispatchPolicy, JobShape};
 pub use stream::{solve_stream, solve_stream_with, BatchStream};

@@ -1,0 +1,350 @@
+//! The staged execution-plan IR.
+//!
+//! A solve is no longer one monolithic `(precision, tiling)` choice: an
+//! [`ExecPlan`] is an ordered list of [`Stage`]s —
+//!
+//! * [`Stage::Factor`] — QR-factor the system once, at the (cheap)
+//!   factorization rung, under a tiling;
+//! * [`Stage::Correct`] — apply the factorization to a right hand side
+//!   (`Qᴴ rhs` + tiled back substitution) at the factorization rung.
+//!   The first `Correct` solves against `b` itself; later ones solve
+//!   against residuals and add the update into the high-rung iterate;
+//! * [`Stage::Residual`] — compute `r = b − A x` at a rung *above* the
+//!   factorization rung, recovering the digits the cheap factorization
+//!   left behind.
+//!
+//! A **direct** plan is `[Factor(r), Correct(r)]` — exactly the old
+//! single-rung solve, bit-identical to a plain [`mdls_core::lstsq`]
+//! call. A **refinement** plan appends `k` `[Residual(r′), Correct(r)]`
+//! pairs with `r′ > r`: classic mixed-precision iterative refinement
+//! across the d → dd → qd → od ladder, which reaches `r′`-level digits
+//! for a fraction of the flops of factoring at `r′` outright (the
+//! QR is O(m·n²) at the cheap rung; each extra pass is only an O(m·n)
+//! residual plus an O(m·n + n²) re-solve).
+//!
+//! Every stage carries its model-predicted [`Profile`] for the target
+//! device; [`ExecPlan::from_stages`] composes them through
+//! [`Profile::absorb`] into the totals the SECT dispatch policy and the
+//! device-pool clocks consume. The *structure* of a plan (rungs,
+//! iteration count, tilings) is tuned once on the planner's reference
+//! model so solutions stay placement-invariant; only the per-stage
+//! timings differ across devices.
+
+use gpusim::{ExecMode, Profile};
+use mdls_core::LstsqOptions;
+
+use crate::job::Precision;
+
+/// One step of an execution plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// QR-factor the system at `rung` under the tiling
+    /// `tiles × tile_size`.
+    Factor {
+        /// Factorization rung.
+        rung: Precision,
+        /// Number of tiles `N`.
+        tiles: usize,
+        /// Tile size `n` (threads per block).
+        tile_size: usize,
+    },
+    /// Compute `r = b − A x` at `rung` (a refinement plan runs this one
+    /// or more rungs above its factorization).
+    Residual {
+        /// Residual rung (the plan's solution rung).
+        rung: Precision,
+    },
+    /// Apply the factorization to a right hand side at `rung`:
+    /// `Qᴴ rhs` + tiled back substitution under the factor tiling.
+    Correct {
+        /// Factorization rung.
+        rung: Precision,
+        /// Number of tiles `N` (matches the factor stage).
+        tiles: usize,
+        /// Tile size `n` (matches the factor stage).
+        tile_size: usize,
+    },
+}
+
+impl Stage {
+    /// The precision rung this stage computes at.
+    pub fn rung(&self) -> Precision {
+        match *self {
+            Stage::Factor { rung, .. } => rung,
+            Stage::Residual { rung } => rung,
+            Stage::Correct { rung, .. } => rung,
+        }
+    }
+
+    /// Short label for tables and per-stage breakdowns, e.g.
+    /// `"factor@2d 4x256"` or `"residual@4d"`.
+    pub fn label(&self) -> String {
+        match *self {
+            Stage::Factor {
+                rung,
+                tiles,
+                tile_size,
+            } => format!("factor@{} {}x{}", rung.tag(), tiles, tile_size),
+            Stage::Residual { rung } => format!("residual@{}", rung.tag()),
+            Stage::Correct { rung, .. } => format!("correct@{}", rung.tag()),
+        }
+    }
+}
+
+/// One stage plus its model-predicted profile on the target device.
+#[derive(Clone, Debug)]
+pub struct PlannedStage {
+    /// What to execute.
+    pub stage: Stage,
+    /// Model-predicted profile of exactly this stage on the plan's
+    /// target device.
+    pub profile: Profile,
+}
+
+impl PlannedStage {
+    /// Predicted wall clock of this stage, ms.
+    pub fn wall_ms(&self) -> f64 {
+        self.profile.wall_ms()
+    }
+
+    /// Predicted kernel time of this stage, ms.
+    pub fn kernel_ms(&self) -> f64 {
+        self.profile.all_kernels_ms()
+    }
+
+    /// Table 1 flops of this stage.
+    pub fn flops_paper(&self) -> f64 {
+        self.profile.total_flops_paper()
+    }
+}
+
+impl PartialEq for PlannedStage {
+    fn eq(&self, other: &Self) -> bool {
+        self.stage == other.stage
+            && self.wall_ms() == other.wall_ms()
+            && self.kernel_ms() == other.kernel_ms()
+            && self.flops_paper() == other.flops_paper()
+    }
+}
+
+/// A staged execution plan: the ordered stages, their composed predicted
+/// totals, and the accuracy accounting behind the stage choice.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecPlan {
+    /// The stages, in execution order. The first is always a `Factor`,
+    /// the second a `Correct` (the initial solve); refinement plans
+    /// append `Residual`/`Correct` pairs.
+    pub stages: Vec<PlannedStage>,
+    /// The job's requested decimal digits.
+    pub target_digits: u32,
+    /// Digits the cost/accuracy model predicts this plan delivers.
+    /// At least `target_digits` whenever the ladder can reach it; for
+    /// targets beyond the octo double ceiling
+    /// ([`Precision::D8`]`.digits()` = 123) the plan saturates there
+    /// and `predicted_digits` honestly reports the ceiling, not the
+    /// unreachable target.
+    pub predicted_digits: u32,
+    /// Composed predicted wall clock over all stages on the target
+    /// device, ms — what the scheduler books onto a device clock.
+    pub predicted_ms: f64,
+    /// Composed predicted kernel time, ms (the paper's "all kernels").
+    pub predicted_kernel_ms: f64,
+    /// Composed Table 1 flops (device independent).
+    pub flops_paper: f64,
+}
+
+impl ExecPlan {
+    /// Compose per-stage profiles into plan totals via
+    /// [`Profile::absorb`].
+    pub fn from_stages(
+        stages: Vec<PlannedStage>,
+        target_digits: u32,
+        predicted_digits: u32,
+    ) -> Self {
+        assert!(
+            matches!(stages.first().map(|s| s.stage), Some(Stage::Factor { .. })),
+            "a plan starts with a Factor stage"
+        );
+        let mut total = Profile::new();
+        for s in &stages {
+            total.absorb(&s.profile);
+        }
+        ExecPlan {
+            predicted_ms: total.wall_ms(),
+            predicted_kernel_ms: total.all_kernels_ms(),
+            flops_paper: total.total_flops_paper(),
+            stages,
+            target_digits,
+            predicted_digits,
+        }
+    }
+
+    /// The factorization rung and tiling `(rung, tiles, tile_size)`.
+    pub fn factor(&self) -> (Precision, usize, usize) {
+        match self.stages[0].stage {
+            Stage::Factor {
+                rung,
+                tiles,
+                tile_size,
+            } => (rung, tiles, tile_size),
+            _ => unreachable!("a plan starts with a Factor stage"),
+        }
+    }
+
+    /// The rung the factorization runs at.
+    pub fn factor_precision(&self) -> Precision {
+        self.factor().0
+    }
+
+    /// The rung the *solution* comes back at: the residual rung of a
+    /// refinement plan, the factor rung of a direct plan.
+    pub fn solution_precision(&self) -> Precision {
+        self.stages
+            .iter()
+            .map(|s| s.stage.rung())
+            .max()
+            .expect("plans are never empty")
+    }
+
+    /// Number of refinement passes (residual/correct pairs after the
+    /// initial solve). Zero for a direct plan.
+    pub fn corrections(&self) -> usize {
+        self.stages
+            .iter()
+            .filter(|s| matches!(s.stage, Stage::Residual { .. }))
+            .count()
+    }
+
+    /// True when this is a single-rung direct solve.
+    pub fn is_direct(&self) -> bool {
+        self.corrections() == 0
+    }
+
+    /// Solver options of the factor tiling.
+    pub fn options(&self, mode: ExecMode) -> LstsqOptions {
+        let (_, tiles, tile_size) = self.factor();
+        LstsqOptions::tiled(tiles, tile_size, mode)
+    }
+
+    /// One-line structure summary, e.g. `"direct@4d 4x256"` or
+    /// `"qr@2d 4x256 + 2 it@4d"`.
+    pub fn summary(&self) -> String {
+        let (rung, tiles, tile_size) = self.factor();
+        if self.is_direct() {
+            format!("direct@{} {}x{}", rung.tag(), tiles, tile_size)
+        } else {
+            format!(
+                "qr@{} {}x{} + {} it@{}",
+                rung.tag(),
+                tiles,
+                tile_size,
+                self.corrections(),
+                self.solution_precision().tag()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multidouble::OpCounts;
+
+    fn profile(kernel_ms: f64, flops: f64) -> Profile {
+        let mut p = Profile::new();
+        p.record("k", kernel_ms, OpCounts::ZERO, flops, flops, 0);
+        p
+    }
+
+    fn planned(stage: Stage, kernel_ms: f64) -> PlannedStage {
+        PlannedStage {
+            stage,
+            profile: profile(kernel_ms, 10.0 * kernel_ms),
+        }
+    }
+
+    #[test]
+    fn totals_compose_by_absorb() {
+        let f = Stage::Factor {
+            rung: Precision::D2,
+            tiles: 4,
+            tile_size: 8,
+        };
+        let c = Stage::Correct {
+            rung: Precision::D2,
+            tiles: 4,
+            tile_size: 8,
+        };
+        let r = Stage::Residual {
+            rung: Precision::D4,
+        };
+        let plan = ExecPlan::from_stages(
+            vec![
+                planned(f, 8.0),
+                planned(c, 1.0),
+                planned(r, 0.5),
+                planned(c, 1.0),
+            ],
+            40,
+            58,
+        );
+        assert_eq!(plan.predicted_kernel_ms, 10.5);
+        assert_eq!(plan.flops_paper, 105.0);
+        assert_eq!(plan.corrections(), 1);
+        assert!(!plan.is_direct());
+        assert_eq!(plan.factor_precision(), Precision::D2);
+        assert_eq!(plan.solution_precision(), Precision::D4);
+        assert_eq!(plan.summary(), "qr@2d 4x8 + 1 it@4d");
+    }
+
+    #[test]
+    fn direct_plan_shape() {
+        let f = Stage::Factor {
+            rung: Precision::D4,
+            tiles: 2,
+            tile_size: 16,
+        };
+        let c = Stage::Correct {
+            rung: Precision::D4,
+            tiles: 2,
+            tile_size: 16,
+        };
+        let plan = ExecPlan::from_stages(vec![planned(f, 5.0), planned(c, 0.5)], 50, 60);
+        assert!(plan.is_direct());
+        assert_eq!(plan.solution_precision(), Precision::D4);
+        assert_eq!(plan.factor(), (Precision::D4, 2, 16));
+        assert_eq!(plan.summary(), "direct@4d 2x16");
+        assert_eq!(plan.options(ExecMode::ModelOnly).cols(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "starts with a Factor")]
+    fn plans_must_lead_with_factor() {
+        let c = Stage::Correct {
+            rung: Precision::D2,
+            tiles: 1,
+            tile_size: 4,
+        };
+        let _ = ExecPlan::from_stages(vec![planned(c, 1.0)], 20, 29);
+    }
+
+    #[test]
+    fn stage_labels() {
+        assert_eq!(
+            Stage::Factor {
+                rung: Precision::D2,
+                tiles: 4,
+                tile_size: 256
+            }
+            .label(),
+            "factor@2d 4x256"
+        );
+        assert_eq!(
+            Stage::Residual {
+                rung: Precision::D8
+            }
+            .label(),
+            "residual@8d"
+        );
+    }
+}

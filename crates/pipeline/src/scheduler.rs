@@ -14,10 +14,12 @@
 //!   the extra plans nearly free — a pool mixes a handful of device
 //!   models, so each (shape, model) pair is planned once per run.
 //!
-//! Either way, each dispatch plans the job for the chosen device's
-//! model — a heterogeneous pool plans the same shape differently on a
-//! V100 than on an A100 — and advances that device's clock by the
-//! plan's predicted wall clock.
+//! Either way, each dispatch prices the job's staged [`ExecPlan`] for
+//! the chosen device's model — a heterogeneous pool prices the same
+//! stage structure differently on a V100 than on an A100 — and advances
+//! that device's clock by the plan's *composed* predicted wall clock
+//! (every Factor/Residual/Correct stage absorbed into one total, so a
+//! refinement plan is costed as a whole, not as its first stage).
 //!
 //! Because the analytic timing model is data-independent, the predicted
 //! wall clock of a plan *is* the modeled wall clock of the functional
@@ -27,7 +29,8 @@
 //! per-device plan, solutions are bit-identical across policies.
 
 use crate::job::Job;
-use crate::planner::{Plan, Planner};
+use crate::plan::ExecPlan;
+use crate::planner::Planner;
 use crate::pool::DevicePool;
 
 /// How the scheduler picks a device for the next job.
@@ -79,14 +82,17 @@ impl From<&Job> for JobShape {
 }
 
 /// One scheduled solve.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Dispatch {
     /// Index of the job in the submitted batch.
     pub job: usize,
     /// Pool id of the device the job runs on.
     pub device: usize,
-    /// The plan chosen for this job on that device.
-    pub plan: Plan,
+    /// The staged plan chosen for this job on that device. The
+    /// scheduler consumes its composed totals (`predicted_ms`,
+    /// `predicted_kernel_ms`, `flops_paper`); the executor interprets
+    /// its stages.
+    pub plan: ExecPlan,
     /// Simulated start time on the device, ms.
     pub start_ms: f64,
     /// Simulated completion time on the device, ms.
@@ -100,7 +106,7 @@ fn place(
     planner: &Planner,
     shape: &JobShape,
     policy: DispatchPolicy,
-) -> (usize, Plan) {
+) -> (usize, ExecPlan) {
     match policy {
         DispatchPolicy::LeastLoaded => {
             let device = pool.least_loaded();

@@ -151,15 +151,7 @@ where
         );
         self.dispatched += 1;
         let (x, residual) = solve_planned(self.pool.gpu(d.device), &job, &d.plan);
-        Some(JobOutcome {
-            job_id: job.id,
-            device: d.device,
-            plan: d.plan,
-            x,
-            residual,
-            start_ms: d.start_ms,
-            end_ms: d.end_ms,
-        })
+        Some(JobOutcome::assemble(job.id, d, x, residual))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {

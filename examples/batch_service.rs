@@ -65,7 +65,33 @@ fn main() {
             println!("  {:>4} jobs solved in {}", n, rung.tag());
         }
     }
-    println!("  {} distinct plans memoized", report.distinct_plans);
+    // staged-plan mix: how many jobs ran mixed-precision refinement
+    // (factor cheap, residual one rung up, correct) instead of a
+    // direct deep-rung solve
+    let refined: Vec<&multidouble_ls::pipeline::JobOutcome> = report
+        .outcomes
+        .iter()
+        .filter(|o| !o.plan.is_direct())
+        .collect();
+    if !refined.is_empty() {
+        let passes: usize = refined.iter().map(|o| o.plan.corrections()).sum();
+        let spare = refined
+            .iter()
+            .map(|o| o.achieved_digits - o.plan.target_digits as f64)
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "  {:>4} jobs ran refinement plans ({:.1} passes avg, e.g. {}; worst digit margin {:+.1})",
+            refined.len(),
+            passes as f64 / refined.len() as f64,
+            refined[0].plan.summary(),
+            spare
+        );
+    }
+    let (promo_hits, promo_misses) = multidouble_ls::pipeline::promoted_cache_stats();
+    println!(
+        "  {} distinct plans memoized; promoted-matrix cache {promo_hits} hits / {promo_misses} misses",
+        report.distinct_plans
+    );
 
     println!("\nper-device simulated throughput:");
     println!(
@@ -105,6 +131,66 @@ fn main() {
         report.outcomes.iter().map(|o| &o.x).collect::<Vec<_>>(),
         sect.outcomes.iter().map(|o| &o.x).collect::<Vec<_>>(),
         "policies may move jobs, never change bits"
+    );
+
+    // power-series workload: one embedding matrix re-solved against a
+    // fresh right hand side per series step — the repeated-matrix case
+    // the promoted-matrix cache exists for (promote f64 → rung once,
+    // not once per step)
+    let steps = 200usize;
+    let series_jobs: Vec<_> = {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let template = power_flow_jobs(1, &mut rng).remove(0);
+        (0..steps as u64)
+            .map(|id| {
+                let b: Vec<f64> = template
+                    .b
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| v + (id as f64 + 1.0) * 1e-3 * (i as f64 + 1.0))
+                    .collect();
+                multidouble_ls::pipeline::Job::new(id, template.a.clone(), b, 50)
+            })
+            .collect()
+    };
+    let (h0, m0) = multidouble_ls::pipeline::promoted_cache_stats();
+    pool.reset();
+    let series = solve_batch(&mut pool, &series_jobs);
+    let (h1, m1) = multidouble_ls::pipeline::promoted_cache_stats();
+    println!(
+        "\npower series: {} steps on one {}x{} matrix — promotion cache {} hits, {} misses \
+         (cached on second sighting per rung, then reused)",
+        series.outcomes.len(),
+        series_jobs[0].rows(),
+        series_jobs[0].cols(),
+        h1 - h0,
+        m1 - m0
+    );
+    // per rung the cache spends one probation miss (entries land on a
+    // matrix's *second* sighting) and promotion happens outside the
+    // lock, so up to one more miss per host worker can race in before
+    // the insert lands — bound the assertion accordingly. Lookup count
+    // comes from the plans actually chosen (a direct plan promotes at
+    // one rung, a refinement plan at two), so a future cost-model tweak
+    // that flips this shape to a direct plan cannot break the check.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4) as u64;
+    // f64 promotions bypass the cache entirely, so count only the
+    // multi-limb rungs each plan actually promotes at
+    let lookups: u64 = series
+        .outcomes
+        .iter()
+        .map(|o| {
+            u64::from(o.plan.factor_precision() != Precision::D1)
+                + u64::from(!o.plan.is_direct() && o.plan.solution_precision() != Precision::D1)
+        })
+        .sum();
+    assert!(
+        h1 - h0 >= lookups.saturating_sub(2 * (1 + workers.min(steps as u64))),
+        "cache missed repeated matrix: {} hits / {} misses over {lookups} lookups",
+        h1 - h0,
+        m1 - m0
     );
 
     // priority streaming: a path tracker's corrector solves (priority 1,

@@ -250,7 +250,8 @@ fn planner_adapts_tiling_to_shape() {
         .iter()
         .map(|&n| {
             let p = planner.plan(&gpu, n, n, 25);
-            (p.tiles, p.tile_size)
+            let (_, tiles, tile_size) = p.factor();
+            (tiles, tile_size)
         })
         .collect();
     let mut distinct = configs.clone();
@@ -260,4 +261,125 @@ fn planner_adapts_tiling_to_shape() {
         distinct.len() >= 2,
         "one tiling {configs:?} for shapes 16/96/512"
     );
+}
+
+/// Refinement correctness property (seeded): over randomized
+/// power-flow queues, every outcome — direct or refinement — certifies
+/// at least its job's target digits, and refinement plans are actually
+/// exercised somewhere in the mix.
+#[test]
+fn refinement_meets_every_digit_target() {
+    let mut refined = 0usize;
+    for seed in [0xf1a7u64, 0xf1a8, 0xf1a9] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let jobs = power_flow_jobs(40, &mut rng);
+        let mut pool = DevicePool::new(vec![Gpu::v100(), Gpu::a100()]);
+        let report = solve_batch(&mut pool, &jobs);
+        for (job, out) in jobs.iter().zip(&report.outcomes) {
+            assert!(
+                out.achieved_digits >= job.target_digits as f64,
+                "seed {seed:#x} job {} ({}): {:.1} digits < target {}",
+                job.id,
+                out.plan.summary(),
+                out.achieved_digits,
+                job.target_digits
+            );
+            // the model's own digit prediction must also have covered it
+            assert!(out.plan.predicted_digits >= job.target_digits);
+            refined += usize::from(!out.plan.is_direct());
+        }
+    }
+    assert!(
+        refined > 0,
+        "no refinement plan was ever chosen across the seeds — the property is vacuous"
+    );
+}
+
+/// Forced refinement across every factor/solution rung pair: each
+/// ladder combination must reach the solution rung's digits on a
+/// well-conditioned system, not just the pairs the cost model happens
+/// to pick.
+#[test]
+fn refinement_reaches_targets_on_every_ladder_pair() {
+    let mut rng = StdRng::seed_from_u64(0x1adde);
+    let jobs = power_flow_jobs(6, &mut rng);
+    let planner = Planner::new();
+    let gpu = Gpu::v100();
+    for job in &jobs {
+        for digits in [25, 50, 100] {
+            let plan = planner.plan(&gpu, job.rows(), job.cols(), digits);
+            let (x, residual) = solve_planned(&gpu, job, &plan);
+            assert_eq!(x.precision(), plan.solution_precision());
+            assert!(
+                residual < 10f64.powi(-(digits as i32)),
+                "job {} to {digits} digits via {}: residual {residual:e}",
+                job.id,
+                plan.summary()
+            );
+        }
+    }
+}
+
+/// No silent behavior change for single-stage plans: a direct plan's
+/// interpretation is bit-identical to the pre-refactor path — a plain
+/// sequential `lstsq` at the plan's precision and tiling.
+#[test]
+fn direct_plans_are_bit_identical_to_plain_lstsq() {
+    use multidouble_ls::matrix::vec_norm2;
+    use multidouble_ls::md::{Dd, MdReal, Od, Qd};
+    use multidouble_ls::pipeline::{ExecPlan, Precision, Solution};
+    use multidouble_ls::sim::ExecMode;
+    use multidouble_ls::solver::lstsq;
+
+    fn reference<S: MdReal>(
+        gpu: &Gpu,
+        job: &multidouble_ls::pipeline::Job,
+        plan: &ExecPlan,
+    ) -> (Vec<S>, f64) {
+        let a = multidouble_ls::matrix::HostMat::<S>::from_fn(job.rows(), job.cols(), |r, c| {
+            S::from_f64(job.a.get(r, c))
+        });
+        let b: Vec<S> = job.b.iter().map(|&v| S::from_f64(v)).collect();
+        let run = lstsq(gpu, &a, &b, &plan.options(ExecMode::Sequential));
+        let r = a.residual(&run.x, &b).to_f64();
+        let bn = vec_norm2(&b).to_f64();
+        (run.x, if bn > 0.0 { r / bn } else { r })
+    }
+
+    let mut rng = StdRng::seed_from_u64(0xb17);
+    let jobs = power_flow_jobs(12, &mut rng);
+    let planner = Planner::new();
+    for gpu in [Gpu::v100(), Gpu::p100()] {
+        for job in &jobs {
+            let plan = planner.plan_direct(&gpu, job.rows(), job.cols(), job.target_digits);
+            assert!(plan.is_direct());
+            let (x, residual) = solve_planned(&gpu, job, &plan);
+            match (&x, plan.factor_precision()) {
+                (Solution::D1(x), Precision::D1) => {
+                    let (e, er) = reference::<f64>(&gpu, job, &plan);
+                    assert_eq!(*x, e, "job {}: 1d bits changed", job.id);
+                    assert_eq!(residual, er);
+                }
+                (Solution::D2(x), Precision::D2) => {
+                    let (e, er) = reference::<Dd>(&gpu, job, &plan);
+                    assert_eq!(*x, e, "job {}: 2d bits changed", job.id);
+                    assert_eq!(residual, er);
+                }
+                (Solution::D4(x), Precision::D4) => {
+                    let (e, er) = reference::<Qd>(&gpu, job, &plan);
+                    assert_eq!(*x, e, "job {}: 4d bits changed", job.id);
+                    assert_eq!(residual, er);
+                }
+                (Solution::D8(x), Precision::D8) => {
+                    let (e, er) = reference::<Od>(&gpu, job, &plan);
+                    assert_eq!(*x, e, "job {}: 8d bits changed", job.id);
+                    assert_eq!(residual, er);
+                }
+                (s, p) => panic!(
+                    "solution rung {:?} does not match plan rung {p:?}",
+                    s.precision()
+                ),
+            }
+        }
+    }
 }
