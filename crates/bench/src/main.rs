@@ -8,10 +8,11 @@
 //!   ablate-smem         shared-memory ablation
 //!   ablate-invert       tile-inversion ablation
 //!   throughput          batched pipeline: scaling, batch depth, planner,
-//!                       direct-vs-refinement A/B, greedy-vs-SECT
+//!                       direct-vs-refinement A/B, fused-vs-singleton
+//!                       micro-batching A/B, greedy-vs-SECT
 //!                       dispatch-policy A/B
 //!   throughput-smoke    policy A/B at a small job count + refinement A/B
-//!                       (CI)
+//!                       + micro-batching A/B (CI)
 //!   all                 everything, in paper order
 //! ```
 
@@ -49,11 +50,15 @@ fn run(cmd: &str) -> bool {
             println!("{}", throughput::batch_size_sweep().render());
             println!("{}", throughput::planner_choices().render());
             println!("{}", throughput::refinement_ab().render());
+            println!("{}", throughput::microbatch_ab().render());
+            println!("{}", throughput::microbatch_queue_ab(256).render());
             println!("{}", throughput::policy_ab(60).render());
         }
         "throughput-smoke" => {
             println!("{}", throughput::policy_ab(24).render());
             println!("{}", throughput::refinement_ab().render());
+            println!("{}", throughput::microbatch_ab().render());
+            println!("{}", throughput::microbatch_queue_ab(64).render());
         }
         "all" => {
             for c in [

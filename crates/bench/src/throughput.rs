@@ -8,7 +8,10 @@
 //! these sweeps scale to paper-sized dimensions instantly.
 
 use gpusim::Gpu;
-use mdls_pipeline::{schedule, workload_mix, DevicePool, DispatchPolicy, JobShape, Planner};
+use mdls_pipeline::{
+    schedule, schedule_groups, workload_mix, DevicePool, DispatchPolicy, JobShape,
+    MicrobatchConfig, Planner,
+};
 
 use crate::tables::TextTable;
 
@@ -157,6 +160,104 @@ pub fn refinement_ab() -> TextTable {
     t
 }
 
+/// The small-shape grid of the micro-batching A/B: the paper's
+/// tracker-mix sizes at the d and dd rungs (where one solve most badly
+/// underfills a device), plus a 4d row to show the win fade as the
+/// arithmetic deepens and a big-shape row to show it vanish once a
+/// single solve already fills the waves.
+const MICROBATCH_SHAPES: [(usize, u32, &str); 8] = [
+    (32, 12, "1d"),
+    (64, 12, "1d"),
+    (128, 12, "1d"),
+    (32, 25, "2d"),
+    (64, 25, "2d"),
+    (128, 25, "2d"),
+    (128, 50, "4d"),
+    (1024, 25, "2d"),
+];
+
+/// Fused-vs-singleton A/B: per-job predicted cost of small QR solves,
+/// singleton launches against a fused group at the occupancy-aware
+/// preferred size, on the V100. The speedup is the device-level
+/// micro-batching win: one grid carries the whole group, occupancy
+/// climbs out of the wave-quantization floor, and per-launch constants
+/// amortize across members.
+pub fn microbatch_ab() -> TextTable {
+    let gpu = Gpu::v100();
+    let planner = Planner::new();
+    // measure exactly the configuration solve_batch_fused ships with
+    let cfg = MicrobatchConfig::default();
+    let mut t = TextTable::new(
+        "Micro-batching A/B on the V100: per-job predicted wall ms, \
+         singleton launches vs fused group at the preferred size",
+        "shape, rung",
+    );
+    t.col("singleton").col("fused").col("group").col("speedup");
+    for (n, digits, tag) in MICROBATCH_SHAPES {
+        let single = planner.plan(&gpu, n, n, digits);
+        let k = planner.preferred_group_size(n, n, digits, cfg.max_group, cfg.tolerance);
+        let (_, fused) = planner.plan_fused(&gpu, n, n, digits, k);
+        t.row(
+            format!("{n}x{n} {tag}"),
+            vec![
+                format!("{:.4}", single.predicted_ms),
+                format!("{:.4}", fused.per_job_ms()),
+                format!("x{k}"),
+                format!("{:.1}x", single.predicted_ms / fused.per_job_ms()),
+            ],
+        );
+    }
+    t
+}
+
+/// Queue-level micro-batching A/B: solves/sec of a small-shape queue
+/// (the tracker mix's 32..128-unknown systems at d/dd rungs) over
+/// pooled V100s, scheduled unfused vs micro-batched. The fused
+/// schedule books grouped launch sequences, so the same pool clears
+/// the queue several times over.
+pub fn microbatch_queue_ab(jobs: usize) -> TextTable {
+    let shapes: Vec<JobShape> = (0..jobs)
+        .map(|i| {
+            let cols = [32, 64, 96, 128][i % 4];
+            JobShape {
+                rows: cols,
+                cols,
+                target_digits: [12, 25][i % 2],
+            }
+        })
+        .collect();
+    let mut t = TextTable::new(
+        format!(
+            "Micro-batched queue throughput: {jobs} small jobs \
+             (32..128 cols, 1d/2d) on pooled V100s, solves/sec"
+        ),
+        "devices",
+    );
+    t.col("unfused").col("fused").col("gain");
+    for devices in [1usize, 2, 4] {
+        let planner = Planner::new();
+        let mut plain = DevicePool::homogeneous(&Gpu::v100(), devices);
+        schedule(&mut plain, &planner, &shapes, DispatchPolicy::LeastLoaded);
+        let mut micro = DevicePool::homogeneous(&Gpu::v100(), devices);
+        schedule_groups(
+            &mut micro,
+            &planner,
+            &shapes,
+            DispatchPolicy::LeastLoaded,
+            &MicrobatchConfig::default(),
+        );
+        t.row(
+            format!("{devices}"),
+            vec![
+                format!("{:.1}", plain.solves_per_sec()),
+                format!("{:.1}", micro.solves_per_sec()),
+                format!("{:.1}x", micro.solves_per_sec() / plain.solves_per_sec()),
+            ],
+        );
+    }
+    t
+}
+
 /// The named pools of the dispatch-policy A/B: one homogeneous control
 /// (any SECT gain there comes from LPT ordering alone, not from
 /// device awareness) and two mixed pools of increasing speed spread.
@@ -238,6 +339,59 @@ mod tests {
         assert!(planner_choices().render().contains("x"));
         assert!(policy_ab(60).render().contains("sect"));
         assert!(refinement_ab().render().contains("direct"));
+        assert!(microbatch_ab().render().contains("speedup"));
+        assert!(microbatch_queue_ab(64).render().contains("fused"));
+    }
+
+    #[test]
+    fn microbatching_doubles_small_shape_throughput() {
+        // the acceptance bar of the micro-batching issue: >= 2x
+        // predicted solves/sec on every small shape (32..128 unknowns)
+        // at the d and dd rungs, fused vs per-job launches
+        let gpu = Gpu::v100();
+        let planner = Planner::new();
+        // guard the shipped configuration, not a private tuning point
+        let cfg = MicrobatchConfig::default();
+        for (n, digits, tag) in MICROBATCH_SHAPES {
+            if n > 128 || digits > 25 {
+                continue; // the bar is for the small d/dd shapes
+            }
+            let single = planner.plan(&gpu, n, n, digits);
+            let k = planner.preferred_group_size(n, n, digits, cfg.max_group, cfg.tolerance);
+            let (_, fused) = planner.plan_fused(&gpu, n, n, digits, k);
+            let speedup = single.predicted_ms / fused.per_job_ms();
+            assert!(
+                speedup >= 2.0,
+                "{n}x{n} {tag}: fused x{k} only {speedup:.2}x"
+            );
+        }
+        // and the queue-level schedule shows it end to end on one device
+        let shapes: Vec<JobShape> = (0..128)
+            .map(|i| {
+                let cols = [32, 64, 96, 128][i % 4];
+                JobShape {
+                    rows: cols,
+                    cols,
+                    target_digits: [12, 25][i % 2],
+                }
+            })
+            .collect();
+        let mut plain = DevicePool::homogeneous(&gpu, 1);
+        schedule(&mut plain, &planner, &shapes, DispatchPolicy::LeastLoaded);
+        let mut micro = DevicePool::homogeneous(&gpu, 1);
+        schedule_groups(
+            &mut micro,
+            &planner,
+            &shapes,
+            DispatchPolicy::LeastLoaded,
+            &MicrobatchConfig::default(),
+        );
+        assert!(
+            micro.solves_per_sec() >= 2.0 * plain.solves_per_sec(),
+            "queue: fused {:.1}/s vs unfused {:.1}/s",
+            micro.solves_per_sec(),
+            plain.solves_per_sec()
+        );
     }
 
     #[test]

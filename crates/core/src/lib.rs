@@ -186,9 +186,23 @@ fn factor_on_sim<S: MdScalar>(
     rows: usize,
     opts: &LstsqOptions,
 ) -> LstsqFactorization<S> {
+    factor_with_sim(Sim::new(gpu.clone(), mode), a, rows, opts)
+}
+
+/// Factor on a caller-built session — the seam the batched entry
+/// points use to run the ordinary factor launch sequence on a
+/// [`Sim::batched`] (fused-group accounting) or [`Sim::shadow`]
+/// (secondary instance, no accounting) session. The launch sequence,
+/// and therefore every functional bit, is identical on all three
+/// session kinds.
+fn factor_with_sim<S: MdScalar>(
+    sim: Sim,
+    a: Option<&HostMat<S>>,
+    rows: usize,
+    opts: &LstsqOptions,
+) -> LstsqFactorization<S> {
     let cols = opts.cols();
     assert!(rows >= cols, "least squares needs rows >= cols");
-    let sim = Sim::new(gpu.clone(), mode);
     let qr_opts = QrOptions {
         tiles: opts.tiles,
         tile_size: opts.tile_size,
@@ -239,6 +253,144 @@ pub fn lstsq_factor_model<S: MdScalar>(
     opts: &LstsqOptions,
 ) -> LstsqFactorization<S> {
     factor_on_sim(gpu, ExecMode::ModelOnly, None, rows, opts)
+}
+
+/// A fused group of `k` independent same-shaped factorizations — the
+/// device-level micro-batching primitive.
+///
+/// The paper's workloads are dominated by systems small enough that one
+/// QR badly underfills a GPU (wave quantization leaves most
+/// multiprocessors idle for a single-digit grid). A batch
+/// factorization runs `k` same-shaped systems as *fused launches*: one
+/// grid carries every instance's blocks, occupancy is computed over the
+/// fused grid, and per-launch bookkeeping — kernel base, launch gap,
+/// host overhead, per-transfer calls — is paid once per group instead
+/// of once per instance (cf. cuBLAS/MAGMA batched QR).
+///
+/// Instance 0 lives on the primary [`Sim::batched`] session, which
+/// accounts the whole group; instances 1.. live on [`Sim::shadow`]
+/// sessions that execute functionally but record nothing. Each
+/// instance's launch sequence is exactly the singleton
+/// [`lstsq_factor`] sequence, so every solution is bit-identical to
+/// the unfused path.
+pub struct LstsqBatchFactorization<S: MdScalar> {
+    facts: Vec<LstsqFactorization<S>>,
+    k: usize,
+}
+
+/// Factor `k = systems.len()` same-shaped systems as one fused group
+/// (functional or model-only per the options' [`ExecMode`]). All
+/// systems must share the `rows × N·n` shape of the options.
+pub fn lstsq_factor_batched<S: MdScalar>(
+    gpu: &Gpu,
+    systems: &[&HostMat<S>],
+    opts: &LstsqOptions,
+) -> LstsqBatchFactorization<S> {
+    assert!(
+        !systems.is_empty(),
+        "a fused group needs at least one system"
+    );
+    let (rows, cols) = (systems[0].rows, systems[0].cols);
+    assert_eq!(cols, opts.cols(), "matrix does not match tiling");
+    for a in systems {
+        assert_eq!(
+            (a.rows, a.cols),
+            (rows, cols),
+            "fused instances must share one shape"
+        );
+    }
+    let k = systems.len();
+    let facts = systems
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let sim = if i == 0 {
+                Sim::batched(gpu.clone(), opts.mode, k)
+            } else {
+                Sim::shadow(gpu.clone(), opts.mode)
+            };
+            factor_with_sim(sim, Some(a), rows, opts)
+        })
+        .collect();
+    LstsqBatchFactorization { facts, k }
+}
+
+/// Model-only fused factorization of `k` same-shaped `rows × N·n`
+/// systems: the planner's cost oracle for a fused `Factor` stage. Only
+/// the primary (accounting) session is built — shadow instances have no
+/// analytic footprint at all.
+pub fn lstsq_factor_batched_model<S: MdScalar>(
+    gpu: &Gpu,
+    k: usize,
+    rows: usize,
+    opts: &LstsqOptions,
+) -> LstsqBatchFactorization<S> {
+    assert!(k > 0, "a fused group needs at least one instance");
+    let sim = Sim::batched(gpu.clone(), ExecMode::ModelOnly, k);
+    LstsqBatchFactorization {
+        facts: vec![factor_with_sim(sim, None, rows, opts)],
+        k,
+    }
+}
+
+impl<S: MdScalar> LstsqBatchFactorization<S> {
+    /// Number of fused instances in the group.
+    pub fn group_size(&self) -> usize {
+        self.k
+    }
+
+    /// The per-instance factorizations (one entry in model-only groups,
+    /// where shadow instances are never materialized). Instance 0 is
+    /// the accounting session; refinement loops use these to re-solve
+    /// each instance against its own residuals.
+    pub fn instances(&self) -> &[LstsqFactorization<S>] {
+        &self.facts
+    }
+
+    /// Profile of the fused factor phase — all `k` instances' QR work
+    /// as fused launches, accounted once on the primary session.
+    pub fn factor_profile(&self) -> &Profile {
+        self.facts[0].factor_profile()
+    }
+
+    /// Solve every instance against its right hand side (the fused
+    /// phase 2): returns the per-instance solutions plus the fused
+    /// profile of the whole group's solve pass. Functional groups need
+    /// one rhs per instance; model-only groups ignore `rhs`. Each
+    /// instance's solve is exactly the singleton
+    /// [`LstsqFactorization::solve`] launch sequence, so the returned
+    /// solutions are bit-identical to `k` unfused solves.
+    pub fn solve_all(&self, rhs: &[Vec<S>]) -> (Vec<Vec<S>>, Profile) {
+        if self.facts[0].is_functional() {
+            assert_eq!(rhs.len(), self.facts.len(), "one rhs per fused instance");
+        }
+        let mut xs = Vec::with_capacity(self.facts.len());
+        let mut fused_profile = Profile::new();
+        for (i, f) in self.facts.iter().enumerate() {
+            let b: &[S] = rhs.get(i).map(|v| v.as_slice()).unwrap_or(&[]);
+            let (x, p) = f.solve(b);
+            if i == 0 {
+                fused_profile = p;
+            }
+            xs.push(x);
+        }
+        (xs, fused_profile)
+    }
+}
+
+/// Model-only fused-solver profiles `(qr, back substitution)` for `k`
+/// same-shaped `rows × N·n` systems — the fused counterpart of
+/// [`lstsq_model_profiles_rect`], pricing one grouped launch sequence
+/// instead of `k` singleton sequences.
+pub fn lstsq_batched_model_profiles<S: MdScalar>(
+    gpu: &Gpu,
+    k: usize,
+    rows: usize,
+    opts: &LstsqOptions,
+) -> (Profile, Profile) {
+    let f = lstsq_factor_batched_model::<S>(gpu, k, rows, opts);
+    let (_, bs) = f.solve_all(&[]);
+    (f.factor_profile().clone(), bs)
 }
 
 impl<S: MdScalar> LstsqFactorization<S> {
@@ -404,7 +556,22 @@ pub fn residual_model_profile<S: MdScalar>(
     block: usize,
     with_system_upload: bool,
 ) -> Profile {
-    let sim = Sim::new(gpu.clone(), ExecMode::ModelOnly);
+    residual_model_profile_batched::<S>(gpu, 1, rows, cols, block, with_system_upload)
+}
+
+/// Fused-group counterpart of [`residual_model_profile`]: the analytic
+/// profile of one residual stage over `instances` same-shaped systems
+/// as a single fused launch (occupancy over the fused grid, transfers
+/// grouped, kernel base and launch gap paid once).
+pub fn residual_model_profile_batched<S: MdScalar>(
+    gpu: &Gpu,
+    instances: usize,
+    rows: usize,
+    cols: usize,
+    block: usize,
+    with_system_upload: bool,
+) -> Profile {
+    let sim = Sim::batched(gpu.clone(), ExecMode::ModelOnly, instances);
     let da = sim.alloc_mat::<S>(rows, cols);
     let dx = sim.alloc_vec::<S>(cols);
     let db = sim.alloc_vec::<S>(rows);
@@ -653,6 +820,77 @@ mod tests {
         let with = residual_model_profile::<Qd>(&Gpu::v100(), m, n, 4, true);
         assert!(with.wall_ms() > mp.wall_ms());
         assert_eq!(with.all_kernels_ms(), mp.all_kernels_ms());
+    }
+
+    #[test]
+    fn batched_factorization_is_bit_identical_to_singletons() {
+        // the micro-batching contract: fusing k same-shaped systems
+        // into batched launches changes accounting, never bits
+        let mut rng = StdRng::seed_from_u64(320);
+        let opts = LstsqOptions {
+            tiles: 3,
+            tile_size: 4,
+            mode: ExecMode::Sequential,
+        };
+        let n = opts.cols();
+        let systems: Vec<HostMat<Dd>> = (0..5).map(|_| HostMat::random(n, n, &mut rng)).collect();
+        let rhs: Vec<Vec<Dd>> = (0..5)
+            .map(|_| mdls_matrix::random_vector(n, &mut rng))
+            .collect();
+
+        let refs: Vec<&HostMat<Dd>> = systems.iter().collect();
+        let fact = lstsq_factor_batched(&Gpu::v100(), &refs, &opts);
+        assert_eq!(fact.group_size(), 5);
+        let (xs, _) = fact.solve_all(&rhs);
+
+        for i in 0..5 {
+            let run = lstsq(&Gpu::v100(), &systems[i], &rhs[i], &opts);
+            assert_eq!(xs[i], run.x, "instance {i} diverged from the unfused solve");
+        }
+    }
+
+    #[test]
+    fn batched_model_profiles_price_the_fused_group() {
+        let opts = LstsqOptions {
+            tiles: 4,
+            tile_size: 8,
+            mode: ExecMode::ModelOnly,
+        };
+        let k = 24;
+        let (qr1, bs1) = lstsq_model_profiles_rect::<Qd>(&Gpu::v100(), 32, &opts);
+        let (qrk, bsk) = lstsq_batched_model_profiles::<Qd>(&Gpu::v100(), k, 32, &opts);
+        // all k instances' flops and traffic are accounted...
+        assert_eq!(qrk.total_flops_paper(), k as f64 * qr1.total_flops_paper());
+        assert_eq!(bsk.total_bytes(), k as u64 * bs1.total_bytes());
+        assert_eq!(qrk.transfer_bytes, k as u64 * qr1.transfer_bytes);
+        // ...through the singleton launch count (fusion, not repetition)
+        assert_eq!(qrk.total_launches(), qr1.total_launches());
+        // and the fused group is far cheaper than k singleton solves on
+        // this occupancy-starved 32-unknown shape
+        let fused = qrk.wall_ms() + bsk.wall_ms();
+        let singles = k as f64 * (qr1.wall_ms() + bs1.wall_ms());
+        assert!(
+            fused < singles / 2.0,
+            "fused {fused:.3} ms vs {k} singletons {singles:.3} ms"
+        );
+        // a fused group of one is exactly the singleton oracle
+        let (qr, bs) = lstsq_batched_model_profiles::<Qd>(&Gpu::v100(), 1, 32, &opts);
+        assert_eq!(qr.wall_ms(), qr1.wall_ms());
+        assert_eq!(bs.wall_ms(), bs1.wall_ms());
+    }
+
+    #[test]
+    fn batched_residual_profile_fuses_the_launch() {
+        let (m, n, b) = (48, 32, 8);
+        let one = residual_model_profile::<Qd>(&Gpu::v100(), m, n, b, false);
+        let k = 16;
+        let fused = residual_model_profile_batched::<Qd>(&Gpu::v100(), k, m, n, b, false);
+        assert_eq!(
+            fused.total_flops_paper(),
+            k as f64 * one.total_flops_paper()
+        );
+        assert_eq!(fused.total_launches(), one.total_launches());
+        assert!(fused.wall_ms() < k as f64 * one.wall_ms() / 2.0);
     }
 
     #[test]

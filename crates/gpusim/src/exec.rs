@@ -45,17 +45,67 @@ pub struct Sim {
     profile: Mutex<Profile>,
     /// Total bytes allocated on the device (for the RAM-swap wall model).
     footprint: Mutex<u64>,
+    /// Micro-batching factor: this session carries `instances`
+    /// independent same-shaped problem instances. Every launch is
+    /// priced as one fused grid of `instances × grid` blocks (see
+    /// [`model::fused_kernel_ms`]), allocations and transfers account
+    /// `instances ×` their bytes, and per-launch bookkeeping (launch
+    /// counts, launch gaps) is paid once per fused launch instead of
+    /// once per instance. 1 = the ordinary singleton session.
+    instances: usize,
+    /// When false this is a *shadow* session: kernel bodies still run
+    /// (functional state for one secondary instance of a fused group),
+    /// but nothing is accounted — the group's entire cost lives on the
+    /// primary batched session.
+    accounting: bool,
 }
 
 impl Sim {
     /// Open a session.
     pub fn new(gpu: Gpu, mode: ExecMode) -> Self {
+        Sim::batched(gpu, mode, 1)
+    }
+
+    /// Open a micro-batched session: the accounting (primary) session
+    /// of a fused group of `instances` same-shaped problem instances.
+    /// Functional execution on this session carries instance 0; the
+    /// analytic accounting covers all `instances` as fused launches.
+    /// Secondary instances run on [`Sim::shadow`] sessions.
+    pub fn batched(gpu: Gpu, mode: ExecMode, instances: usize) -> Self {
+        assert!(instances > 0, "a fused group needs at least one instance");
         Sim {
             gpu,
             mode,
             profile: Mutex::new(Profile::new()),
             footprint: Mutex::new(0),
+            instances,
+            accounting: true,
         }
+    }
+
+    /// Open a shadow session: a secondary instance of a fused group.
+    /// Kernel bodies execute (each instance's blocks of the fused grid
+    /// must run for its functional state — block order across instances
+    /// is free because fused instances are independent, exactly the
+    /// CUDA contract within one launch), but launches, transfers and
+    /// overheads record nothing: the whole group is accounted once, on
+    /// the primary [`Sim::batched`] session.
+    pub fn shadow(gpu: Gpu, mode: ExecMode) -> Self {
+        Sim {
+            accounting: false,
+            ..Sim::new(gpu, mode)
+        }
+    }
+
+    /// Number of fused problem instances this session accounts for.
+    pub fn instances(&self) -> usize {
+        self.instances
+    }
+
+    /// False for shadow sessions (secondary instances of a fused
+    /// group), whose launches and transfers are accounted elsewhere.
+    pub fn is_accounting(&self) -> bool {
+        self.accounting
     }
 
     /// The device.
@@ -73,9 +123,12 @@ impl Sim {
         self.mode != ExecMode::ModelOnly
     }
 
-    /// Allocate a device vector of `len` scalars.
+    /// Allocate a device vector of `len` scalars. On a batched session
+    /// the footprint charges every fused instance's copy (the group is
+    /// device-resident together); the returned buffer holds the primary
+    /// instance's data.
     pub fn alloc_vec<S: MdScalar>(&self, len: usize) -> DeviceBuf<S> {
-        *self.footprint.lock() += (len * S::BYTES) as u64;
+        *self.footprint.lock() += (self.instances * len * S::BYTES) as u64;
         if self.is_functional() {
             DeviceBuf::zeroed(len)
         } else {
@@ -83,9 +136,9 @@ impl Sim {
         }
     }
 
-    /// Allocate a device matrix.
+    /// Allocate a device matrix (footprint rules as [`Sim::alloc_vec`]).
     pub fn alloc_mat<S: MdScalar>(&self, rows: usize, cols: usize) -> DeviceMat<S> {
-        *self.footprint.lock() += (rows * cols * S::BYTES) as u64;
+        *self.footprint.lock() += (self.instances * rows * cols * S::BYTES) as u64;
         if self.is_functional() {
             DeviceMat::zeroed(rows, cols)
         } else {
@@ -167,15 +220,24 @@ impl Sim {
                 }
             }
         }
-        let ms = model::kernel_ms(&self.gpu, grid, threads, &cost);
+        if !self.accounting {
+            return; // shadow session: the primary accounts the group
+        }
+        // a batched session prices the launch as one fused grid over
+        // all instances: work and traffic scale by the instance count,
+        // occupancy is computed over the fused grid, and the kernel
+        // base — like the launch count and gap below — is paid once per
+        // fused launch, not once per instance
+        let fused = cost.scaled(self.instances as u64);
+        let ms = model::fused_kernel_ms(&self.gpu, self.instances, grid, threads, &cost);
         let mut p = self.profile.lock();
         p.record(
             stage,
             ms,
-            cost.ops,
-            cost.flops_paper,
-            cost.flops_measured,
-            cost.bytes,
+            fused.ops,
+            fused.flops_paper,
+            fused.flops_measured,
+            fused.bytes,
         );
         if count_as > 1 {
             // the batched launch stands for `count_as` logical launches
@@ -185,8 +247,17 @@ impl Sim {
         p.launch_gap_ms += model::launch_gap_ms(&self.gpu, count_as);
     }
 
-    /// Record a host-to-device or device-to-host transfer of `bytes`.
+    /// Record a host-to-device or device-to-host transfer of `bytes`
+    /// *per instance*: a batched session moves every fused instance's
+    /// copy in one grouped transfer, so the recorded traffic scales by
+    /// the instance count while the call — like the host-side
+    /// bookkeeping it stands for — happens once per group. Shadow
+    /// sessions record nothing.
     pub fn record_transfer(&self, bytes: u64) {
+        if !self.accounting {
+            return;
+        }
+        let bytes = bytes * self.instances as u64;
         let fp = *self.footprint.lock();
         let ms = model::transfer_ms(&self.gpu, bytes, fp);
         let mut p = self.profile.lock();
@@ -194,8 +265,14 @@ impl Sim {
         p.transfer_bytes += bytes;
     }
 
-    /// Record fixed host-side overhead once per driver invocation.
+    /// Record fixed host-side overhead once per driver invocation — on
+    /// a batched session that is once per fused *group* (the
+    /// amortization micro-batching exists for). Shadow sessions record
+    /// nothing.
     pub fn record_host_overhead(&self) {
+        if !self.accounting {
+            return;
+        }
         self.profile.lock().host_ms += self.gpu.host_overhead_ms;
     }
 
@@ -300,5 +377,68 @@ mod tests {
         sim.record_transfer(10 * (1 << 30)); // 10 GB over 5 GB/s ~ 2000 ms
         let p = sim.profile();
         assert!(p.transfer_ms > 1900.0 && p.transfer_ms < 2400.0);
+    }
+
+    #[test]
+    fn batched_session_prices_fused_launches() {
+        let n = 64;
+        let k = 16;
+        let single = Sim::new(Gpu::v100(), ExecMode::ModelOnly);
+        let bs = single.alloc_vec::<Dd>(n);
+        fill_kernel(&single, &bs, 2, 32);
+        let fused = Sim::batched(Gpu::v100(), ExecMode::ModelOnly, k);
+        let bf = fused.alloc_vec::<Dd>(n);
+        fill_kernel(&fused, &bf, 2, 32);
+
+        let ps = single.profile();
+        let pf = fused.profile();
+        // all instances' work is accounted...
+        assert_eq!(pf.total_flops_paper(), k as f64 * ps.total_flops_paper());
+        assert_eq!(pf.total_bytes(), k as u64 * ps.total_bytes());
+        // ...in ONE fused launch with one launch gap
+        assert_eq!(pf.total_launches(), ps.total_launches());
+        assert_eq!(pf.launch_gap_ms, ps.launch_gap_ms);
+        // per-instance kernel time improves by far more than the
+        // instance count alone would explain away: occupancy of the
+        // 2-block singleton grid was 2/80 of a wave
+        assert!(pf.all_kernels_ms() < ps.all_kernels_ms() * k as f64 / 2.0);
+        // grouped allocations and transfers charge every instance
+        assert_eq!(fused.footprint_bytes(), k as u64 * single.footprint_bytes());
+        single.record_transfer(1 << 20);
+        fused.record_transfer(1 << 20);
+        assert_eq!(
+            fused.profile().transfer_bytes,
+            k as u64 * single.profile().transfer_bytes
+        );
+    }
+
+    #[test]
+    fn batched_of_one_is_the_ordinary_session() {
+        let a = Sim::new(Gpu::v100(), ExecMode::Sequential);
+        let b = Sim::batched(Gpu::v100(), ExecMode::Sequential, 1);
+        let ba = a.alloc_vec::<Dd>(100);
+        let bb = b.alloc_vec::<Dd>(100);
+        fill_kernel(&a, &ba, 4, 32);
+        fill_kernel(&b, &bb, 4, 32);
+        assert_eq!(ba.download(), bb.download());
+        assert_eq!(a.profile().all_kernels_ms(), b.profile().all_kernels_ms());
+        assert_eq!(a.footprint_bytes(), b.footprint_bytes());
+    }
+
+    #[test]
+    fn shadow_session_executes_but_records_nothing() {
+        let sim = Sim::shadow(Gpu::v100(), ExecMode::Sequential);
+        assert!(!sim.is_accounting());
+        let buf = sim.alloc_vec::<Dd>(50);
+        fill_kernel(&sim, &buf, 2, 32);
+        // functional state is real...
+        assert_eq!(buf.get(7), Dd::from_f64(7.0) + Dd::from_f64(0.5));
+        // ...but the profile never saw the launch, transfer or overhead
+        sim.record_transfer(1 << 20);
+        sim.record_host_overhead();
+        let p = sim.profile();
+        assert_eq!(p.total_launches(), 0);
+        assert_eq!(p.wall_ms(), 0.0);
+        assert_eq!(p.transfer_bytes, 0);
     }
 }

@@ -55,6 +55,26 @@ impl KernelCost {
         self.eff_scale = eff_scale;
         self
     }
+
+    /// The cost of `k` independent instances of this launch fused into
+    /// one grid: all work and traffic scale by `k`, while the per-launch
+    /// shape constants (limb planes, efficiency class) are instance
+    /// counts and stay put. The timing win of fusion does not live here
+    /// — it comes from pricing the scaled cost over the *fused* grid
+    /// (see `model::fused_kernel_ms`), where the occupancy fill and the
+    /// fixed kernel base are shared by all `k` instances.
+    pub fn scaled(&self, k: u64) -> Self {
+        KernelCost {
+            ops: self.ops.scaled(k),
+            elems_read: self.elems_read * k,
+            elems_written: self.elems_written * k,
+            flops_paper: self.flops_paper * k as f64,
+            flops_measured: self.flops_measured * k as f64,
+            bytes: self.bytes * k,
+            planes: self.planes,
+            eff_scale: self.eff_scale,
+        }
+    }
 }
 
 /// What one block knows about itself inside a kernel body.

@@ -81,6 +81,32 @@ pub fn kernel_ms(gpu: &Gpu, grid: usize, threads_per_block: usize, cost: &Kernel
     gpu.kernel_base_us * 1.0e-3 + compute_ms.max(memory_ms)
 }
 
+/// Kernel time in milliseconds for one *fused* launch carrying
+/// `instances` independent copies of a per-instance launch shape: the
+/// grid grows to `instances × grid` blocks (occupancy — wave
+/// quantization and per-MP fill — is computed over the fused grid),
+/// the per-instance work and traffic scale by `instances`, and the
+/// fixed kernel base is paid once for the whole group instead of once
+/// per instance. This is the device-level micro-batching model: one
+/// small QR leaves most multiprocessors idle (the paper's "at n = 32
+/// the V100 is only half occupied" effect, compounded by wave
+/// quantization at single-digit grids), while `k` fused instances fill
+/// the waves and amortize every per-launch constant.
+pub fn fused_kernel_ms(
+    gpu: &Gpu,
+    instances: usize,
+    grid: usize,
+    threads_per_block: usize,
+    cost: &KernelCost,
+) -> f64 {
+    kernel_ms(
+        gpu,
+        instances.max(1) * grid,
+        threads_per_block,
+        &cost.scaled(instances.max(1) as u64),
+    )
+}
+
 /// Host<->device transfer time in milliseconds for `bytes`, given the
 /// total device-resident footprint (for the RAM swap penalty).
 pub fn transfer_ms(gpu: &Gpu, bytes: u64, footprint_bytes: u64) -> f64 {
@@ -161,5 +187,66 @@ mod tests {
         for g in [Gpu::rtx2080(), Gpu::v100()] {
             assert!(ilp_efficiency(&g, 8) > ilp_efficiency(&g, 2), "{}", g.name);
         }
+    }
+
+    #[test]
+    fn fused_grids_quantize_to_waves_per_device() {
+        // the fused grid obeys the same wave quantization as any grid:
+        // k instances of a g-block launch fill k*g/MPs of a wave, and
+        // the per-job compute share is best exactly when k*g lands on a
+        // wave boundary of the device
+        for gpu in [Gpu::v100(), Gpu::p100(), Gpu::a100()] {
+            let mps = gpu.multiprocessors;
+            // 4-block instances: a full wave needs mps/4 instances
+            let fill = mps / 4;
+            assert!(
+                (occupancy(&gpu, fill * 4, 64) - 1.0).abs() < 1e-12,
+                "{}",
+                gpu.name
+            );
+            // one instance past the boundary starts a second, nearly
+            // empty wave: occupancy drops to (mps+4)/(2*mps)
+            let spill = occupancy(&gpu, fill * 4 + 4, 64);
+            let expect = (mps + 4) as f64 / (2 * mps) as f64;
+            assert!((spill - expect).abs() < 1e-12, "{}: {spill}", gpu.name);
+        }
+    }
+
+    #[test]
+    fn fused_per_instance_cost_beats_singletons_on_small_grids() {
+        // a 2-block qd launch badly underfills every device; fusing 40
+        // instances must cut the per-instance kernel time by far more
+        // than 2x (occupancy up, kernel base amortized)
+        let cost = qd_cost(1 << 14, 1 << 8);
+        for gpu in [Gpu::v100(), Gpu::p100(), Gpu::a100()] {
+            let single = kernel_ms(&gpu, 2, 64, &cost);
+            let fused = fused_kernel_ms(&gpu, 40, 2, 64, &cost) / 40.0;
+            assert!(
+                fused < single / 2.0,
+                "{}: fused per-instance {fused} ms vs single {single} ms",
+                gpu.name
+            );
+        }
+    }
+
+    #[test]
+    fn fused_of_one_is_exactly_a_single_launch() {
+        let v = Gpu::v100();
+        let cost = qd_cost(1 << 12, 1 << 6);
+        assert_eq!(
+            fused_kernel_ms(&v, 1, 8, 128, &cost),
+            kernel_ms(&v, 8, 128, &cost)
+        );
+    }
+
+    #[test]
+    fn fused_cost_scales_work_not_shape() {
+        let cost = qd_cost(1000, 100);
+        let s = cost.scaled(8);
+        assert_eq!(s.flops_measured, 8.0 * cost.flops_measured);
+        assert_eq!(s.flops_paper, 8.0 * cost.flops_paper);
+        assert_eq!(s.bytes, 8 * cost.bytes);
+        assert_eq!(s.planes, cost.planes);
+        assert_eq!(s.eff_scale, cost.eff_scale);
     }
 }

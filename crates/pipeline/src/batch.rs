@@ -37,15 +37,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use gpusim::{ExecMode, Gpu, Sim};
-use mdls_core::{lstsq_factor, residual_kernel};
+use mdls_core::{lstsq_factor, lstsq_factor_batched, residual_kernel};
 use mdls_matrix::{vec_norm2, HostMat};
 use multidouble::{convert_real, Dd, MdReal, Od, Qd};
 
 use crate::job::{Job, Precision, Solution};
+use crate::microbatch::{schedule_groups, GroupDispatch, MicrobatchConfig};
 use crate::plan::ExecPlan;
 use crate::planner::Planner;
 use crate::pool::{DevicePool, DeviceStats};
-use crate::scheduler::{schedule, Dispatch, DispatchPolicy, JobShape};
+use crate::scheduler::{schedule, DispatchPolicy, JobShape};
 
 /// Outcome of one job.
 #[derive(Clone, Debug)]
@@ -69,22 +70,68 @@ pub struct JobOutcome {
     pub start_ms: f64,
     /// Simulated completion time on the device, ms.
     pub end_ms: f64,
+    /// Size of the micro-batched fused group this job rode in
+    /// (1 = unfused). Fused siblings share `start_ms`/`end_ms`.
+    pub fused_group: usize,
+    /// Refinement passes actually executed — at most the plan's
+    /// correction count, fewer when the adaptive stop met the digit
+    /// target early. Zero for direct plans.
+    pub corrections_run: usize,
+    /// This job's equal share of the booked stage time its whole
+    /// dispatch group provably skipped, ms (see
+    /// [`DevicePool::reconcile`]). A fused launch runs as long as *any*
+    /// member still iterates, so a pass is refundable only once every
+    /// sibling has stopped — a member that finishes early while
+    /// siblings continue refunds nothing for the passes they still run.
+    pub refunded_ms: f64,
+}
+
+/// Result of interpreting one job's plan: the solution, its measured
+/// residual, and how many refinement passes actually ran (the adaptive
+/// stop may finish under the plan's booked count).
+#[derive(Clone, Debug)]
+pub struct PlannedSolve {
+    /// The minimizer, at the plan's solution precision.
+    pub x: Solution,
+    /// Relative residual at the solution rung.
+    pub residual: f64,
+    /// Refinement passes executed (0 for direct plans).
+    pub corrections_run: usize,
 }
 
 impl JobOutcome {
-    /// Assemble an outcome from a dispatch and the interpreter's
-    /// result (shared by the batch and stream paths).
-    pub(crate) fn assemble(job_id: u64, d: Dispatch, x: Solution, residual: f64) -> JobOutcome {
-        JobOutcome {
-            job_id,
-            device: d.device,
-            plan: d.plan,
-            x,
-            residual,
-            achieved_digits: digits_from_residual(residual),
-            start_ms: d.start_ms,
-            end_ms: d.end_ms,
-        }
+    /// Assemble a whole group's outcomes from its dispatch slot and the
+    /// interpreter's results (shared by the batch and stream paths),
+    /// one per member in group order. The adaptive refund is computed
+    /// here, at group granularity: a fused stage runs as long as any
+    /// member still iterates, so only the tail every member skipped is
+    /// provably unexecuted — that tail's booked time is split equally
+    /// among the members. (A singleton group degenerates to refunding
+    /// exactly its own skipped stages.)
+    pub(crate) fn assemble_group(
+        ids: &[u64],
+        g: &GroupDispatch,
+        solved: Vec<PlannedSolve>,
+    ) -> Vec<JobOutcome> {
+        assert_eq!(ids.len(), solved.len());
+        let group_passes = solved.iter().map(|s| s.corrections_run).max().unwrap_or(0);
+        let refunded_ms = g.fused.per_job_tail_ms(2 + 2 * group_passes);
+        ids.iter()
+            .zip(solved)
+            .map(|(&job_id, s)| JobOutcome {
+                job_id,
+                device: g.device,
+                plan: g.plan.clone(),
+                achieved_digits: digits_from_residual(s.residual),
+                x: s.x,
+                residual: s.residual,
+                start_ms: g.start_ms,
+                end_ms: g.end_ms,
+                fused_group: g.jobs.len(),
+                corrections_run: s.corrections_run,
+                refunded_ms,
+            })
+            .collect()
     }
 }
 
@@ -117,6 +164,9 @@ pub struct BatchReport {
     pub device_stats: Vec<DeviceStats>,
     /// Number of distinct plans the planner computed (cache pressure).
     pub distinct_plans: usize,
+    /// Number of micro-batched fused groups (of ≥ 2 jobs) this batch
+    /// ran; 0 on the unfused paths.
+    pub fused_groups: usize,
 }
 
 // ---------------------------------------------------------------------
@@ -163,6 +213,22 @@ struct PromoCache {
 static PROMO: OnceLock<Mutex<PromoCache>> = OnceLock::new();
 static PROMO_HITS: AtomicU64 = AtomicU64::new(0);
 static PROMO_MISSES: AtomicU64 = AtomicU64::new(0);
+static PROMO_WARM: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Switch the promoted-matrix cache's **warm-insert** mode and return
+/// the previous setting.
+///
+/// By default an entry lands only on a matrix's *second* sighting, so
+/// one-shot batches (every matrix unique) never pay the original's
+/// clone or the byte budget. A service that *knows* its matrices recur
+/// — a tracker restarted mid-path, a power-flow sweep resuming from a
+/// checkpoint — loses the first re-solve's hit to that probation.
+/// Warm-insert caches on first sighting instead: the first repeat is
+/// already a hit, at the cost of cloning matrices that may never
+/// return. Process-wide, like the cache itself.
+pub fn promoted_cache_warm_insert(enabled: bool) -> bool {
+    PROMO_WARM.swap(enabled, Ordering::Relaxed)
+}
 
 /// FNV-flavored fingerprint over the dimensions and every entry's bits.
 fn fingerprint(a: &HostMat<f64>) -> u64 {
@@ -200,12 +266,15 @@ fn promoted_matrix<S: MdReal>(a: &HostMat<f64>) -> Arc<HostMat<S>> {
     let key = (fp, TypeId::of::<S>());
     let cache = PROMO.get_or_init(|| Mutex::new(PromoCache::default()));
     let (found, second_sighting) = {
+        let warm = PROMO_WARM.load(Ordering::Relaxed);
         let mut c = cache.lock().unwrap();
         let found = c
             .map
             .get(&key)
             .map(|e| (e.original.clone(), e.promoted.clone()));
-        let second = found.is_none() && c.seen.contains(&key);
+        // warm-insert mode skips the probation set: every first
+        // sighting is treated as cache-worthy
+        let second = found.is_none() && (warm || c.seen.contains(&key));
         if found.is_none() && !second {
             if c.seen.len() >= PROMO_SEEN_CAP {
                 c.seen.clear();
@@ -286,18 +355,89 @@ fn direct_as<S: MdReal>(gpu: &Gpu, job: &Job, plan: &ExecPlan) -> (Vec<S>, f64) 
     (x, residual)
 }
 
+/// Fused direct plans: one micro-batched factor + solve over every
+/// member. Each member's launch sequence is exactly the singleton
+/// [`direct_as`] sequence (the batched sessions change accounting,
+/// never arithmetic), so the returned bits match the unfused path.
+/// The group's matrices and right hand sides are promoted in one pass
+/// and uploaded as one grouped transfer — the per-job promotion and
+/// upload bookkeeping the singleton path repeats `k` times happens
+/// once here.
+fn direct_fused_as<S: MdReal>(gpu: &Gpu, jobs: &[&Job], plan: &ExecPlan) -> Vec<(Vec<S>, f64)> {
+    let opts = plan.options(ExecMode::Sequential);
+    let mats: Vec<Arc<HostMat<S>>> = jobs.iter().map(|j| promoted_matrix::<S>(&j.a)).collect();
+    let rhs: Vec<Vec<S>> = jobs.iter().map(|j| promote_vec::<S>(&j.b)).collect();
+    let refs: Vec<&HostMat<S>> = mats.iter().map(|m| m.as_ref()).collect();
+    let fact = lstsq_factor_batched(gpu, &refs, &opts);
+    let (xs, _) = fact.solve_all(&rhs);
+    xs.into_iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let residual = relative_residual(&mats[i], &x, &rhs[i]);
+            (x, residual)
+        })
+        .collect()
+}
+
 /// Refinement plan: factor once at rung `F`, then per pass compute the
 /// residual at rung `H` on the device and correct through the reused
-/// factorization, accumulating the iterate at `H`.
-fn refine_as<F: MdReal, H: MdReal>(gpu: &Gpu, job: &Job, plan: &ExecPlan) -> (Vec<H>, f64) {
-    let (m, n) = (job.rows(), job.cols());
-    let opts = plan.options(ExecMode::Sequential);
-
+/// factorization, accumulating the iterate at `H`. Adaptive: passes
+/// stop as soon as the measured residual already certifies the plan's
+/// digit target (see [`refine_through`]).
+fn refine_as<F: MdReal, H: MdReal>(gpu: &Gpu, job: &Job, plan: &ExecPlan) -> (Vec<H>, f64, usize) {
     // Factor(F) + initial Correct(F)
+    let opts = plan.options(ExecMode::Sequential);
     let a_f = promoted_matrix::<F>(&job.a);
     let b_f = promote_vec::<F>(&job.b);
     let fact = lstsq_factor(gpu, &a_f, &opts);
     let (x0, _) = fact.solve(&b_f);
+    refine_through::<F, H>(gpu, job, plan, &fact, x0)
+}
+
+/// Fused refinement: one micro-batched Factor(F) + initial Correct(F)
+/// over the whole group, then per-member high-rung refinement loops
+/// through each member's slice of the fused factorization. Members
+/// stop adaptively and independently — a member that meets its digits
+/// early simply drops out of later passes (its booked share is
+/// refunded by the caller via the outcome's `refunded_ms`).
+fn refine_fused_as<F: MdReal, H: MdReal>(
+    gpu: &Gpu,
+    jobs: &[&Job],
+    plan: &ExecPlan,
+) -> Vec<(Vec<H>, f64, usize)> {
+    let opts = plan.options(ExecMode::Sequential);
+    let mats: Vec<Arc<HostMat<F>>> = jobs.iter().map(|j| promoted_matrix::<F>(&j.a)).collect();
+    let rhs: Vec<Vec<F>> = jobs.iter().map(|j| promote_vec::<F>(&j.b)).collect();
+    let refs: Vec<&HostMat<F>> = mats.iter().map(|m| m.as_ref()).collect();
+    let fact = lstsq_factor_batched(gpu, &refs, &opts);
+    let (x0s, _) = fact.solve_all(&rhs);
+    x0s.into_iter()
+        .enumerate()
+        .map(|(i, x0)| refine_through::<F, H>(gpu, jobs[i], plan, &fact.instances()[i], x0))
+        .collect()
+}
+
+/// The high-rung refinement loop behind both the singleton and the
+/// fused paths: given the low-rung factorization and initial solve,
+/// alternate device-side residuals at rung `H` with corrections
+/// through the reused factorization, accumulating the iterate at `H`.
+///
+/// **Adaptive pass count**: the measured relative residual — free, the
+/// outcome reports it anyway — is checked at every pass boundary, and
+/// the loop stops as soon as it already certifies the plan's digit
+/// target instead of running the booked count blind. The stopping rule
+/// reads only device-independent bits, so placement invariance (and
+/// fused/unfused bit-identity) survives. Returns the iterate, its last
+/// measured residual, and the passes actually executed.
+fn refine_through<F: MdReal, H: MdReal>(
+    gpu: &Gpu,
+    job: &Job,
+    plan: &ExecPlan,
+    fact: &mdls_core::LstsqFactorization<F>,
+    x0: Vec<F>,
+) -> (Vec<H>, f64, usize) {
+    let (m, n) = (job.rows(), job.cols());
+    let opts = plan.options(ExecMode::Sequential);
 
     // high-rung system, device-resident across all residual stages —
     // the system uploads once, each pass moves only the iterate down
@@ -316,12 +456,24 @@ fn refine_as<F: MdReal, H: MdReal>(gpu: &Gpu, job: &Job, plan: &ExecPlan) -> (Ve
     a_h.upload_to(&da);
     db.upload(&b_h);
 
+    let good_enough = 10f64.powi(-(plan.target_digits.min(i32::MAX as u32) as i32));
+    let bn = vec_norm2(&b_h).to_f64();
     let mut x: Vec<H> = x0.iter().map(|&v| convert_real::<F, H>(v)).collect();
-    for _ in 0..plan.corrections() {
-        // Residual(H): r = b − A x at the high rung
+    let mut passes = 0;
+    let residual = loop {
+        // Residual(H): r = b − A x at the high rung. The stage's own
+        // output doubles as the adaptive stop measurement — no extra
+        // matvec is ever computed for the check; a run to the booked
+        // pass count costs one final residual stage in place of the
+        // host-side measurement the outcome needed anyway.
         dx.upload(&x);
         residual_kernel(&sim, &da, &dx, &db, &dr, opts.tile_size);
         let r_h = dr.download();
+        let rn = vec_norm2(&r_h).to_f64();
+        let rel = if bn > 0.0 { rn / bn } else { rn };
+        if passes >= plan.corrections() || rel < good_enough {
+            break rel;
+        }
         // Correct(F): demote the residual, re-solve through the cached
         // factorization, accumulate at the high rung
         let r_f: Vec<F> = r_h.iter().map(|&v| convert_real::<H, F>(v)).collect();
@@ -329,58 +481,115 @@ fn refine_as<F: MdReal, H: MdReal>(gpu: &Gpu, job: &Job, plan: &ExecPlan) -> (Ve
         for (xi, di) in x.iter_mut().zip(&d) {
             *xi += convert_real::<F, H>(*di);
         }
-    }
-    let residual = relative_residual(&a_h, &x, &b_h);
-    (x, residual)
+        passes += 1;
+    };
+    (x, residual, passes)
 }
 
-/// Interpret one job's staged plan on a device model. This is exactly
-/// what the batch executor does per job — exposed so callers (and the
-/// equivalence property test) can reproduce any batch result with a
-/// single sequential interpretation.
-pub fn solve_planned(gpu: &Gpu, job: &Job, plan: &ExecPlan) -> (Solution, f64) {
+/// Interpret one job's staged plan on a device model, reporting the
+/// adaptive trace. This is exactly what the batch executor does per
+/// unfused job — exposed so callers (and the equivalence property
+/// test) can reproduce any batch result with a single sequential
+/// interpretation.
+pub fn solve_planned_traced(gpu: &Gpu, job: &Job, plan: &ExecPlan) -> PlannedSolve {
     use Precision::{D1, D2, D4, D8};
+    fn direct<S: MdReal>(
+        gpu: &Gpu,
+        job: &Job,
+        plan: &ExecPlan,
+        wrap: fn(Vec<S>) -> Solution,
+    ) -> PlannedSolve {
+        let (x, residual) = direct_as::<S>(gpu, job, plan);
+        PlannedSolve {
+            x: wrap(x),
+            residual,
+            corrections_run: 0,
+        }
+    }
+    fn refine<F: MdReal, H: MdReal>(
+        gpu: &Gpu,
+        job: &Job,
+        plan: &ExecPlan,
+        wrap: fn(Vec<H>) -> Solution,
+    ) -> PlannedSolve {
+        let (x, residual, corrections_run) = refine_as::<F, H>(gpu, job, plan);
+        PlannedSolve {
+            x: wrap(x),
+            residual,
+            corrections_run,
+        }
+    }
     match (plan.factor_precision(), plan.solution_precision()) {
-        (D1, D1) => {
-            let (x, r) = direct_as::<f64>(gpu, job, plan);
-            (Solution::D1(x), r)
-        }
-        (D2, D2) => {
-            let (x, r) = direct_as::<Dd>(gpu, job, plan);
-            (Solution::D2(x), r)
-        }
-        (D4, D4) => {
-            let (x, r) = direct_as::<Qd>(gpu, job, plan);
-            (Solution::D4(x), r)
-        }
-        (D8, D8) => {
-            let (x, r) = direct_as::<Od>(gpu, job, plan);
-            (Solution::D8(x), r)
-        }
-        (D1, D2) => {
-            let (x, r) = refine_as::<f64, Dd>(gpu, job, plan);
-            (Solution::D2(x), r)
-        }
-        (D1, D4) => {
-            let (x, r) = refine_as::<f64, Qd>(gpu, job, plan);
-            (Solution::D4(x), r)
-        }
-        (D1, D8) => {
-            let (x, r) = refine_as::<f64, Od>(gpu, job, plan);
-            (Solution::D8(x), r)
-        }
-        (D2, D4) => {
-            let (x, r) = refine_as::<Dd, Qd>(gpu, job, plan);
-            (Solution::D4(x), r)
-        }
-        (D2, D8) => {
-            let (x, r) = refine_as::<Dd, Od>(gpu, job, plan);
-            (Solution::D8(x), r)
-        }
-        (D4, D8) => {
-            let (x, r) = refine_as::<Qd, Od>(gpu, job, plan);
-            (Solution::D8(x), r)
-        }
+        (D1, D1) => direct::<f64>(gpu, job, plan, Solution::D1),
+        (D2, D2) => direct::<Dd>(gpu, job, plan, Solution::D2),
+        (D4, D4) => direct::<Qd>(gpu, job, plan, Solution::D4),
+        (D8, D8) => direct::<Od>(gpu, job, plan, Solution::D8),
+        (D1, D2) => refine::<f64, Dd>(gpu, job, plan, Solution::D2),
+        (D1, D4) => refine::<f64, Qd>(gpu, job, plan, Solution::D4),
+        (D1, D8) => refine::<f64, Od>(gpu, job, plan, Solution::D8),
+        (D2, D4) => refine::<Dd, Qd>(gpu, job, plan, Solution::D4),
+        (D2, D8) => refine::<Dd, Od>(gpu, job, plan, Solution::D8),
+        (D4, D8) => refine::<Qd, Od>(gpu, job, plan, Solution::D8),
+        (f, s) => unreachable!("invalid plan rungs: factor {f:?} above solution {s:?}"),
+    }
+}
+
+/// Interpret one job's staged plan on a device model — the
+/// solution-and-residual view of [`solve_planned_traced`].
+pub fn solve_planned(gpu: &Gpu, job: &Job, plan: &ExecPlan) -> (Solution, f64) {
+    let s = solve_planned_traced(gpu, job, plan);
+    (s.x, s.residual)
+}
+
+/// Interpret one plan over a fused group of same-shaped jobs: one
+/// micro-batched factor phase, per-member solves and (adaptive)
+/// refinement loops. Returns one [`PlannedSolve`] per member, in
+/// order. Every member's result is bit-identical to
+/// [`solve_planned_traced`] of that job alone — fusing packs launches,
+/// it never changes arithmetic.
+pub fn solve_planned_fused(gpu: &Gpu, jobs: &[&Job], plan: &ExecPlan) -> Vec<PlannedSolve> {
+    use Precision::{D1, D2, D4, D8};
+    fn direct<S: MdReal>(
+        gpu: &Gpu,
+        jobs: &[&Job],
+        plan: &ExecPlan,
+        wrap: fn(Vec<S>) -> Solution,
+    ) -> Vec<PlannedSolve> {
+        direct_fused_as::<S>(gpu, jobs, plan)
+            .into_iter()
+            .map(|(x, residual)| PlannedSolve {
+                x: wrap(x),
+                residual,
+                corrections_run: 0,
+            })
+            .collect()
+    }
+    fn refine<F: MdReal, H: MdReal>(
+        gpu: &Gpu,
+        jobs: &[&Job],
+        plan: &ExecPlan,
+        wrap: fn(Vec<H>) -> Solution,
+    ) -> Vec<PlannedSolve> {
+        refine_fused_as::<F, H>(gpu, jobs, plan)
+            .into_iter()
+            .map(|(x, residual, corrections_run)| PlannedSolve {
+                x: wrap(x),
+                residual,
+                corrections_run,
+            })
+            .collect()
+    }
+    match (plan.factor_precision(), plan.solution_precision()) {
+        (D1, D1) => direct::<f64>(gpu, jobs, plan, Solution::D1),
+        (D2, D2) => direct::<Dd>(gpu, jobs, plan, Solution::D2),
+        (D4, D4) => direct::<Qd>(gpu, jobs, plan, Solution::D4),
+        (D8, D8) => direct::<Od>(gpu, jobs, plan, Solution::D8),
+        (D1, D2) => refine::<f64, Dd>(gpu, jobs, plan, Solution::D2),
+        (D1, D4) => refine::<f64, Qd>(gpu, jobs, plan, Solution::D4),
+        (D1, D8) => refine::<f64, Od>(gpu, jobs, plan, Solution::D8),
+        (D2, D4) => refine::<Dd, Qd>(gpu, jobs, plan, Solution::D4),
+        (D2, D8) => refine::<Dd, Od>(gpu, jobs, plan, Solution::D8),
+        (D4, D8) => refine::<Qd, Od>(gpu, jobs, plan, Solution::D8),
         (f, s) => unreachable!("invalid plan rungs: factor {f:?} above solution {s:?}"),
     }
 }
@@ -418,38 +627,99 @@ pub fn solve_batch_with(
     host_threads: usize,
     policy: DispatchPolicy,
 ) -> BatchReport {
+    solve_batch_engine(pool, jobs, host_threads, policy, None)
+}
+
+/// [`solve_batch`] with device-level micro-batching: jobs sharing a
+/// shape key fuse into batched launch sequences sized at the occupancy
+/// sweet spot, and the scheduler books one fused profile per group
+/// instead of `k` singletons (see [`crate::microbatch`]). Every job
+/// still gets its own [`JobOutcome`], bit-identical to the unfused
+/// path; fused siblings share their group's simulated interval.
+pub fn solve_batch_fused(
+    pool: &mut DevicePool,
+    jobs: &[Job],
+    policy: DispatchPolicy,
+    cfg: &MicrobatchConfig,
+) -> BatchReport {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    solve_batch_fused_with(pool, jobs, workers, policy, cfg)
+}
+
+/// [`solve_batch_fused`] with an explicit host worker-thread count.
+pub fn solve_batch_fused_with(
+    pool: &mut DevicePool,
+    jobs: &[Job],
+    host_threads: usize,
+    policy: DispatchPolicy,
+    cfg: &MicrobatchConfig,
+) -> BatchReport {
+    solve_batch_engine(pool, jobs, host_threads, policy, Some(cfg))
+}
+
+/// The shared batch engine: schedule (fused groups or singletons),
+/// execute groups on host worker threads, reconcile adaptive refunds,
+/// aggregate. The unfused path flows through the same group machinery
+/// as singleton groups priced straight off their plans, so the two
+/// paths differ only in grouping and booking — never in per-job
+/// arithmetic.
+fn solve_batch_engine(
+    pool: &mut DevicePool,
+    jobs: &[Job],
+    host_threads: usize,
+    policy: DispatchPolicy,
+    micro: Option<&MicrobatchConfig>,
+) -> BatchReport {
     let planner = Planner::new();
     let shapes: Vec<JobShape> = jobs.iter().map(JobShape::from).collect();
-    let dispatches = schedule(pool, &planner, &shapes, policy);
+    let groups: Vec<GroupDispatch> = match micro {
+        Some(cfg) => schedule_groups(pool, &planner, &shapes, policy, cfg),
+        None => schedule(pool, &planner, &shapes, policy)
+            .into_iter()
+            .map(GroupDispatch::singleton)
+            .collect(),
+    };
 
     let mut outcomes: Vec<Option<JobOutcome>> = Vec::new();
     outcomes.resize_with(jobs.len(), || None);
     let outcomes_mx = std::sync::Mutex::new(outcomes);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let run_one = |i: usize| {
-        let d: &Dispatch = &dispatches[i];
-        let job = &jobs[i];
-        let (x, residual) = solve_planned(pool.gpu(d.device), job, &d.plan);
-        let outcome = JobOutcome::assemble(job.id, d.clone(), x, residual);
-        outcomes_mx.lock().unwrap()[i] = Some(outcome);
+    let run_group = |gi: usize| {
+        let g: &GroupDispatch = &groups[gi];
+        let gpu = pool.gpu(g.device);
+        let solved: Vec<PlannedSolve> = if g.jobs.len() == 1 {
+            vec![solve_planned_traced(gpu, &jobs[g.jobs[0]], &g.plan)]
+        } else {
+            let members: Vec<&Job> = g.jobs.iter().map(|&j| &jobs[j]).collect();
+            solve_planned_fused(gpu, &members, &g.plan)
+        };
+        let ids: Vec<u64> = g.jobs.iter().map(|&j| jobs[j].id).collect();
+        let assembled = JobOutcome::assemble_group(&ids, g, solved);
+        let mut out = outcomes_mx.lock().unwrap();
+        for (&j, o) in g.jobs.iter().zip(assembled) {
+            out[j] = Some(o);
+        }
     };
 
-    let workers = host_threads.max(1).min(jobs.len().max(1));
+    let workers = host_threads.max(1).min(groups.len().max(1));
     if workers <= 1 {
-        for i in 0..jobs.len() {
-            run_one(i);
+        for gi in 0..groups.len() {
+            run_group(gi);
         }
     } else {
-        let run_one = &run_one;
+        let total = groups.len();
+        let run_group = &run_group;
         let next = &next;
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(move || loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= jobs.len() {
+                    let gi = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if gi >= total {
                         break;
                     }
-                    run_one(i);
+                    run_group(gi);
                 });
             }
         });
@@ -461,9 +731,17 @@ pub fn solve_batch_with(
         .into_iter()
         .map(|o| o.expect("every job executed"))
         .collect();
+    // adaptive refinement may have finished under its booked pass
+    // count: hand the unused booked time back so utilization reports
+    // what actually ran
+    for o in &outcomes {
+        if o.refunded_ms > 0.0 {
+            pool.reconcile(o.device, o.refunded_ms);
+        }
+    }
     // batch-relative aggregates: the completion time of *this* batch's
     // last job, not the pool's cumulative clock
-    let makespan_ms = dispatches.iter().map(|d| d.end_ms).fold(0.0, f64::max);
+    let makespan_ms = groups.iter().map(|g| g.end_ms).fold(0.0, f64::max);
     let solves_per_sec = if makespan_ms > 0.0 {
         outcomes.len() as f64 / (makespan_ms * 1.0e-3)
     } else {
@@ -474,6 +752,7 @@ pub fn solve_batch_with(
         solves_per_sec,
         device_stats: pool.stats(),
         distinct_plans: planner.cached_plans(),
+        fused_groups: groups.iter().filter(|g| g.jobs.len() > 1).count(),
         outcomes,
     }
 }
@@ -633,5 +912,204 @@ mod tests {
         let report = solve_batch(&mut pool, &[]);
         assert!(report.outcomes.is_empty());
         assert_eq!(report.makespan_ms, 0.0);
+        let fused = solve_batch_fused(
+            &mut pool,
+            &[],
+            DispatchPolicy::LeastLoaded,
+            &MicrobatchConfig::default(),
+        );
+        assert!(fused.outcomes.is_empty());
+    }
+
+    /// Jobs with repeated shapes so the micro-batcher has something to
+    /// fuse: `dups` copies of each of three shape keys, distinct data.
+    fn fusible_jobs(dups: usize, seed: u64) -> Vec<Job> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..(3 * dups) as u64)
+            .map(|id| {
+                let n = [8, 12, 16][id as usize % 3];
+                let digits = [12, 25, 50][id as usize % 3];
+                let a = HostMat::<f64>::from_fn(n, n, |r, c| {
+                    let u: f64 = multidouble::random::rand_real(&mut rng);
+                    u + if r == c { 4.0 } else { 0.0 }
+                });
+                let b: Vec<f64> = (0..n)
+                    .map(|_| multidouble::random::rand_real(&mut rng))
+                    .collect();
+                Job::new(id, a, b, digits)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_batch_is_bit_identical_to_unfused() {
+        let jobs = fusible_jobs(8, 90);
+        let mut pool_u = DevicePool::homogeneous(&Gpu::v100(), 2);
+        let unfused = solve_batch_with(&mut pool_u, &jobs, 1, DispatchPolicy::LeastLoaded);
+        let mut pool_f = DevicePool::homogeneous(&Gpu::v100(), 2);
+        let fused = solve_batch_fused_with(
+            &mut pool_f,
+            &jobs,
+            1,
+            DispatchPolicy::LeastLoaded,
+            &MicrobatchConfig::default(),
+        );
+        assert!(fused.fused_groups > 0, "nothing fused");
+        for (u, f) in unfused.outcomes.iter().zip(&fused.outcomes) {
+            assert_eq!(u.job_id, f.job_id);
+            assert_eq!(u.x, f.x, "job {}: fusing changed the bits", u.job_id);
+            assert_eq!(u.residual, f.residual);
+            assert_eq!(u.corrections_run, f.corrections_run);
+        }
+        // fusing lifted throughput on these tiny systems
+        assert!(
+            fused.makespan_ms < unfused.makespan_ms,
+            "fused {} ms vs unfused {} ms",
+            fused.makespan_ms,
+            unfused.makespan_ms
+        );
+        // members of one group share its interval and report its size
+        let in_groups: Vec<&JobOutcome> = fused
+            .outcomes
+            .iter()
+            .filter(|o| o.fused_group > 1)
+            .collect();
+        assert!(!in_groups.is_empty());
+        for o in &in_groups {
+            let twin = fused
+                .outcomes
+                .iter()
+                .find(|t| t.job_id != o.job_id && t.fused_group > 1 && t.end_ms == o.end_ms);
+            assert!(twin.is_some(), "job {} has no fused sibling", o.job_id);
+        }
+        // adaptive refunds are group-granular: a fused stage runs as
+        // long as any sibling still iterates, so siblings share one
+        // equal refund share — never per-member shares of passes a
+        // sibling still executed
+        for o in &in_groups {
+            for t in fused
+                .outcomes
+                .iter()
+                .filter(|t| t.fused_group > 1 && t.end_ms == o.end_ms)
+            {
+                assert_eq!(
+                    o.refunded_ms, t.refunded_ms,
+                    "jobs {} and {} share a group but not its refund",
+                    o.job_id, t.job_id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_batch_parallel_workers_agree_with_serial() {
+        let jobs = fusible_jobs(6, 91);
+        let cfg = MicrobatchConfig::default();
+        let mut pool_s = DevicePool::homogeneous(&Gpu::v100(), 2);
+        let serial =
+            solve_batch_fused_with(&mut pool_s, &jobs, 1, DispatchPolicy::LeastLoaded, &cfg);
+        let mut pool_p = DevicePool::homogeneous(&Gpu::v100(), 2);
+        let parallel =
+            solve_batch_fused_with(&mut pool_p, &jobs, 4, DispatchPolicy::LeastLoaded, &cfg);
+        assert_eq!(serial.makespan_ms, parallel.makespan_ms);
+        for (s, p) in serial.outcomes.iter().zip(&parallel.outcomes) {
+            assert_eq!(s.x, p.x, "job {} diverged across host threads", s.job_id);
+        }
+    }
+
+    #[test]
+    fn adaptive_refinement_reports_and_refunds_skipped_passes() {
+        // 30-digit targets book 2 qd passes off a d1 factorization
+        // ((k+1)·14 ≥ 30 needs k = 2), but each real pass on these
+        // well-conditioned systems gains ~15 digits, so pass 1 already
+        // lands near 1e-31 and the adaptive stop skips pass 2; the
+        // outcome must report the true pass count and refund the booked
+        // tail
+        let mut jobs = little_jobs(9, 84);
+        for j in &mut jobs {
+            j.target_digits = 30;
+        }
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 2);
+        let report = solve_batch_with(&mut pool, &jobs, 1, DispatchPolicy::LeastLoaded);
+        for out in &report.outcomes {
+            assert!(out.corrections_run <= out.plan.corrections());
+            let skipped = out.plan.corrections() - out.corrections_run;
+            if skipped > 0 {
+                assert!(
+                    out.refunded_ms > 0.0,
+                    "job {} skipped {skipped} passes but refunded nothing",
+                    out.job_id
+                );
+            } else {
+                assert_eq!(out.refunded_ms, 0.0);
+            }
+            // the refund is exactly the booked share of the skipped tail
+            let tail: f64 = out.plan.stages[2 + 2 * out.corrections_run..]
+                .iter()
+                .map(|s| s.wall_ms())
+                .sum();
+            assert!((out.refunded_ms - tail).abs() < 1e-9);
+        }
+        // at least one refinement plan stopped early on this mix, or
+        // the assertions above are vacuous
+        assert!(
+            report
+                .outcomes
+                .iter()
+                .any(|o| o.corrections_run < o.plan.corrections()),
+            "no adaptive stop ever fired"
+        );
+        // and the pool's busy time reflects the refunds
+        let refunded: f64 = report.outcomes.iter().map(|o| o.refunded_ms).sum();
+        let stats_refund: f64 = report.device_stats.iter().map(|s| s.refunded_ms).sum();
+        assert!((refunded - stats_refund).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_insert_caches_on_first_sighting() {
+        // distinct matrix from every other test (seeded rng), solved
+        // twice: probation mode hits only from the third sighting on,
+        // warm mode already hits on the second
+        let mut rng = StdRng::seed_from_u64(0xa11ce);
+        let n = 14;
+        let mk = |rng: &mut StdRng| {
+            HostMat::<f64>::from_fn(n, n, |r, c| {
+                let u: f64 = multidouble::random::rand_real(rng);
+                u + if r == c { 5.0 } else { 0.0 }
+            })
+        };
+        let a_cold = mk(&mut rng);
+        let a_warm = mk(&mut rng);
+        // a cache hit hands back the cached Arc itself, so pointer
+        // identity distinguishes hit from miss without touching the
+        // (concurrently shared) global counters
+
+        // default (probation): the second sighting still promotes
+        // afresh; only the third returns the entry the second inserted
+        let s1 = promoted_matrix::<Dd>(&a_cold);
+        let s2 = promoted_matrix::<Dd>(&a_cold);
+        let s3 = promoted_matrix::<Dd>(&a_cold);
+        assert!(
+            !Arc::ptr_eq(&s1, &s2),
+            "probation mode hit on the second sighting"
+        );
+        assert!(Arc::ptr_eq(&s2, &s3), "third sighting missed");
+
+        // restore the process-wide flag even if an assertion unwinds —
+        // a leaked warm mode would silently change every later test
+        struct WarmGuard(bool);
+        impl Drop for WarmGuard {
+            fn drop(&mut self) {
+                promoted_cache_warm_insert(self.0);
+            }
+        }
+        let _guard = WarmGuard(promoted_cache_warm_insert(true));
+        let first = promoted_matrix::<Dd>(&a_warm);
+        let second = promoted_matrix::<Dd>(&a_warm);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "warm insert did not hit on the first reuse"
+        );
+        assert_eq!(first, second);
     }
 }

@@ -1,0 +1,352 @@
+//! Device-level micro-batching: fuse small same-shaped solves into
+//! batched launch sequences.
+//!
+//! The paper's workloads are dominated by systems small enough that a
+//! single QR badly underfills one GPU — wave quantization leaves most
+//! multiprocessors idle for a single-digit grid, and every launch pays
+//! its full base and gap for a sliver of work. The pool parallelizes
+//! *across* devices; this module batches *within* a device, the
+//! standard batched-LA trick (cf. cuBLAS/MAGMA batched QR): jobs that
+//! share a [`JobShape`] — and therefore a plan structure — are grouped
+//! into **fused groups** whose stages run as single launches carrying
+//! every member's blocks.
+//!
+//! * **Grouping** ([`plan_groups`]): jobs are bucketed by shape key in
+//!   submission order and chunked at the occupancy-aware preferred
+//!   group size ([`Planner::preferred_group_size`]) — the smallest
+//!   group whose fused grid reaches the per-job cost plateau of the
+//!   device's wave structure. Bigger groups would only add latency (a
+//!   fused group completes as a whole).
+//! * **Dispatch** ([`dispatch_group`]): a fused group is placed like
+//!   one job, under the same [`DispatchPolicy`] rules, but booked at
+//!   its *fused* price ([`Planner::plan_fused`]) — one pool booking of
+//!   the group's [`FusedProfile`] instead of `k` singleton bookings.
+//!   Every member job still gets its own outcome; members share the
+//!   group's simulated interval.
+//! * **Execution** (`solve_planned_fused` in [`crate::batch`]): each
+//!   member's functional launch sequence is exactly the singleton
+//!   sequence, so solutions are bit-identical to the unfused path —
+//!   fusing is launch packing, never different arithmetic.
+
+use crate::plan::{ExecPlan, FusedProfile};
+use crate::planner::Planner;
+use crate::pool::DevicePool;
+use crate::scheduler::{place_with, Dispatch, DispatchPolicy, JobShape};
+
+/// Configuration of the micro-batcher.
+#[derive(Clone, Copy, Debug)]
+pub struct MicrobatchConfig {
+    /// Hard cap on fused-group size. Groups larger than the occupancy
+    /// sweet spot buy nothing (the per-job cost has plateaued) and cost
+    /// latency, so this is a guard rail, not a tuning knob.
+    pub max_group: usize,
+    /// Sweet-spot tolerance: the chosen group is the smallest whose
+    /// fused per-job cost is within `1 + tolerance` of the best
+    /// candidate's.
+    pub tolerance: f64,
+}
+
+impl Default for MicrobatchConfig {
+    fn default() -> Self {
+        MicrobatchConfig {
+            max_group: 64,
+            tolerance: 0.05,
+        }
+    }
+}
+
+/// One scheduled fused group: the member job slots, the shared
+/// singleton plan, the fused pricing the pool booked, and the group's
+/// simulated interval. A group of one is an ordinary singleton
+/// dispatch (its fused price *is* the singleton price).
+#[derive(Clone, Debug)]
+pub struct GroupDispatch {
+    /// Member job slots, in dispatch order. On the batch path these
+    /// are indices into the submitted job slice (like
+    /// [`Dispatch::job`]); on the stream path — where jobs come from
+    /// an iterator, not a slice — they are running dispatch sequence
+    /// numbers and index nothing.
+    pub jobs: Vec<usize>,
+    /// Pool id of the device the group runs on.
+    pub device: usize,
+    /// The plan structure every member runs (identical arithmetic to
+    /// an unfused dispatch of the same job).
+    pub plan: ExecPlan,
+    /// The fused pricing booked for the whole group.
+    pub fused: FusedProfile,
+    /// Simulated start of the fused launch sequence, ms.
+    pub start_ms: f64,
+    /// Simulated completion of the whole group, ms (shared by every
+    /// member — a fused sequence completes as a whole).
+    pub end_ms: f64,
+}
+
+impl GroupDispatch {
+    /// Number of fused member jobs.
+    pub fn group_size(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Wrap a singleton [`Dispatch`] as a group of one, priced exactly
+    /// at its plan — the seam that lets the unfused batch and stream
+    /// paths run through the shared group executor.
+    pub fn singleton(d: Dispatch) -> GroupDispatch {
+        GroupDispatch {
+            jobs: vec![d.job],
+            device: d.device,
+            fused: FusedProfile::singleton(&d.plan),
+            plan: d.plan,
+            start_ms: d.start_ms,
+            end_ms: d.end_ms,
+        }
+    }
+}
+
+/// Partition a batch into fused groups: bucket by [`JobShape`] key in
+/// submission order, then chunk each bucket at the occupancy-aware
+/// preferred group size for that shape. Jobs with unique shapes (or
+/// tail remainders) come out as singleton groups. The partition covers
+/// every index exactly once.
+pub fn plan_groups(
+    planner: &Planner,
+    shapes: &[JobShape],
+    cfg: &MicrobatchConfig,
+) -> Vec<Vec<usize>> {
+    // hash-bucketed, first-appearance ordered: the map finds the
+    // bucket in O(1), the Vec keeps the deterministic output order
+    let mut buckets: Vec<(JobShape, Vec<usize>)> = Vec::new();
+    let mut by_key: std::collections::HashMap<JobShape, usize> = std::collections::HashMap::new();
+    for (i, s) in shapes.iter().enumerate() {
+        match by_key.get(s) {
+            Some(&b) => buckets[b].1.push(i),
+            None => {
+                by_key.insert(*s, buckets.len());
+                buckets.push((*s, vec![i]));
+            }
+        }
+    }
+    let mut groups = Vec::new();
+    for (shape, idxs) in buckets {
+        let k = if idxs.len() == 1 {
+            1
+        } else {
+            planner
+                .preferred_group_size(
+                    shape.rows,
+                    shape.cols,
+                    shape.target_digits,
+                    cfg.max_group.min(idxs.len()),
+                    cfg.tolerance,
+                )
+                .max(1)
+        };
+        for chunk in idxs.chunks(k) {
+            groups.push(chunk.to_vec());
+        }
+    }
+    groups
+}
+
+/// Dispatch one fused group: pick a device for the *group* under
+/// `policy` — least-loaded takes the earliest-idle clock; shortest-
+/// expected-completion prices the fused group on every device model and
+/// commits where `clock + fused_ms` is minimal — then book the group's
+/// fused profile onto the device clock as a single commitment covering
+/// all members.
+pub fn dispatch_group(
+    pool: &mut DevicePool,
+    planner: &Planner,
+    jobs: Vec<usize>,
+    shape: &JobShape,
+    policy: DispatchPolicy,
+) -> GroupDispatch {
+    assert!(!jobs.is_empty(), "a fused group needs at least one job");
+    let k = jobs.len();
+    let (device, (plan, fused)) = place_with(pool, policy, |gpu| {
+        let priced = planner.plan_fused(gpu, shape.rows, shape.cols, shape.target_digits, k);
+        let cost_ms = priced.1.predicted_ms;
+        (priced, cost_ms)
+    });
+    let (start_ms, end_ms) = pool.commit_group(
+        device,
+        fused.predicted_ms,
+        fused.predicted_kernel_ms,
+        fused.flops_paper,
+        k as u64,
+    );
+    GroupDispatch {
+        jobs,
+        device,
+        plan,
+        fused,
+        start_ms,
+        end_ms,
+    }
+}
+
+/// Schedule a whole batch as fused groups under `policy`: partition via
+/// [`plan_groups`], then dispatch group by group. Like the unfused
+/// batch scheduler, shortest-expected-completion places groups
+/// longest-first (LPT over the *fused* group cost on the pool's first
+/// device model — device-count-free, like the singleton sort key);
+/// least-loaded keeps submission order.
+pub fn schedule_groups(
+    pool: &mut DevicePool,
+    planner: &Planner,
+    shapes: &[JobShape],
+    policy: DispatchPolicy,
+    cfg: &MicrobatchConfig,
+) -> Vec<GroupDispatch> {
+    let groups = plan_groups(planner, shapes, cfg);
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    if policy == DispatchPolicy::ShortestExpectedCompletion && !pool.is_empty() {
+        let flops: Vec<f64> = groups
+            .iter()
+            .map(|g| {
+                let s = &shapes[g[0]];
+                let (_, fused) =
+                    planner.plan_fused(pool.gpu(0), s.rows, s.cols, s.target_digits, g.len());
+                fused.flops_paper
+            })
+            .collect();
+        order.sort_by(|&a, &b| flops[b].total_cmp(&flops[a]));
+    }
+    let mut dispatched: Vec<Option<GroupDispatch>> = Vec::new();
+    dispatched.resize_with(groups.len(), || None);
+    for &gi in &order {
+        let shape = shapes[groups[gi][0]];
+        dispatched[gi] = Some(dispatch_group(
+            pool,
+            planner,
+            groups[gi].clone(),
+            &shape,
+            policy,
+        ));
+    }
+    dispatched.into_iter().map(|d| d.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::Gpu;
+
+    fn shape(cols: usize, digits: u32) -> JobShape {
+        JobShape {
+            rows: cols,
+            cols,
+            target_digits: digits,
+        }
+    }
+
+    #[test]
+    fn groups_partition_the_batch() {
+        let planner = Planner::new();
+        let cfg = MicrobatchConfig::default();
+        // 3 shapes interleaved; every index must appear exactly once
+        let shapes: Vec<JobShape> = (0..30)
+            .map(|i| shape([16, 24, 32][i % 3], [12, 25, 25][i % 3]))
+            .collect();
+        let groups = plan_groups(&planner, &shapes, &cfg);
+        let mut seen: Vec<usize> = groups.iter().flatten().copied().collect();
+        seen.sort();
+        assert_eq!(seen, (0..30).collect::<Vec<_>>());
+        // only same-key jobs share a group
+        for g in &groups {
+            for &j in g {
+                assert_eq!(shapes[j], shapes[g[0]], "mixed shapes fused");
+            }
+        }
+        // small shapes have sweet spots well past 1: something fused
+        assert!(
+            groups.iter().any(|g| g.len() > 1),
+            "nothing fused: {groups:?}"
+        );
+    }
+
+    #[test]
+    fn unique_shapes_stay_singletons() {
+        let planner = Planner::new();
+        let shapes: Vec<JobShape> = (1..=5).map(|i| shape(8 * i, 25)).collect();
+        let groups = plan_groups(&planner, &shapes, &MicrobatchConfig::default());
+        assert_eq!(groups.len(), 5);
+        assert!(groups.iter().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    fn max_group_caps_fusion() {
+        let planner = Planner::new();
+        let shapes = vec![shape(32, 25); 40];
+        let cfg = MicrobatchConfig {
+            max_group: 4,
+            tolerance: 0.05,
+        };
+        let groups = plan_groups(&planner, &shapes, &cfg);
+        assert!(groups.iter().all(|g| g.len() <= 4));
+        assert_eq!(groups.iter().map(|g| g.len()).sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn group_dispatch_books_one_fused_interval() {
+        let planner = Planner::new();
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 2);
+        let s = shape(32, 25);
+        let d = dispatch_group(
+            &mut pool,
+            &planner,
+            (0..8).collect(),
+            &s,
+            DispatchPolicy::LeastLoaded,
+        );
+        assert_eq!(d.group_size(), 8);
+        assert_eq!(d.fused.group, 8);
+        assert_eq!(pool.total_solves(), 8);
+        assert_eq!(pool.devices()[d.device].clock_ms(), d.end_ms);
+        // the fused booking beats eight singleton bookings
+        let single = planner.plan(pool.gpu(d.device), 32, 32, 25).predicted_ms;
+        assert!(
+            d.fused.predicted_ms < 8.0 * single / 2.0,
+            "fused {} ms vs 8 x {} ms",
+            d.fused.predicted_ms,
+            single
+        );
+        // and the interval is exactly the fused booking
+        assert!((d.end_ms - d.start_ms - d.fused.predicted_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_of_one_books_the_singleton_price() {
+        let planner = Planner::new();
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+        let s = shape(24, 50);
+        let d = dispatch_group(
+            &mut pool,
+            &planner,
+            vec![0],
+            &s,
+            DispatchPolicy::ShortestExpectedCompletion,
+        );
+        let plan = planner.plan(pool.gpu(0), 24, 24, 50);
+        assert_eq!(d.fused.predicted_ms, plan.predicted_ms);
+        assert_eq!(d.fused.flops_paper, plan.flops_paper);
+    }
+
+    #[test]
+    fn sect_places_the_group_where_it_finishes_first() {
+        // an idle P100 vs a busy A100: the fused group must queue
+        // behind the faster device when that completes sooner — the
+        // same policy split as singleton SECT
+        let planner = Planner::new();
+        let s = shape(128, 100);
+        let mut pool = DevicePool::new(vec![Gpu::a100(), Gpu::p100()]);
+        pool.commit(0, 1.0, 0.8, 1.0e6);
+        let d = dispatch_group(
+            &mut pool,
+            &planner,
+            (0..16).collect(),
+            &s,
+            DispatchPolicy::ShortestExpectedCompletion,
+        );
+        assert_eq!(d.device, 0, "SECT parked the group on the slow idle P100");
+    }
+}

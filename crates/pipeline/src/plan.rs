@@ -245,6 +245,59 @@ impl ExecPlan {
     }
 }
 
+/// Fused-priced totals of one execution plan run as a micro-batched
+/// group: the same stage *structure* as the singleton [`ExecPlan`]
+/// (so every member job's arithmetic — and bits — are unchanged), but
+/// every stage priced as one fused launch sequence over `group`
+/// instances (occupancy over the fused grid, per-launch bookkeeping
+/// amortized — see `gpusim::fused_kernel_ms`). The scheduler books
+/// these totals *once* per group instead of `group` singleton
+/// bookings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FusedProfile {
+    /// Number of fused instances `k`.
+    pub group: usize,
+    /// Fused predicted wall clock of the whole group, ms.
+    pub predicted_ms: f64,
+    /// Fused predicted kernel time, ms.
+    pub predicted_kernel_ms: f64,
+    /// Composed Table 1 flops of the whole group.
+    pub flops_paper: f64,
+    /// Per-stage fused wall clock (whole group), aligned index-for-
+    /// index with the plan's `stages` — the refund table of adaptive
+    /// early stops.
+    pub stage_wall_ms: Vec<f64>,
+}
+
+impl FusedProfile {
+    /// The exact fused-shaped pricing of a singleton dispatch: group 1,
+    /// stage walls straight off the plan's per-stage profiles. Lets
+    /// unfused dispatches share the group executor (and its refund
+    /// arithmetic) without any model re-evaluation.
+    pub fn singleton(plan: &ExecPlan) -> FusedProfile {
+        FusedProfile {
+            group: 1,
+            predicted_ms: plan.predicted_ms,
+            predicted_kernel_ms: plan.predicted_kernel_ms,
+            flops_paper: plan.flops_paper,
+            stage_wall_ms: plan.stages.iter().map(|s| s.wall_ms()).collect(),
+        }
+    }
+
+    /// Booked wall clock per member job, ms.
+    pub fn per_job_ms(&self) -> f64 {
+        self.predicted_ms / self.group as f64
+    }
+
+    /// One member job's booked share of every stage from index
+    /// `from_stage` on, ms — what reconciliation refunds when an
+    /// adaptive plan stops before those stages.
+    pub fn per_job_tail_ms(&self, from_stage: usize) -> f64 {
+        let from = from_stage.min(self.stage_wall_ms.len());
+        self.stage_wall_ms[from..].iter().sum::<f64>() / self.group as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +379,22 @@ mod tests {
             tile_size: 4,
         };
         let _ = ExecPlan::from_stages(vec![planned(c, 1.0)], 20, 29);
+    }
+
+    #[test]
+    fn fused_profile_shares() {
+        let f = FusedProfile {
+            group: 4,
+            predicted_ms: 40.0,
+            predicted_kernel_ms: 32.0,
+            flops_paper: 400.0,
+            stage_wall_ms: vec![20.0, 8.0, 8.0, 4.0],
+        };
+        assert_eq!(f.per_job_ms(), 10.0);
+        // skipping the last residual/correct pair refunds its share
+        assert_eq!(f.per_job_tail_ms(2), 3.0);
+        assert_eq!(f.per_job_tail_ms(4), 0.0);
+        assert_eq!(f.per_job_tail_ms(99), 0.0);
     }
 
     #[test]

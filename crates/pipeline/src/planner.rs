@@ -44,11 +44,14 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 
 use gpusim::{ExecMode, Gpu, Profile};
-use mdls_core::{lstsq_factor_model, residual_model_profile, LstsqOptions};
+use mdls_core::{
+    lstsq_batched_model_profiles, lstsq_factor_model, residual_model_profile,
+    residual_model_profile_batched, LstsqOptions,
+};
 use multidouble::{Dd, MdScalar, Od, Qd};
 
 use crate::job::Precision;
-use crate::plan::{ExecPlan, PlannedStage, Stage};
+use crate::plan::{ExecPlan, FusedProfile, PlannedStage, Stage};
 
 /// Hard ceiling on refinement passes: beyond a handful of corrections
 /// the accuracy model's per-pass credit stops being trustworthy (and
@@ -102,11 +105,21 @@ type TilingMemo = HashMap<(usize, usize, Precision), (usize, usize)>;
 /// the accuracy model credits it.
 type Strategy = (Vec<Stage>, u32);
 
+/// Memo key of a fused-priced plan: the singleton plan key plus the
+/// fused-group size.
+type FusedKey = (PlanKey, usize);
+
+/// Memo key of a preferred-group-size query: shape, target, cap, and
+/// the tolerance bits (callers may sweep tolerances).
+type GroupKey = (usize, usize, u32, usize, u64);
+
 /// A memoizing planner. One planner is shared by a whole batch run.
 pub struct Planner {
     cache: Mutex<HashMap<PlanKey, ExecPlan>>,
     tilings: Mutex<TilingMemo>,
     strategies: Mutex<HashMap<(usize, usize, u32), Strategy>>,
+    fused: Mutex<HashMap<FusedKey, FusedProfile>>,
+    group_sizes: Mutex<HashMap<GroupKey, usize>>,
     /// The numerics reference model the plan structure is tuned on.
     reference: Gpu,
 }
@@ -182,6 +195,50 @@ fn residual_profile(
     }
 }
 
+/// Fused model profiles `(factor, correct)` of one direct stage pair at
+/// `rung` over a `k`-instance micro-batched group.
+fn phase_profiles_batched(
+    gpu: &Gpu,
+    rung: Precision,
+    k: usize,
+    rows: usize,
+    opts: &LstsqOptions,
+) -> (Profile, Profile) {
+    match rung {
+        Precision::D1 => lstsq_batched_model_profiles::<f64>(gpu, k, rows, opts),
+        Precision::D2 => lstsq_batched_model_profiles::<Dd>(gpu, k, rows, opts),
+        Precision::D4 => lstsq_batched_model_profiles::<Qd>(gpu, k, rows, opts),
+        Precision::D8 => lstsq_batched_model_profiles::<Od>(gpu, k, rows, opts),
+    }
+}
+
+/// Fused model profile of one residual stage at `rung` over `k`
+/// instances.
+fn residual_profile_batched(
+    gpu: &Gpu,
+    rung: Precision,
+    k: usize,
+    rows: usize,
+    cols: usize,
+    block: usize,
+    with_system_upload: bool,
+) -> Profile {
+    match rung {
+        Precision::D1 => {
+            residual_model_profile_batched::<f64>(gpu, k, rows, cols, block, with_system_upload)
+        }
+        Precision::D2 => {
+            residual_model_profile_batched::<Dd>(gpu, k, rows, cols, block, with_system_upload)
+        }
+        Precision::D4 => {
+            residual_model_profile_batched::<Qd>(gpu, k, rows, cols, block, with_system_upload)
+        }
+        Precision::D8 => {
+            residual_model_profile_batched::<Od>(gpu, k, rows, cols, block, with_system_upload)
+        }
+    }
+}
+
 impl Planner {
     /// Fresh planner with an empty memo table, tuning plan structures
     /// on the paper's V100 reference model.
@@ -197,6 +254,8 @@ impl Planner {
             cache: Mutex::new(HashMap::new()),
             tilings: Mutex::new(HashMap::new()),
             strategies: Mutex::new(HashMap::new()),
+            fused: Mutex::new(HashMap::new()),
+            group_sizes: Mutex::new(HashMap::new()),
             reference,
         }
     }
@@ -432,6 +491,167 @@ impl Planner {
     pub fn cached_plans(&self) -> usize {
         self.cache.lock().unwrap().len()
     }
+
+    /// The canonical plan for a job plus its fused pricing as a
+    /// micro-batched group of `k` instances on `gpu`.
+    ///
+    /// The *structure* is exactly [`Planner::plan`]'s — fusing is pure
+    /// launch packing, so a member job's arithmetic (and bits) never
+    /// depends on the group it rides in, the same way it never depends
+    /// on the device it lands on. Only the pricing changes: every stage
+    /// is costed as one fused launch sequence over `k` instances. A
+    /// group of one prices exactly the singleton plan.
+    pub fn plan_fused(
+        &self,
+        gpu: &Gpu,
+        rows: usize,
+        cols: usize,
+        target_digits: u32,
+        k: usize,
+    ) -> (ExecPlan, FusedProfile) {
+        assert!(k > 0, "a fused group needs at least one instance");
+        let plan = self.plan(gpu, rows, cols, target_digits);
+        let key = (
+            PlanKey {
+                device: gpu.name,
+                device_fp: device_fingerprint(gpu),
+                rows,
+                cols,
+                target_digits,
+                direct_only: false,
+            },
+            k,
+        );
+        if let Some(f) = self.fused.lock().unwrap().get(&key) {
+            return (plan, f.clone());
+        }
+        // compute outside the lock, insert through `entry` — the same
+        // race discipline as the plan cache
+        let stages: Vec<Stage> = plan.stages.iter().map(|s| s.stage).collect();
+        let fused = self.price_fused(gpu, rows, cols, &stages, k);
+        let fused = self
+            .fused
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(fused)
+            .clone();
+        (plan, fused)
+    }
+
+    /// Price a stage sequence as one fused `k`-instance group on `gpu`.
+    fn price_fused(
+        &self,
+        gpu: &Gpu,
+        rows: usize,
+        cols: usize,
+        stages: &[Stage],
+        k: usize,
+    ) -> FusedProfile {
+        let mut phase_memo: HashMap<Precision, (Profile, Profile)> = HashMap::new();
+        let mut first_residual = true;
+        let profiles: Vec<Profile> = stages
+            .iter()
+            .map(|&stage| match stage {
+                Stage::Factor {
+                    rung,
+                    tiles,
+                    tile_size,
+                }
+                | Stage::Correct {
+                    rung,
+                    tiles,
+                    tile_size,
+                } => {
+                    let opts = LstsqOptions::tiled(tiles, tile_size, ExecMode::ModelOnly);
+                    let (factor, correct) = phase_memo
+                        .entry(rung)
+                        .or_insert_with(|| phase_profiles_batched(gpu, rung, k, rows, &opts))
+                        .clone();
+                    if matches!(stage, Stage::Factor { .. }) {
+                        factor
+                    } else {
+                        correct
+                    }
+                }
+                Stage::Residual { rung } => {
+                    let block = match stages[0] {
+                        Stage::Factor { tile_size, .. } => tile_size,
+                        _ => unreachable!("plans lead with Factor"),
+                    };
+                    let p =
+                        residual_profile_batched(gpu, rung, k, rows, cols, block, first_residual);
+                    first_residual = false;
+                    p
+                }
+            })
+            .collect();
+        let mut total = Profile::new();
+        for p in &profiles {
+            total.absorb(p);
+        }
+        FusedProfile {
+            group: k,
+            predicted_ms: total.wall_ms(),
+            predicted_kernel_ms: total.all_kernels_ms(),
+            flops_paper: total.total_flops_paper(),
+            stage_wall_ms: profiles.iter().map(|p| p.wall_ms()).collect(),
+        }
+    }
+
+    /// The occupancy-aware preferred fused-group size for a job shape:
+    /// the smallest candidate `k ≤ max_group` whose fused per-job
+    /// predicted cost lands within `tolerance` of the best candidate's.
+    ///
+    /// Per-job fused cost falls as `k` grows — occupancy climbs until
+    /// the fused grid fills whole waves of the device, and every
+    /// per-launch constant spreads over more instances — then flattens
+    /// into a plateau of wave-quantization sweet spots. The tolerance
+    /// picks the *start* of the plateau: beyond it, bigger groups buy
+    /// nothing but latency (a group completes as a whole).
+    ///
+    /// Sized on the reference model, like tilings and plan structures:
+    /// group size never changes bits, but reference sizing keeps the
+    /// whole schedule deterministic and device-order-free.
+    pub fn preferred_group_size(
+        &self,
+        rows: usize,
+        cols: usize,
+        target_digits: u32,
+        max_group: usize,
+        tolerance: f64,
+    ) -> usize {
+        let cap = max_group.max(1);
+        let key = (rows, cols, target_digits, cap, tolerance.to_bits());
+        if let Some(k) = self.group_sizes.lock().unwrap().get(&key) {
+            return *k;
+        }
+        const CANDIDATES: [usize; 16] =
+            [1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256];
+        let mut candidates: Vec<usize> = CANDIDATES.iter().copied().filter(|&k| k < cap).collect();
+        candidates.push(cap);
+        let (stages, _) = self.strategy(rows, cols, target_digits, false);
+        let per_job: Vec<f64> = candidates
+            .iter()
+            .map(|&k| {
+                self.price_fused(&self.reference, rows, cols, &stages, k)
+                    .per_job_ms()
+            })
+            .collect();
+        let best = per_job.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        let chosen = candidates
+            .iter()
+            .zip(&per_job)
+            .find(|(_, &ms)| ms <= best * (1.0 + tolerance))
+            .map(|(&k, _)| k)
+            .unwrap_or(1);
+        *self
+            .group_sizes
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(chosen)
+    }
 }
 
 #[cfg(test)]
@@ -655,6 +875,93 @@ mod tests {
             (large.factor().1, large.factor().2),
             "planner chose one tiling for very different shapes"
         );
+    }
+
+    #[test]
+    fn fused_pricing_lifts_small_shape_throughput() {
+        // the acceptance bar of the micro-batching issue: on the
+        // paper's small shapes (32..128 unknowns, d/dd rungs) a fused
+        // group at the preferred size predicts >= 2x solves/sec over
+        // singleton launches
+        let planner = Planner::new();
+        let gpu = Gpu::v100();
+        for (n, digits) in [(32, 12), (64, 12), (128, 12), (32, 25), (64, 25), (128, 25)] {
+            let single = planner.plan(&gpu, n, n, digits);
+            let k = planner.preferred_group_size(n, n, digits, 64, 0.05);
+            assert!(k > 1, "{n}x{n} d{digits}: preferred group stuck at 1");
+            let (_, fused) = planner.plan_fused(&gpu, n, n, digits, k);
+            let speedup = single.predicted_ms / fused.per_job_ms();
+            assert!(
+                speedup >= 2.0,
+                "{n}x{n} d{digits}: fused x{k} only {speedup:.2}x"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_group_of_one_prices_the_singleton_plan() {
+        let planner = Planner::new();
+        let gpu = Gpu::p100();
+        let plan = planner.plan(&gpu, 96, 96, 50);
+        let (p2, fused) = planner.plan_fused(&gpu, 96, 96, 50, 1);
+        assert_eq!(plan, p2);
+        assert_eq!(fused.group, 1);
+        assert_eq!(fused.predicted_ms, plan.predicted_ms);
+        assert_eq!(fused.predicted_kernel_ms, plan.predicted_kernel_ms);
+        assert_eq!(fused.flops_paper, plan.flops_paper);
+        // stage walls align with the plan's stages
+        assert_eq!(fused.stage_wall_ms.len(), plan.stages.len());
+        for (w, s) in fused.stage_wall_ms.iter().zip(&plan.stages) {
+            assert!((w - s.wall_ms()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fused_profile_accounts_every_member() {
+        let planner = Planner::new();
+        let gpu = Gpu::v100();
+        let plan = planner.plan(&gpu, 64, 64, 25);
+        let (_, fused) = planner.plan_fused(&gpu, 64, 64, 25, 12);
+        // device-independent flops scale exactly with the group
+        assert!((fused.flops_paper - 12.0 * plan.flops_paper).abs() < 1e-6 * fused.flops_paper);
+        // the fused group is cheaper than 12 singletons but costs more
+        // than one (no free lunch from packing)
+        assert!(fused.predicted_ms < 12.0 * plan.predicted_ms);
+        assert!(fused.predicted_ms > plan.predicted_ms);
+        // stage shares compose to the total
+        let sum: f64 = fused.stage_wall_ms.iter().sum();
+        assert!((sum - fused.predicted_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_size_selection_regression() {
+        // the sweet-spot rule: smallest candidate within tolerance of
+        // the best per-job cost — deterministic, memoized, capped
+        let planner = Planner::new();
+        let k = planner.preferred_group_size(32, 32, 25, 64, 0.05);
+        let again = planner.preferred_group_size(32, 32, 25, 64, 0.05);
+        assert_eq!(k, again, "group size not deterministic");
+        assert!(k > 1, "32x32 dd: fusion should pay");
+        assert!(k <= 64);
+        // no candidate k' < k beats the chosen one by more than the
+        // tolerance — k really is the plateau start
+        let per_job = |k: usize| {
+            let (_, f) = planner.plan_fused(&Gpu::v100(), 32, 32, 25, k);
+            f.per_job_ms()
+        };
+        let chosen = per_job(k);
+        for smaller in [1, 2, 4, 8].iter().filter(|&&s| s < k) {
+            assert!(
+                per_job(*smaller) >= chosen,
+                "k={smaller} beats the chosen k={k}"
+            );
+        }
+        // the cap binds
+        assert!(planner.preferred_group_size(32, 32, 25, 4, 0.05) <= 4);
+        // big shapes already fill the device: fusing buys little, the
+        // preferred group stays small
+        let big = planner.preferred_group_size(1024, 1024, 25, 64, 0.05);
+        assert!(big < k, "1024x1024 preferred {big} >= small-shape {k}");
     }
 
     #[test]

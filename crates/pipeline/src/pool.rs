@@ -23,6 +23,9 @@ pub struct PoolDevice {
     /// device idle (a gap before a delayed job) advances the clock but
     /// not the busy aggregate, so utilization stays honest.
     busy_ms: f64,
+    /// Booked time later handed back by [`DevicePool::reconcile`]
+    /// (adaptive refinement finishing under its booked pass count).
+    refunded_ms: f64,
     solves: u64,
     kernel_ms: f64,
     flops_paper: f64,
@@ -35,9 +38,15 @@ impl PoolDevice {
     }
 
     /// Simulated time this device spent solving, ms — excludes idle
-    /// gaps, unlike [`PoolDevice::clock_ms`].
+    /// gaps, unlike [`PoolDevice::clock_ms`], and excludes booked time
+    /// refunded by [`DevicePool::reconcile`].
     pub fn busy_ms(&self) -> f64 {
         self.busy_ms
+    }
+
+    /// Booked-but-unused time handed back so far, ms.
+    pub fn refunded_ms(&self) -> f64 {
+        self.refunded_ms
     }
 
     /// Number of solves dispatched to this device.
@@ -63,6 +72,9 @@ pub struct DeviceStats {
     pub kernel_gflops: f64,
     /// Solves per simulated second of busy time.
     pub solves_per_busy_sec: f64,
+    /// Booked time handed back by adaptive plans, ms (already excluded
+    /// from `busy_ms` and `utilization`).
+    pub refunded_ms: f64,
 }
 
 /// A pool of simulated devices.
@@ -83,6 +95,7 @@ impl DevicePool {
                     gpu,
                     busy_until_ms: 0.0,
                     busy_ms: 0.0,
+                    refunded_ms: 0.0,
                     solves: 0,
                     kernel_ms: 0.0,
                     flops_paper: 0.0,
@@ -141,14 +154,45 @@ impl DevicePool {
         kernel_ms: f64,
         flops_paper: f64,
     ) -> (f64, f64) {
+        self.commit_group(id, wall_ms, kernel_ms, flops_paper, 1)
+    }
+
+    /// Commit a fused group of `solves` micro-batched solves to device
+    /// `id` as *one* booking: the clock advances once by the group's
+    /// fused wall clock and the aggregates count every member solve.
+    /// Returns the group's simulated `(start, end)` interval — all
+    /// member jobs share it, because a fused launch sequence completes
+    /// as a whole.
+    pub fn commit_group(
+        &mut self,
+        id: usize,
+        wall_ms: f64,
+        kernel_ms: f64,
+        flops_paper: f64,
+        solves: u64,
+    ) -> (f64, f64) {
         let d = &mut self.devices[id];
         let start = d.busy_until_ms;
         d.busy_until_ms += wall_ms;
         d.busy_ms += wall_ms;
-        d.solves += 1;
+        d.solves += solves;
         d.kernel_ms += kernel_ms;
         d.flops_paper += flops_paper;
         (start, d.busy_until_ms)
+    }
+
+    /// Hand back booked-but-unused time on device `id`: an adaptive
+    /// refinement that met its digit target early executed fewer
+    /// stages than its plan booked. The *clock* keeps the booked
+    /// schedule (later dispatches were placed against it — the refund
+    /// shows up as an idle gap, exactly what the device would see), but
+    /// the busy aggregate drops so utilization and solves-per-busy-sec
+    /// report what actually ran.
+    pub fn reconcile(&mut self, id: usize, refund_ms: f64) {
+        let d = &mut self.devices[id];
+        let r = refund_ms.max(0.0).min(d.busy_ms);
+        d.busy_ms -= r;
+        d.refunded_ms += r;
     }
 
     /// Hold device `id` idle until simulated time `until_ms` (no-op if
@@ -187,6 +231,7 @@ impl DevicePool {
         for d in &mut self.devices {
             d.busy_until_ms = 0.0;
             d.busy_ms = 0.0;
+            d.refunded_ms = 0.0;
             d.solves = 0;
             d.kernel_ms = 0.0;
             d.flops_paper = 0.0;
@@ -218,6 +263,7 @@ impl DevicePool {
                 } else {
                     0.0
                 },
+                refunded_ms: d.refunded_ms,
             })
             .collect()
     }
@@ -283,6 +329,38 @@ mod tests {
         assert_eq!(pool.makespan_ms(), 0.0);
         assert_eq!(pool.total_solves(), 0);
         assert_eq!(pool.devices()[0].busy_ms(), 0.0);
+    }
+
+    #[test]
+    fn group_commit_books_once_counts_all() {
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+        let (start, end) = pool.commit_group(0, 30.0, 20.0, 6.0e9, 8);
+        assert_eq!((start, end), (0.0, 30.0));
+        assert_eq!(pool.total_solves(), 8);
+        // one fused interval, not eight
+        assert_eq!(pool.makespan_ms(), 30.0);
+        // 8 solves / 0.03 busy-sec
+        let s = &pool.stats()[0];
+        assert!((s.solves_per_busy_sec - 8.0 / 0.030).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconcile_refunds_busy_time_not_the_clock() {
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+        pool.commit(0, 100.0, 80.0, 1.0e9);
+        pool.reconcile(0, 25.0);
+        // the schedule keeps the booked clock...
+        assert_eq!(pool.makespan_ms(), 100.0);
+        // ...but the busy aggregate reports what actually ran
+        let s = &pool.stats()[0];
+        assert_eq!(s.busy_ms, 75.0);
+        assert_eq!(s.refunded_ms, 25.0);
+        assert!((s.utilization - 0.75).abs() < 1e-12);
+        // refunds never go negative, even on an absurd request
+        pool.reconcile(0, 1.0e9);
+        assert_eq!(pool.stats()[0].busy_ms, 0.0);
+        pool.reset();
+        assert_eq!(pool.devices()[0].refunded_ms(), 0.0);
     }
 
     #[test]

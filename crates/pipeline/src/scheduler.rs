@@ -61,7 +61,10 @@ impl DispatchPolicy {
 }
 
 /// The scheduling-relevant part of a job: its shape and accuracy target.
-#[derive(Clone, Copy, Debug)]
+/// Equality/hashing make it the fusion key of the micro-batcher: jobs
+/// sharing a `JobShape` share a plan structure and may fuse into one
+/// batched launch sequence (see [`crate::microbatch`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct JobShape {
     /// Rows `m`.
     pub rows: usize,
@@ -99,6 +102,40 @@ pub struct Dispatch {
     pub end_ms: f64,
 }
 
+/// Policy-driven device selection shared by singleton and fused
+/// dispatch: `price` is the per-device pricing oracle, returning an
+/// arbitrary payload (a plan, a plan-plus-fused-profile, …) and the
+/// predicted cost the policy ranks by. Least-loaded prices only the
+/// chosen earliest-idle device; shortest-expected-completion prices
+/// every device and commits where `clock + cost` is minimal, ties to
+/// the lowest id. Keeping this in one place means a policy change
+/// lands on the fused path for free.
+pub(crate) fn place_with<T>(
+    pool: &DevicePool,
+    policy: DispatchPolicy,
+    price: impl Fn(&gpusim::Gpu) -> (T, f64),
+) -> (usize, T) {
+    match policy {
+        DispatchPolicy::LeastLoaded => {
+            let device = pool.least_loaded();
+            let (payload, _) = price(pool.gpu(device));
+            (device, payload)
+        }
+        DispatchPolicy::ShortestExpectedCompletion => {
+            assert!(!pool.is_empty(), "empty device pool");
+            pool.devices()
+                .iter()
+                .map(|d| {
+                    let (payload, cost_ms) = price(&d.gpu);
+                    (d.clock_ms() + cost_ms, d.id, payload)
+                })
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                .map(|(_, id, payload)| (id, payload))
+                .unwrap()
+        }
+    }
+}
+
 /// Pick the device and plan for one job under `policy`, without
 /// committing anything to the pool.
 fn place(
@@ -107,30 +144,11 @@ fn place(
     shape: &JobShape,
     policy: DispatchPolicy,
 ) -> (usize, ExecPlan) {
-    match policy {
-        DispatchPolicy::LeastLoaded => {
-            let device = pool.least_loaded();
-            let plan = planner.plan(
-                pool.gpu(device),
-                shape.rows,
-                shape.cols,
-                shape.target_digits,
-            );
-            (device, plan)
-        }
-        DispatchPolicy::ShortestExpectedCompletion => {
-            assert!(!pool.is_empty(), "empty device pool");
-            pool.devices()
-                .iter()
-                .map(|d| {
-                    let plan = planner.plan(&d.gpu, shape.rows, shape.cols, shape.target_digits);
-                    (d.clock_ms() + plan.predicted_ms, d.id, plan)
-                })
-                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
-                .map(|(_, id, plan)| (id, plan))
-                .unwrap()
-        }
-    }
+    place_with(pool, policy, |gpu| {
+        let plan = planner.plan(gpu, shape.rows, shape.cols, shape.target_digits);
+        let cost_ms = plan.predicted_ms;
+        (plan, cost_ms)
+    })
 }
 
 /// Dispatch one job: pick a device under `policy`, plan the job for

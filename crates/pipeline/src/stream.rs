@@ -20,10 +20,11 @@
 //! depends on which device a job lands on or when, only the simulated
 //! timing does.
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
-use crate::batch::{solve_planned, JobOutcome};
+use crate::batch::{solve_planned_fused, solve_planned_traced, JobOutcome};
 use crate::job::Job;
+use crate::microbatch::{dispatch_group, GroupDispatch, MicrobatchConfig};
 use crate::planner::Planner;
 use crate::pool::DevicePool;
 use crate::scheduler::{dispatch_one, DispatchPolicy, JobShape};
@@ -79,6 +80,14 @@ pub struct BatchStream<'p, I> {
     /// next dispatch slot. 1 = FIFO.
     window: usize,
     buffer: BinaryHeap<QueuedJob>,
+    /// Micro-batching: when set, each dispatch drains a maximal run of
+    /// *consecutive* same-shaped jobs from the reorder buffer (capped
+    /// at the shape's preferred group size) and fuses them into one
+    /// batched launch sequence. Only drain-order prefixes fuse, so
+    /// priority/deadline ordering is exactly the unfused stream's.
+    micro: Option<MicrobatchConfig>,
+    /// Outcomes of the current fused group not yet yielded.
+    ready: VecDeque<JobOutcome>,
     admitted: usize,
     dispatched: usize,
 }
@@ -115,19 +124,49 @@ where
         policy,
         window: window.max(1),
         buffer: BinaryHeap::new(),
+        micro: None,
+        ready: VecDeque::new(),
         admitted: 0,
         dispatched: 0,
     }
 }
 
-impl<I> Iterator for BatchStream<'_, I>
+/// [`solve_stream_with`] plus device-level micro-batching: each
+/// dispatch pulls the most urgent admitted job *and* every job the
+/// unfused stream would have dispatched immediately after it, as long
+/// as they share its shape key (up to the shape's occupancy-aware
+/// preferred group size), fusing them into one batched launch sequence
+/// booked as a single pool commitment.
+///
+/// Fusion never reaches past the drain order: the buffer re-admits
+/// before every member is chosen, so a fused group is *exactly* the
+/// prefix of the dispatch sequence the unfused stream would have
+/// produced — priority and deadline ordering are preserved verbatim,
+/// and a group never waits for a job that has not arrived. Each member
+/// job is yielded as its own outcome, bit-identical to the unfused
+/// stream; siblings share their group's simulated interval.
+pub fn solve_stream_fused<'p, I>(
+    pool: &'p mut DevicePool,
+    jobs: I,
+    policy: DispatchPolicy,
+    window: usize,
+    cfg: MicrobatchConfig,
+) -> BatchStream<'p, I::IntoIter>
+where
+    I: IntoIterator<Item = Job>,
+{
+    BatchStream {
+        micro: Some(cfg),
+        ..solve_stream_with(pool, jobs, policy, window)
+    }
+}
+
+impl<I> BatchStream<'_, I>
 where
     I: Iterator<Item = Job>,
 {
-    type Item = JobOutcome;
-
-    fn next(&mut self) -> Option<JobOutcome> {
-        // admit: refill the reorder buffer up to the window
+    /// Refill the reorder buffer from the input up to the window.
+    fn admit(&mut self) {
         while self.buffer.len() < self.window {
             match self.jobs.next() {
                 Some(job) => {
@@ -140,24 +179,88 @@ where
                 None => break,
             }
         }
-        // reorder → dispatch: drain the most urgent admitted job
+    }
+}
+
+impl<I> Iterator for BatchStream<'_, I>
+where
+    I: Iterator<Item = Job>,
+{
+    type Item = JobOutcome;
+
+    fn next(&mut self) -> Option<JobOutcome> {
+        // fused siblings of the previous dispatch drain first
+        if let Some(o) = self.ready.pop_front() {
+            return Some(o);
+        }
+        // admit, then reorder → dispatch the most urgent admitted job...
+        self.admit();
         let job = self.buffer.pop()?.job;
-        let d = dispatch_one(
-            self.pool,
-            &self.planner,
-            self.dispatched,
-            &JobShape::from(&job),
-            self.policy,
-        );
-        self.dispatched += 1;
-        let (x, residual) = solve_planned(self.pool.gpu(d.device), &job, &d.plan);
-        Some(JobOutcome::assemble(job.id, d, x, residual))
+        let shape = JobShape::from(&job);
+        // ...plus, when micro-batching, the run of jobs the unfused
+        // stream would have dispatched next anyway, as long as they
+        // share the shape key. Re-admitting before every member keeps
+        // the group an exact prefix of the unfused drain order — a
+        // late-arriving higher-priority job still overtakes exactly
+        // where it would have — so fusion can never violate priority or
+        // deadline ordering.
+        let mut group = vec![job];
+        if let Some(cfg) = self.micro {
+            let preferred = self.planner.preferred_group_size(
+                shape.rows,
+                shape.cols,
+                shape.target_digits,
+                cfg.max_group,
+                cfg.tolerance,
+            );
+            while group.len() < preferred {
+                self.admit();
+                match self.buffer.peek() {
+                    Some(q) if JobShape::from(&q.job) == shape => {
+                        group.push(self.buffer.pop().unwrap().job);
+                    }
+                    _ => break,
+                }
+            }
+        }
+        let g = if group.len() == 1 {
+            let d = dispatch_one(
+                self.pool,
+                &self.planner,
+                self.dispatched,
+                &shape,
+                self.policy,
+            );
+            GroupDispatch::singleton(d)
+        } else {
+            let idxs: Vec<usize> = (0..group.len()).map(|i| self.dispatched + i).collect();
+            dispatch_group(self.pool, &self.planner, idxs, &shape, self.policy)
+        };
+        self.dispatched += group.len();
+        let solved = if group.len() == 1 {
+            vec![solve_planned_traced(
+                self.pool.gpu(g.device),
+                &group[0],
+                &g.plan,
+            )]
+        } else {
+            let members: Vec<&Job> = group.iter().collect();
+            solve_planned_fused(self.pool.gpu(g.device), &members, &g.plan)
+        };
+        let ids: Vec<u64> = group.iter().map(|j| j.id).collect();
+        for o in JobOutcome::assemble_group(&ids, &g, solved) {
+            if o.refunded_ms > 0.0 {
+                self.pool.reconcile(o.device, o.refunded_ms);
+            }
+            self.ready.push_back(o);
+        }
+        self.ready.pop_front()
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         let (lo, hi) = self.jobs.size_hint();
-        let buffered = self.buffer.len();
-        (lo.saturating_add(buffered), hi.map(|h| h + buffered))
+        let pending = self.buffer.len() + self.ready.len();
+        (lo.saturating_add(pending), hi.map(|h| h + pending))
     }
 }
 
@@ -253,6 +356,120 @@ mod tests {
         let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
         let order: Vec<u64> = solve_stream(&mut pool, jobs).map(|o| o.job_id).collect();
         assert_eq!(order, ids, "window 1 must not reorder");
+    }
+
+    #[test]
+    fn fused_stream_matches_unfused_bits_and_fuses_something() {
+        // many same-shaped jobs: the fused stream must pack groups yet
+        // reproduce every unfused solution bit for bit
+        let mut rng = StdRng::seed_from_u64(97);
+        let n = 10;
+        let jobs: Vec<Job> = (0..18u64)
+            .map(|id| {
+                let a = mdls_matrix::HostMat::<f64>::from_fn(n, n, |r, c| {
+                    let u: f64 = multidouble::random::rand_real(&mut rng);
+                    u + if r == c { 4.0 } else { 0.0 }
+                });
+                let b: Vec<f64> = (0..n)
+                    .map(|_| multidouble::random::rand_real(&mut rng))
+                    .collect();
+                Job::new(id, a, b, 25)
+            })
+            .collect();
+        let mut pool_u = DevicePool::homogeneous(&Gpu::v100(), 2);
+        let unfused: Vec<JobOutcome> =
+            solve_stream_with(&mut pool_u, jobs.clone(), DispatchPolicy::LeastLoaded, 8).collect();
+        let mut pool_f = DevicePool::homogeneous(&Gpu::v100(), 2);
+        let fused: Vec<JobOutcome> = solve_stream_fused(
+            &mut pool_f,
+            jobs,
+            DispatchPolicy::LeastLoaded,
+            8,
+            MicrobatchConfig::default(),
+        )
+        .collect();
+        assert_eq!(unfused.len(), fused.len());
+        assert!(
+            fused.iter().any(|o| o.fused_group > 1),
+            "stream never fused same-shaped neighbors"
+        );
+        for u in &unfused {
+            let f = fused.iter().find(|f| f.job_id == u.job_id).unwrap();
+            assert_eq!(u.x, f.x, "job {}: stream fusion changed the bits", u.job_id);
+            assert_eq!(u.residual, f.residual);
+        }
+        // fusing is bounded by the shape's preferred group size
+        let cfg = MicrobatchConfig::default();
+        let preferred = Planner::new().preferred_group_size(n, n, 25, cfg.max_group, cfg.tolerance);
+        assert!(fused.iter().all(|o| o.fused_group <= preferred));
+        // and it lifted throughput on these small systems
+        assert!(pool_f.makespan_ms() < pool_u.makespan_ms());
+    }
+
+    #[test]
+    fn fused_stream_respects_priority_and_deadline_order() {
+        // fusion only takes drain-order prefixes, so the outcome order
+        // of a priority/deadline mix must be exactly the unfused
+        // stream's order
+        let mut rng = StdRng::seed_from_u64(98);
+        let mut jobs = power_flow_jobs(24, &mut rng);
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.priority = (i % 3) as i32;
+            if i % 4 == 0 {
+                j.deadline_ms = Some((i as f64) * 0.25);
+            }
+        }
+        let mut pool_u = DevicePool::homogeneous(&Gpu::v100(), 1);
+        let unfused: Vec<u64> =
+            solve_stream_with(&mut pool_u, jobs.clone(), DispatchPolicy::LeastLoaded, 6)
+                .map(|o| o.job_id)
+                .collect();
+        let mut pool_f = DevicePool::homogeneous(&Gpu::v100(), 1);
+        let fused: Vec<u64> = solve_stream_fused(
+            &mut pool_f,
+            jobs,
+            DispatchPolicy::LeastLoaded,
+            6,
+            MicrobatchConfig::default(),
+        )
+        .map(|o| o.job_id)
+        .collect();
+        assert_eq!(unfused, fused, "fusion reordered the drain sequence");
+    }
+
+    #[test]
+    fn fused_stream_stays_lazy() {
+        // alternating shapes: no two consecutive drain jobs share a
+        // key, so every group is a singleton and one pull solves one
+        // job — the stream never runs ahead of the consumer
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = |i: usize| [8usize, 12][i % 2];
+        let jobs: Vec<Job> = (0..9u64)
+            .map(|id| {
+                let d = n(id as usize);
+                let a = mdls_matrix::HostMat::<f64>::from_fn(d, d, |r, c| {
+                    let u: f64 = multidouble::random::rand_real(&mut rng);
+                    u + if r == c { 4.0 } else { 0.0 }
+                });
+                let b: Vec<f64> = (0..d)
+                    .map(|_| multidouble::random::rand_real(&mut rng))
+                    .collect();
+                Job::new(id, a, b, 25)
+            })
+            .collect();
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+        {
+            let mut stream = solve_stream_fused(
+                &mut pool,
+                jobs,
+                DispatchPolicy::LeastLoaded,
+                2,
+                MicrobatchConfig::default(),
+            );
+            let first = stream.next().unwrap();
+            assert_eq!(first.fused_group, 1);
+        }
+        assert_eq!(pool.total_solves(), 1, "fused stream ran ahead of the pull");
     }
 
     #[test]
