@@ -10,9 +10,11 @@
 //!   throughput          batched pipeline: scaling, batch depth, planner,
 //!                       direct-vs-refinement A/B, fused-vs-singleton
 //!                       micro-batching A/B, greedy-vs-SECT
-//!                       dispatch-policy A/B
+//!                       dispatch-policy A/B, stage-overlap and online
+//!                       re-booking A/Bs, bursty deadline misses
 //!   throughput-smoke    policy A/B at a small job count + refinement A/B
-//!                       + micro-batching A/B (CI)
+//!                       + micro-batching A/B + stage-overlap and
+//!                       re-booking A/Bs (CI)
 //!   all                 everything, in paper order
 //! ```
 
@@ -53,12 +55,17 @@ fn run(cmd: &str) -> bool {
             println!("{}", throughput::microbatch_ab().render());
             println!("{}", throughput::microbatch_queue_ab(256).render());
             println!("{}", throughput::policy_ab(60).render());
+            println!("{}", throughput::stage_overlap_ab(48).render());
+            println!("{}", throughput::rebooking_ab(24).render());
+            println!("{}", throughput::bursty_deadline_table(36).render());
         }
         "throughput-smoke" => {
             println!("{}", throughput::policy_ab(24).render());
             println!("{}", throughput::refinement_ab().render());
             println!("{}", throughput::microbatch_ab().render());
             println!("{}", throughput::microbatch_queue_ab(64).render());
+            println!("{}", throughput::stage_overlap_ab(24).render());
+            println!("{}", throughput::rebooking_ab(12).render());
         }
         "all" => {
             for c in [

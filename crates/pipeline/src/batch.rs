@@ -42,11 +42,13 @@ use mdls_matrix::{vec_norm2, HostMat};
 use multidouble::{convert_real, Dd, MdReal, Od, Qd};
 
 use crate::job::{Job, Precision, Solution};
-use crate::microbatch::{schedule_groups, GroupDispatch, MicrobatchConfig};
+use crate::microbatch::{
+    dispatch_group_staged, plan_groups, schedule_groups, GroupDispatch, MicrobatchConfig,
+};
 use crate::plan::ExecPlan;
 use crate::planner::Planner;
 use crate::pool::{DevicePool, DeviceStats};
-use crate::scheduler::{schedule, DispatchPolicy, JobShape};
+use crate::scheduler::{schedule, DispatchPolicy, JobShape, StageSchedConfig};
 
 /// Outcome of one job.
 #[derive(Clone, Debug)]
@@ -84,6 +86,12 @@ pub struct JobOutcome {
     /// sibling has stopped — a member that finishes early while
     /// siblings continue refunds nothing for the passes they still run.
     pub refunded_ms: f64,
+    /// This job's equal share of stage time booked *beyond* the
+    /// group's original booking, ms: expected-pass booking that had to
+    /// grow to the actual pass count, or extra passes a stalled job ran
+    /// past its plan (see [`solve_batch_staged`]). Zero on the per-plan
+    /// paths.
+    pub extended_ms: f64,
 }
 
 /// Result of interpreting one job's plan: the solution, its measured
@@ -130,6 +138,7 @@ impl JobOutcome {
                 fused_group: g.jobs.len(),
                 corrections_run: s.corrections_run,
                 refunded_ms,
+                extended_ms: 0.0,
             })
             .collect()
     }
@@ -384,14 +393,19 @@ fn direct_fused_as<S: MdReal>(gpu: &Gpu, jobs: &[&Job], plan: &ExecPlan) -> Vec<
 /// factorization, accumulating the iterate at `H`. Adaptive: passes
 /// stop as soon as the measured residual already certifies the plan's
 /// digit target (see [`refine_through`]).
-fn refine_as<F: MdReal, H: MdReal>(gpu: &Gpu, job: &Job, plan: &ExecPlan) -> (Vec<H>, f64, usize) {
+fn refine_as<F: MdReal, H: MdReal>(
+    gpu: &Gpu,
+    job: &Job,
+    plan: &ExecPlan,
+    extra_passes: usize,
+) -> (Vec<H>, f64, usize) {
     // Factor(F) + initial Correct(F)
     let opts = plan.options(ExecMode::Sequential);
     let a_f = promoted_matrix::<F>(&job.a);
     let b_f = promote_vec::<F>(&job.b);
     let fact = lstsq_factor(gpu, &a_f, &opts);
     let (x0, _) = fact.solve(&b_f);
-    refine_through::<F, H>(gpu, job, plan, &fact, x0)
+    refine_through::<F, H>(gpu, job, plan, &fact, x0, extra_passes)
 }
 
 /// Fused refinement: one micro-batched Factor(F) + initial Correct(F)
@@ -404,6 +418,7 @@ fn refine_fused_as<F: MdReal, H: MdReal>(
     gpu: &Gpu,
     jobs: &[&Job],
     plan: &ExecPlan,
+    extra_passes: usize,
 ) -> Vec<(Vec<H>, f64, usize)> {
     let opts = plan.options(ExecMode::Sequential);
     let mats: Vec<Arc<HostMat<F>>> = jobs.iter().map(|j| promoted_matrix::<F>(&j.a)).collect();
@@ -413,7 +428,9 @@ fn refine_fused_as<F: MdReal, H: MdReal>(
     let (x0s, _) = fact.solve_all(&rhs);
     x0s.into_iter()
         .enumerate()
-        .map(|(i, x0)| refine_through::<F, H>(gpu, jobs[i], plan, &fact.instances()[i], x0))
+        .map(|(i, x0)| {
+            refine_through::<F, H>(gpu, jobs[i], plan, &fact.instances()[i], x0, extra_passes)
+        })
         .collect()
 }
 
@@ -427,14 +444,26 @@ fn refine_fused_as<F: MdReal, H: MdReal>(
 /// the loop stops as soon as it already certifies the plan's digit
 /// target instead of running the booked count blind. The stopping rule
 /// reads only device-independent bits, so placement invariance (and
-/// fused/unfused bit-identity) survives. Returns the iterate, its last
-/// measured residual, and the passes actually executed.
+/// fused/unfused bit-identity) survives.
+///
+/// **Pass extension**: when the plan's structural pass count is
+/// exhausted with the target still uncertified — conditioning ate into
+/// the per-pass digit gain — up to `extra_passes` further
+/// residual/correct pairs run, as long as each pass still improves the
+/// measured residual (a genuinely stuck iteration stops rather than
+/// spinning). `extra_passes = 0` reproduces the legacy
+/// stop-at-the-plan behavior exactly. The extension rule, like the
+/// stop rule, reads only device-independent bits.
+///
+/// Returns the iterate, its last measured residual, and the passes
+/// actually executed.
 fn refine_through<F: MdReal, H: MdReal>(
     gpu: &Gpu,
     job: &Job,
     plan: &ExecPlan,
     fact: &mdls_core::LstsqFactorization<F>,
     x0: Vec<F>,
+    extra_passes: usize,
 ) -> (Vec<H>, f64, usize) {
     let (m, n) = (job.rows(), job.cols());
     let opts = plan.options(ExecMode::Sequential);
@@ -460,6 +489,7 @@ fn refine_through<F: MdReal, H: MdReal>(
     let bn = vec_norm2(&b_h).to_f64();
     let mut x: Vec<H> = x0.iter().map(|&v| convert_real::<F, H>(v)).collect();
     let mut passes = 0;
+    let mut prev_rel = f64::INFINITY;
     let residual = loop {
         // Residual(H): r = b − A x at the high rung. The stage's own
         // output doubles as the adaptive stop measurement — no extra
@@ -471,9 +501,17 @@ fn refine_through<F: MdReal, H: MdReal>(
         let r_h = dr.download();
         let rn = vec_norm2(&r_h).to_f64();
         let rel = if bn > 0.0 { rn / bn } else { rn };
-        if passes >= plan.corrections() || rel < good_enough {
+        if rel < good_enough {
             break rel;
         }
+        // past the plan's structural passes: extend only while allowed
+        // and while the last pass actually gained ground
+        if passes >= plan.corrections()
+            && (passes >= plan.corrections() + extra_passes || rel >= prev_rel)
+        {
+            break rel;
+        }
+        prev_rel = rel;
         // Correct(F): demote the residual, re-solve through the cached
         // factorization, accumulate at the high rung
         let r_f: Vec<F> = r_h.iter().map(|&v| convert_real::<H, F>(v)).collect();
@@ -492,6 +530,20 @@ fn refine_through<F: MdReal, H: MdReal>(
 /// test) can reproduce any batch result with a single sequential
 /// interpretation.
 pub fn solve_planned_traced(gpu: &Gpu, job: &Job, plan: &ExecPlan) -> PlannedSolve {
+    solve_planned_traced_with(gpu, job, plan, 0)
+}
+
+/// [`solve_planned_traced`] with pass extension: a refinement whose
+/// residual stalls above target at the plan's structural pass count
+/// may run up to `extra_passes` further residual/correct pairs while
+/// each still improves the measured residual. `extra_passes = 0` is
+/// bit-identical to the legacy interpreter.
+pub fn solve_planned_traced_with(
+    gpu: &Gpu,
+    job: &Job,
+    plan: &ExecPlan,
+    extra_passes: usize,
+) -> PlannedSolve {
     use Precision::{D1, D2, D4, D8};
     fn direct<S: MdReal>(
         gpu: &Gpu,
@@ -510,26 +562,28 @@ pub fn solve_planned_traced(gpu: &Gpu, job: &Job, plan: &ExecPlan) -> PlannedSol
         gpu: &Gpu,
         job: &Job,
         plan: &ExecPlan,
+        extra_passes: usize,
         wrap: fn(Vec<H>) -> Solution,
     ) -> PlannedSolve {
-        let (x, residual, corrections_run) = refine_as::<F, H>(gpu, job, plan);
+        let (x, residual, corrections_run) = refine_as::<F, H>(gpu, job, plan, extra_passes);
         PlannedSolve {
             x: wrap(x),
             residual,
             corrections_run,
         }
     }
+    let e = extra_passes;
     match (plan.factor_precision(), plan.solution_precision()) {
         (D1, D1) => direct::<f64>(gpu, job, plan, Solution::D1),
         (D2, D2) => direct::<Dd>(gpu, job, plan, Solution::D2),
         (D4, D4) => direct::<Qd>(gpu, job, plan, Solution::D4),
         (D8, D8) => direct::<Od>(gpu, job, plan, Solution::D8),
-        (D1, D2) => refine::<f64, Dd>(gpu, job, plan, Solution::D2),
-        (D1, D4) => refine::<f64, Qd>(gpu, job, plan, Solution::D4),
-        (D1, D8) => refine::<f64, Od>(gpu, job, plan, Solution::D8),
-        (D2, D4) => refine::<Dd, Qd>(gpu, job, plan, Solution::D4),
-        (D2, D8) => refine::<Dd, Od>(gpu, job, plan, Solution::D8),
-        (D4, D8) => refine::<Qd, Od>(gpu, job, plan, Solution::D8),
+        (D1, D2) => refine::<f64, Dd>(gpu, job, plan, e, Solution::D2),
+        (D1, D4) => refine::<f64, Qd>(gpu, job, plan, e, Solution::D4),
+        (D1, D8) => refine::<f64, Od>(gpu, job, plan, e, Solution::D8),
+        (D2, D4) => refine::<Dd, Qd>(gpu, job, plan, e, Solution::D4),
+        (D2, D8) => refine::<Dd, Od>(gpu, job, plan, e, Solution::D8),
+        (D4, D8) => refine::<Qd, Od>(gpu, job, plan, e, Solution::D8),
         (f, s) => unreachable!("invalid plan rungs: factor {f:?} above solution {s:?}"),
     }
 }
@@ -548,6 +602,18 @@ pub fn solve_planned(gpu: &Gpu, job: &Job, plan: &ExecPlan) -> (Solution, f64) {
 /// [`solve_planned_traced`] of that job alone — fusing packs launches,
 /// it never changes arithmetic.
 pub fn solve_planned_fused(gpu: &Gpu, jobs: &[&Job], plan: &ExecPlan) -> Vec<PlannedSolve> {
+    solve_planned_fused_with(gpu, jobs, plan, 0)
+}
+
+/// [`solve_planned_fused`] with pass extension (see
+/// [`solve_planned_traced_with`]): members extend independently, each
+/// driven by its own measured residual.
+pub fn solve_planned_fused_with(
+    gpu: &Gpu,
+    jobs: &[&Job],
+    plan: &ExecPlan,
+    extra_passes: usize,
+) -> Vec<PlannedSolve> {
     use Precision::{D1, D2, D4, D8};
     fn direct<S: MdReal>(
         gpu: &Gpu,
@@ -568,9 +634,10 @@ pub fn solve_planned_fused(gpu: &Gpu, jobs: &[&Job], plan: &ExecPlan) -> Vec<Pla
         gpu: &Gpu,
         jobs: &[&Job],
         plan: &ExecPlan,
+        extra_passes: usize,
         wrap: fn(Vec<H>) -> Solution,
     ) -> Vec<PlannedSolve> {
-        refine_fused_as::<F, H>(gpu, jobs, plan)
+        refine_fused_as::<F, H>(gpu, jobs, plan, extra_passes)
             .into_iter()
             .map(|(x, residual, corrections_run)| PlannedSolve {
                 x: wrap(x),
@@ -579,17 +646,18 @@ pub fn solve_planned_fused(gpu: &Gpu, jobs: &[&Job], plan: &ExecPlan) -> Vec<Pla
             })
             .collect()
     }
+    let e = extra_passes;
     match (plan.factor_precision(), plan.solution_precision()) {
         (D1, D1) => direct::<f64>(gpu, jobs, plan, Solution::D1),
         (D2, D2) => direct::<Dd>(gpu, jobs, plan, Solution::D2),
         (D4, D4) => direct::<Qd>(gpu, jobs, plan, Solution::D4),
         (D8, D8) => direct::<Od>(gpu, jobs, plan, Solution::D8),
-        (D1, D2) => refine::<f64, Dd>(gpu, jobs, plan, Solution::D2),
-        (D1, D4) => refine::<f64, Qd>(gpu, jobs, plan, Solution::D4),
-        (D1, D8) => refine::<f64, Od>(gpu, jobs, plan, Solution::D8),
-        (D2, D4) => refine::<Dd, Qd>(gpu, jobs, plan, Solution::D4),
-        (D2, D8) => refine::<Dd, Od>(gpu, jobs, plan, Solution::D8),
-        (D4, D8) => refine::<Qd, Od>(gpu, jobs, plan, Solution::D8),
+        (D1, D2) => refine::<f64, Dd>(gpu, jobs, plan, e, Solution::D2),
+        (D1, D4) => refine::<f64, Qd>(gpu, jobs, plan, e, Solution::D4),
+        (D1, D8) => refine::<f64, Od>(gpu, jobs, plan, e, Solution::D8),
+        (D2, D4) => refine::<Dd, Qd>(gpu, jobs, plan, e, Solution::D4),
+        (D2, D8) => refine::<Dd, Od>(gpu, jobs, plan, e, Solution::D8),
+        (D4, D8) => refine::<Qd, Od>(gpu, jobs, plan, e, Solution::D8),
         (f, s) => unreachable!("invalid plan rungs: factor {f:?} above solution {s:?}"),
     }
 }
@@ -598,6 +666,13 @@ pub fn solve_planned_fused(gpu: &Gpu, jobs: &[&Job], plan: &ExecPlan) -> Vec<Pla
 /// [`DispatchPolicy::LeastLoaded`], using up to
 /// `available_parallelism` host worker threads for the functional
 /// execution.
+///
+/// Device micro-batching is **on by default**: jobs sharing a shape
+/// key fuse into batched launch sequences at the occupancy sweet spot
+/// (bit-identical to solving each job alone — fusing packs launches,
+/// never changes arithmetic). Pass [`MicrobatchConfig::off`] through
+/// [`solve_batch_fused`] to reproduce the legacy per-job launch
+/// timing.
 pub fn solve_batch(pool: &mut DevicePool, jobs: &[Job]) -> BatchReport {
     solve_batch_policy(pool, jobs, DispatchPolicy::LeastLoaded)
 }
@@ -605,6 +680,7 @@ pub fn solve_batch(pool: &mut DevicePool, jobs: &[Job]) -> BatchReport {
 /// [`solve_batch`] with an explicit dispatch policy
 /// (`DispatchPolicy::ShortestExpectedCompletion` pays off on
 /// heterogeneous pools; solutions are bit-identical either way).
+/// Micro-batching is on by default, like [`solve_batch`].
 pub fn solve_batch_policy(
     pool: &mut DevicePool,
     jobs: &[Job],
@@ -620,14 +696,21 @@ pub fn solve_batch_policy(
 /// (`host_threads = 1` executes jobs on the calling thread) and
 /// dispatch policy. The spawned worker count is clamped to
 /// `min(host_threads, jobs.len())` — a tiny batch never pays for a
-/// full `available_parallelism` thread set.
+/// full `available_parallelism` thread set. Micro-batching is on by
+/// default, like [`solve_batch`].
 pub fn solve_batch_with(
     pool: &mut DevicePool,
     jobs: &[Job],
     host_threads: usize,
     policy: DispatchPolicy,
 ) -> BatchReport {
-    solve_batch_engine(pool, jobs, host_threads, policy, None)
+    solve_batch_engine(
+        pool,
+        jobs,
+        host_threads,
+        policy,
+        Some(&MicrobatchConfig::default()),
+    )
 }
 
 /// [`solve_batch`] with device-level micro-batching: jobs sharing a
@@ -675,8 +758,10 @@ fn solve_batch_engine(
     let planner = Planner::new();
     let shapes: Vec<JobShape> = jobs.iter().map(JobShape::from).collect();
     let groups: Vec<GroupDispatch> = match micro {
-        Some(cfg) => schedule_groups(pool, &planner, &shapes, policy, cfg),
-        None => schedule(pool, &planner, &shapes, policy)
+        Some(cfg) if !cfg.is_off() => schedule_groups(pool, &planner, &shapes, policy, cfg),
+        // fusion off: the exact legacy singleton schedule, in
+        // submission order — the timing baseline of the fusion A/Bs
+        _ => schedule(pool, &planner, &shapes, policy)
             .into_iter()
             .map(GroupDispatch::singleton)
             .collect(),
@@ -753,6 +838,164 @@ fn solve_batch_engine(
         device_stats: pool.stats(),
         distinct_plans: planner.cached_plans(),
         fused_groups: groups.iter().filter(|g| g.jobs.len() > 1).count(),
+        outcomes,
+    }
+}
+
+/// Settle a staged dispatch against what execution actually ran:
+/// refund the booked tail when the group stopped early (rewinding the
+/// lane cursors under [`StageSchedConfig::rebook`], so later dispatches
+/// use the freed time), or book the extra passes an expected-pass
+/// booking under-estimated / a stalled job extended into. Updates the
+/// group's `end_ms` to the settled completion and returns the per-job
+/// `(refunded, extended)` shares, ms.
+pub(crate) fn settle_staged_dispatch(
+    pool: &mut DevicePool,
+    g: &mut GroupDispatch,
+    passes_run: usize,
+    sched: &StageSchedConfig,
+) -> (f64, f64) {
+    let booked = g.booked_passes();
+    let k = g.jobs.len().max(1) as f64;
+    let booking = g
+        .booking
+        .clone()
+        .expect("staged dispatches carry a booking");
+    if passes_run < booked {
+        let from = ExecPlan::booked_stages(passes_run);
+        let executed_end = booking.stages[from - 1].end_ms();
+        if sched.rebook {
+            let refund = pool.rebook_tail(&booking, from);
+            g.end_ms = executed_end;
+            (refund.refunded_ms / k, 0.0)
+        } else {
+            // write the skipped tail off the busy books only — the
+            // schedule keeps the booked intervals (legacy refunds)
+            let tail: f64 = booking.stages[from..].iter().map(|s| s.wall_ms()).sum();
+            pool.reconcile(g.device, tail);
+            (tail / k, 0.0)
+        }
+    } else if passes_run > booked {
+        // grow the booking pass by pass: each extra pass replays the
+        // plan's steady-state residual/correct pair at the lane
+        // cursors (the engine is sequential, so the extension lands
+        // right behind the original booking)
+        let pair = g.fused.extension_reqs();
+        let mut extended = 0.0;
+        let mut end = g.end_ms;
+        for _ in booked..passes_run {
+            let ext = pool.commit_stages(g.device, &pair, 0.0, 0.0, 0, sched.overlap, 0.0);
+            extended += pair.iter().map(|r| r.wall_ms()).sum::<f64>();
+            end = end.max(ext.end_ms());
+        }
+        g.end_ms = end;
+        (0.0, extended / k)
+    } else {
+        (0.0, 0.0)
+    }
+}
+
+/// The **stage-level online batch engine**: dispatch, execute and
+/// settle one fused group at a time, against stage-granular device
+/// timelines.
+///
+/// Per group, in (for SECT: longest-first) placement order:
+///
+/// 1. **Book** the group's stages as lane-split intervals on the
+///    device the policy picks *from the stage timeline*
+///    ([`dispatch_group_staged`]) — under [`StageSchedConfig::overlap`]
+///    the group's factorization prep hides under whatever the device
+///    is still computing; under [`StageSchedConfig::book_expected`]
+///    only the planner's expected pass count is booked.
+/// 2. **Execute** the group functionally (the same interpreter as
+///    every other path — booking mode never changes arithmetic), with
+///    up to [`StageSchedConfig::max_extra_passes`] extension passes
+///    for jobs whose residual stalls above target.
+/// 3. **Settle**: refund the unexecuted tail online
+///    ([`DevicePool::rebook_tail`] — later groups book into the freed
+///    time) or book the extra passes execution actually ran.
+///
+/// The loop is deliberately sequential: a group's settlement must land
+/// before the next dispatch for the re-booking to be causal. Outcomes
+/// are bit-identical to [`solve_batch`] whenever `max_extra_passes`
+/// matches (extension is the one knob that adds arithmetic, and it
+/// only fires on jobs the legacy path would have returned *under
+/// target*).
+pub fn solve_batch_staged(
+    pool: &mut DevicePool,
+    jobs: &[Job],
+    policy: DispatchPolicy,
+    micro: &MicrobatchConfig,
+    sched: &StageSchedConfig,
+) -> BatchReport {
+    let planner = Planner::new();
+    let shapes: Vec<JobShape> = jobs.iter().map(JobShape::from).collect();
+    let groups_idx: Vec<Vec<usize>> = if micro.is_off() {
+        (0..jobs.len()).map(|i| vec![i]).collect()
+    } else {
+        plan_groups(&planner, &shapes, micro)
+    };
+    let order = crate::microbatch::placement_order(pool, &planner, &shapes, &groups_idx, policy);
+
+    let mut outcomes: Vec<Option<JobOutcome>> = Vec::new();
+    outcomes.resize_with(jobs.len(), || None);
+    let mut makespan_ms = 0.0f64;
+    let mut fused_groups = 0;
+    for &gi in &order {
+        let idxs = &groups_idx[gi];
+        let shape = shapes[idxs[0]];
+        let release = idxs
+            .iter()
+            .map(|&j| jobs[j].release())
+            .fold(0.0f64, f64::max);
+        let mut g =
+            dispatch_group_staged(pool, &planner, idxs.clone(), &shape, policy, sched, release);
+        let solved: Vec<PlannedSolve> = if idxs.len() == 1 {
+            vec![solve_planned_traced_with(
+                pool.gpu(g.device),
+                &jobs[idxs[0]],
+                &g.plan,
+                sched.max_extra_passes,
+            )]
+        } else {
+            fused_groups += 1;
+            let members: Vec<&Job> = idxs.iter().map(|&j| &jobs[j]).collect();
+            solve_planned_fused_with(
+                pool.gpu(g.device),
+                &members,
+                &g.plan,
+                sched.max_extra_passes,
+            )
+        };
+        let passes_run = solved.iter().map(|s| s.corrections_run).max().unwrap_or(0);
+        let (refunded, extended) = settle_staged_dispatch(pool, &mut g, passes_run, sched);
+        makespan_ms = makespan_ms.max(g.end_ms);
+        let ids: Vec<u64> = idxs.iter().map(|&j| jobs[j].id).collect();
+        let mut assembled = JobOutcome::assemble_group(&ids, &g, solved);
+        for o in &mut assembled {
+            o.refunded_ms = refunded;
+            o.extended_ms = extended;
+        }
+        for (&j, o) in idxs.iter().zip(assembled) {
+            outcomes[j] = Some(o);
+        }
+    }
+
+    let outcomes: Vec<JobOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every job executed"))
+        .collect();
+    let solves_per_sec = if makespan_ms > 0.0 {
+        outcomes.len() as f64 / (makespan_ms * 1.0e-3)
+    } else {
+        0.0
+    };
+    BatchReport {
+        makespan_ms,
+        solves_per_sec,
+        device_stats: pool.stats(),
+        distinct_plans: planner.cached_plans(),
+        fused_groups,
         outcomes,
     }
 }
@@ -945,7 +1188,13 @@ mod tests {
     fn fused_batch_is_bit_identical_to_unfused() {
         let jobs = fusible_jobs(8, 90);
         let mut pool_u = DevicePool::homogeneous(&Gpu::v100(), 2);
-        let unfused = solve_batch_with(&mut pool_u, &jobs, 1, DispatchPolicy::LeastLoaded);
+        let unfused = solve_batch_fused_with(
+            &mut pool_u,
+            &jobs,
+            1,
+            DispatchPolicy::LeastLoaded,
+            &MicrobatchConfig::off(),
+        );
         let mut pool_f = DevicePool::homogeneous(&Gpu::v100(), 2);
         let fused = solve_batch_fused_with(
             &mut pool_f,
@@ -1030,7 +1279,15 @@ mod tests {
             j.target_digits = 30;
         }
         let mut pool = DevicePool::homogeneous(&Gpu::v100(), 2);
-        let report = solve_batch_with(&mut pool, &jobs, 1, DispatchPolicy::LeastLoaded);
+        // fusion off: the per-job refund arithmetic below checks the
+        // singleton plan's stage walls, not a fused group's shares
+        let report = solve_batch_fused_with(
+            &mut pool,
+            &jobs,
+            1,
+            DispatchPolicy::LeastLoaded,
+            &MicrobatchConfig::off(),
+        );
         for out in &report.outcomes {
             assert!(out.corrections_run <= out.plan.corrections());
             let skipped = out.plan.corrections() - out.corrections_run;

@@ -91,6 +91,20 @@ pub struct Job {
     /// priority class the reorder buffer drains earliest deadline
     /// first; jobs without a deadline come after deadlined peers.
     pub deadline_ms: Option<f64>,
+    /// Optional simulated arrival time in ms: the solve cannot start
+    /// before this instant (fed through [`crate::pool::DevicePool`]'s
+    /// booking as an earliest-start bound, with any idle gap modeled by
+    /// `hold_until` semantics — the clock advances, busy time does
+    /// not). Lets the stream model bursty queues and count real
+    /// deadline *misses* instead of just deadline ordering. `None`
+    /// means available immediately.
+    ///
+    /// Honored by the stream entry points and the staged batch engine
+    /// (`solve_batch_staged`), which dispatch job by job. The plain
+    /// batch paths (`solve_batch` and friends) model a queue handed
+    /// over whole at t = 0 and ignore arrivals — stream jobs that
+    /// trickle in belong on the stream.
+    pub release_ms: Option<f64>,
 }
 
 impl Job {
@@ -103,6 +117,7 @@ impl Job {
             target_digits,
             priority: 0,
             deadline_ms: None,
+            release_ms: None,
         }
     }
 
@@ -116,6 +131,17 @@ impl Job {
     pub fn with_deadline_ms(mut self, deadline_ms: f64) -> Job {
         self.deadline_ms = Some(deadline_ms);
         self
+    }
+
+    /// Set a simulated arrival (release) time in ms.
+    pub fn with_release_ms(mut self, release_ms: f64) -> Job {
+        self.release_ms = Some(release_ms);
+        self
+    }
+
+    /// Simulated arrival time, ms (0 when unset: available at once).
+    pub fn release(&self) -> f64 {
+        self.release_ms.unwrap_or(0.0)
     }
 
     /// Rows `m`.

@@ -30,16 +30,34 @@
 //!    (corrector solves overtake speculative predictor solves) plus
 //!    policy selection.
 //! 4. **Device micro-batching** ([`microbatch`]) — the paper's small
-//!    systems underfill one GPU; [`solve_batch_fused`] and
-//!    [`solve_stream_fused`] fuse same-shaped jobs into batched launch
-//!    sequences sized at the occupancy sweet spot, booking one fused
-//!    profile per group instead of `k` singletons (40–60× predicted
-//!    per-job gain on 32–128-unknown d/dd shapes). Stream fusion takes
-//!    drain-order prefixes only, so priority/deadline ordering is
-//!    preserved; every member job keeps its own outcome, bit-identical
-//!    to the unfused path. Refinement passes stop adaptively once the
-//!    measured residual certifies the target, with the unused booked
-//!    time refunded to the pool ([`DevicePool::reconcile`]).
+//!    systems underfill one GPU; jobs sharing a shape key fuse into
+//!    batched launch sequences sized at the occupancy sweet spot,
+//!    booking one fused profile per group instead of `k` singletons
+//!    (40–60× predicted per-job gain on 32–128-unknown d/dd shapes).
+//!    Fusion is **on by default** in [`solve_batch`] and
+//!    [`solve_stream`]; [`MicrobatchConfig::off`] restores per-job
+//!    launches. Stream fusion takes drain-order prefixes only (shrunk
+//!    further when the front member's deadline is tight), so
+//!    priority/deadline ordering is preserved; every member job keeps
+//!    its own outcome, bit-identical to the unfused path. Refinement
+//!    passes stop adaptively once the measured residual certifies the
+//!    target, with the unused booked time refunded to the pool
+//!    ([`DevicePool::reconcile`]).
+//! 5. **Stage-level scheduling** ([`pool`] timelines,
+//!    [`StageSchedConfig`], [`solve_batch_staged`],
+//!    [`solve_stream_staged`]) — bookings are per *stage*, not per
+//!    plan, split into a prep lane (host overhead + PCIe) and a
+//!    compute lane (kernels + gaps) per device: the next job's
+//!    factorization prep books under the current job's
+//!    residual/correct passes (40%+ makespan cuts on refinement-heavy
+//!    mixes), SECT costs completion by previewing the booking on each
+//!    device's timeline, and adaptive early stops are **re-booked
+//!    online** ([`DevicePool::rebook_tail`]) so queued dispatches use
+//!    the freed time. The planner books its *expected* pass count and
+//!    the engine extends stalled jobs pass by pass until the measured
+//!    residual certifies the target ([`Job::release_ms`] models bursty
+//!    arrivals along the way). Booking modes move work through
+//!    simulated time only — bits stay identical across all of them.
 //!
 //! Policies and priorities move jobs across devices and through time;
 //! they never change numerics — every outcome stays bit-identical to
@@ -74,16 +92,24 @@ pub mod workload;
 
 pub use batch::{
     digits_from_residual, promoted_cache_stats, promoted_cache_warm_insert, solve_batch,
-    solve_batch_fused, solve_batch_fused_with, solve_batch_policy, solve_batch_with, solve_planned,
-    solve_planned_fused, solve_planned_traced, BatchReport, JobOutcome, PlannedSolve,
+    solve_batch_fused, solve_batch_fused_with, solve_batch_policy, solve_batch_staged,
+    solve_batch_with, solve_planned, solve_planned_fused, solve_planned_fused_with,
+    solve_planned_traced, solve_planned_traced_with, BatchReport, JobOutcome, PlannedSolve,
 };
 pub use job::{Job, Precision, Solution};
 pub use microbatch::{
-    dispatch_group, plan_groups, schedule_groups, GroupDispatch, MicrobatchConfig,
+    dispatch_group, dispatch_group_at, dispatch_group_staged, plan_groups, schedule_groups,
+    schedule_staged, GroupDispatch, MicrobatchConfig,
 };
 pub use plan::{ExecPlan, FusedProfile, PlannedStage, Stage};
 pub use planner::Planner;
-pub use pool::{DevicePool, DeviceStats, PoolDevice};
-pub use scheduler::{dispatch_one, schedule, Dispatch, DispatchPolicy, JobShape};
-pub use stream::{solve_stream, solve_stream_fused, solve_stream_with, BatchStream};
-pub use workload::{power_flow_jobs, tracker_jobs, workload_mix};
+pub use pool::{
+    DevicePool, DeviceStats, PoolDevice, StageBooking, StageInterval, StageRefund, StageReq,
+};
+pub use scheduler::{dispatch_one, schedule, Dispatch, DispatchPolicy, JobShape, StageSchedConfig};
+pub use stream::{
+    solve_stream, solve_stream_fused, solve_stream_staged, solve_stream_with, BatchStream,
+};
+pub use workload::{
+    bursty_tracker_jobs, power_flow_jobs, refinement_mix, tracker_jobs, workload_mix,
+};

@@ -30,8 +30,10 @@
 
 use crate::plan::{ExecPlan, FusedProfile};
 use crate::planner::Planner;
-use crate::pool::DevicePool;
-use crate::scheduler::{place_with, Dispatch, DispatchPolicy, JobShape};
+use crate::pool::{DevicePool, StageBooking};
+use crate::scheduler::{
+    place_by_end, place_release, Dispatch, DispatchPolicy, JobShape, StageSchedConfig,
+};
 
 /// Configuration of the micro-batcher.
 #[derive(Clone, Copy, Debug)]
@@ -52,6 +54,23 @@ impl Default for MicrobatchConfig {
             max_group: 64,
             tolerance: 0.05,
         }
+    }
+}
+
+impl MicrobatchConfig {
+    /// Fusion disabled: every job dispatches as a singleton group,
+    /// booked at its singleton price — the legacy-timing escape hatch
+    /// now that the default entry points fuse.
+    pub fn off() -> Self {
+        MicrobatchConfig {
+            max_group: 1,
+            tolerance: 0.0,
+        }
+    }
+
+    /// True when this configuration never fuses anything.
+    pub fn is_off(&self) -> bool {
+        self.max_group <= 1
     }
 }
 
@@ -79,6 +98,11 @@ pub struct GroupDispatch {
     /// Simulated completion of the whole group, ms (shared by every
     /// member — a fused sequence completes as a whole).
     pub end_ms: f64,
+    /// The stage-granular booking behind this dispatch, when it was
+    /// placed by a stage-level scheduler (`None` on the per-plan
+    /// paths). Carries the per-stage intervals online re-booking
+    /// rewinds.
+    pub booking: Option<StageBooking>,
 }
 
 impl GroupDispatch {
@@ -98,6 +122,18 @@ impl GroupDispatch {
             plan: d.plan,
             start_ms: d.start_ms,
             end_ms: d.end_ms,
+            booking: None,
+        }
+    }
+
+    /// Number of refinement passes this dispatch actually booked:
+    /// derived from the stage booking when one exists (expected-pass
+    /// booking books fewer stages than the plan holds), the plan's
+    /// structural count otherwise.
+    pub fn booked_passes(&self) -> usize {
+        match &self.booking {
+            Some(b) => (b.stages.len().saturating_sub(2)) / 2,
+            None => self.plan.corrections(),
         }
     }
 }
@@ -160,13 +196,32 @@ pub fn dispatch_group(
     shape: &JobShape,
     policy: DispatchPolicy,
 ) -> GroupDispatch {
+    dispatch_group_at(pool, planner, jobs, shape, policy, 0.0)
+}
+
+/// [`dispatch_group`] with a simulated release time: the group cannot
+/// start before `release_ms` (the latest member arrival), so SECT
+/// ranks devices by `max(clock, release) + fused cost` and the chosen
+/// device is held idle through the gap ([`DevicePool::hold_until`] —
+/// the clock advances, the busy aggregate does not).
+pub fn dispatch_group_at(
+    pool: &mut DevicePool,
+    planner: &Planner,
+    jobs: Vec<usize>,
+    shape: &JobShape,
+    policy: DispatchPolicy,
+    release_ms: f64,
+) -> GroupDispatch {
     assert!(!jobs.is_empty(), "a fused group needs at least one job");
     let k = jobs.len();
-    let (device, (plan, fused)) = place_with(pool, policy, |gpu| {
+    let (device, (plan, fused)) = place_release(pool, policy, release_ms, |gpu| {
         let priced = planner.plan_fused(gpu, shape.rows, shape.cols, shape.target_digits, k);
         let cost_ms = priced.1.predicted_ms;
         (priced, cost_ms)
     });
+    if release_ms > 0.0 {
+        pool.hold_until(device, release_ms);
+    }
     let (start_ms, end_ms) = pool.commit_group(
         device,
         fused.predicted_ms,
@@ -181,23 +236,77 @@ pub fn dispatch_group(
         fused,
         start_ms,
         end_ms,
+        booking: None,
     }
 }
 
-/// Schedule a whole batch as fused groups under `policy`: partition via
-/// [`plan_groups`], then dispatch group by group. Like the unfused
-/// batch scheduler, shortest-expected-completion places groups
-/// longest-first (LPT over the *fused* group cost on the pool's first
-/// device model — device-count-free, like the singleton sort key);
-/// least-loaded keeps submission order.
-pub fn schedule_groups(
+/// Dispatch one group with **stage-granular booking**: the group's
+/// stages (factor, initial correct, and the booked residual/correct
+/// passes — the planner's *expected* count under
+/// [`StageSchedConfig::book_expected`], the structural worst case
+/// otherwise) are booked as individual lane-split intervals on the
+/// chosen device's timeline ([`DevicePool::commit_stages`]). SECT
+/// costs completion by *previewing the booking on each device's
+/// timeline* instead of adding a composed total to the clock, so a
+/// device whose compute lane can hide this group's prep wins the
+/// placement it deserves. `release_ms` is the earliest admissible
+/// start (latest member arrival).
+pub fn dispatch_group_staged(
     pool: &mut DevicePool,
     planner: &Planner,
-    shapes: &[JobShape],
+    jobs: Vec<usize>,
+    shape: &JobShape,
     policy: DispatchPolicy,
-    cfg: &MicrobatchConfig,
-) -> Vec<GroupDispatch> {
-    let groups = plan_groups(planner, shapes, cfg);
+    sched: &StageSchedConfig,
+    release_ms: f64,
+) -> GroupDispatch {
+    assert!(!jobs.is_empty(), "a fused group needs at least one job");
+    let k = jobs.len();
+    let (device, (plan, fused, reqs)) = place_by_end(pool, policy, |d| {
+        let (plan, fused) =
+            planner.plan_fused(&d.gpu, shape.rows, shape.cols, shape.target_digits, k);
+        let passes = if sched.book_expected {
+            plan.expected_corrections
+        } else {
+            plan.corrections()
+        };
+        let reqs = fused.stage_reqs(ExecPlan::booked_stages(passes));
+        let end_ms = pool.preview_stages(d.id, &reqs, sched.overlap, release_ms);
+        ((plan, fused, reqs), end_ms)
+    });
+    let booking = pool.commit_stages(
+        device,
+        &reqs,
+        fused.predicted_kernel_ms,
+        fused.flops_paper,
+        k as u64,
+        sched.overlap,
+        release_ms,
+    );
+    GroupDispatch {
+        jobs,
+        device,
+        plan,
+        fused,
+        start_ms: booking.start_ms(),
+        end_ms: booking.end_ms(),
+        booking: Some(booking),
+    }
+}
+
+/// The placement order of a partitioned batch: under
+/// shortest-expected-completion, groups go longest-first (LPT over the
+/// *fused* group cost on the pool's first device model —
+/// device-count-free, like the singleton sort key); least-loaded keeps
+/// submission order. One definition shared by every batch scheduler,
+/// staged or not, so the A/B paths can never drift apart on ordering.
+pub(crate) fn placement_order(
+    pool: &DevicePool,
+    planner: &Planner,
+    shapes: &[JobShape],
+    groups: &[Vec<usize>],
+    policy: DispatchPolicy,
+) -> Vec<usize> {
     let mut order: Vec<usize> = (0..groups.len()).collect();
     if policy == DispatchPolicy::ShortestExpectedCompletion && !pool.is_empty() {
         let flops: Vec<f64> = groups
@@ -211,6 +320,21 @@ pub fn schedule_groups(
             .collect();
         order.sort_by(|&a, &b| flops[b].total_cmp(&flops[a]));
     }
+    order
+}
+
+/// Schedule a whole batch as fused groups under `policy`: partition via
+/// [`plan_groups`], order via the shared placement rule (LPT under
+/// SECT, submission order otherwise), then dispatch group by group.
+pub fn schedule_groups(
+    pool: &mut DevicePool,
+    planner: &Planner,
+    shapes: &[JobShape],
+    policy: DispatchPolicy,
+    cfg: &MicrobatchConfig,
+) -> Vec<GroupDispatch> {
+    let groups = plan_groups(planner, shapes, cfg);
+    let order = placement_order(pool, planner, shapes, &groups, policy);
     let mut dispatched: Vec<Option<GroupDispatch>> = Vec::new();
     dispatched.resize_with(groups.len(), || None);
     for &gi in &order {
@@ -221,6 +345,40 @@ pub fn schedule_groups(
             groups[gi].clone(),
             &shape,
             policy,
+        ));
+    }
+    dispatched.into_iter().map(|d| d.unwrap()).collect()
+}
+
+/// [`schedule_groups`] with **stage-granular booking**: the same
+/// partition and (for SECT) the same longest-first placement order,
+/// but every group books its stages as lane-split intervals through
+/// [`dispatch_group_staged`] — the model-level entry point of the
+/// stage-overlap A/B. With [`StageSchedConfig::sequential`] the
+/// schedule is timing-identical to [`schedule_groups`]; with overlap
+/// on, consecutive groups pipeline prep under compute.
+pub fn schedule_staged(
+    pool: &mut DevicePool,
+    planner: &Planner,
+    shapes: &[JobShape],
+    policy: DispatchPolicy,
+    cfg: &MicrobatchConfig,
+    sched: &StageSchedConfig,
+) -> Vec<GroupDispatch> {
+    let groups = plan_groups(planner, shapes, cfg);
+    let order = placement_order(pool, planner, shapes, &groups, policy);
+    let mut dispatched: Vec<Option<GroupDispatch>> = Vec::new();
+    dispatched.resize_with(groups.len(), || None);
+    for &gi in &order {
+        let shape = shapes[groups[gi][0]];
+        dispatched[gi] = Some(dispatch_group_staged(
+            pool,
+            planner,
+            groups[gi].clone(),
+            &shape,
+            policy,
+            sched,
+            0.0,
         ));
     }
     dispatched.into_iter().map(|d| d.unwrap()).collect()

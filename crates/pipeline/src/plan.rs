@@ -34,6 +34,7 @@ use gpusim::{ExecMode, Profile};
 use mdls_core::LstsqOptions;
 
 use crate::job::Precision;
+use crate::pool::StageReq;
 
 /// One step of an execution plan.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -151,6 +152,13 @@ pub struct ExecPlan {
     pub predicted_kernel_ms: f64,
     /// Composed Table 1 flops (device independent).
     pub flops_paper: f64,
+    /// Refinement passes the planner *expects* to run, under its
+    /// optimistic digits-per-pass posterior — at most
+    /// [`ExecPlan::corrections`], which stays the conservative
+    /// worst-case structure. Stage-level schedulers book only the
+    /// expected passes and re-book online when execution diverges;
+    /// per-plan booking keeps charging the worst case.
+    pub expected_corrections: usize,
 }
 
 impl ExecPlan {
@@ -169,14 +177,32 @@ impl ExecPlan {
         for s in &stages {
             total.absorb(&s.profile);
         }
-        ExecPlan {
+        let mut plan = ExecPlan {
             predicted_ms: total.wall_ms(),
             predicted_kernel_ms: total.all_kernels_ms(),
             flops_paper: total.total_flops_paper(),
             stages,
             target_digits,
             predicted_digits,
-        }
+            expected_corrections: 0,
+        };
+        // default to the structural count; the planner overrides with
+        // its posterior via `with_expected_corrections`
+        plan.expected_corrections = plan.corrections();
+        plan
+    }
+
+    /// Override the expected pass count (clamped to the structural
+    /// worst case) — set by the planner's digits-per-pass posterior.
+    pub fn with_expected_corrections(mut self, expected: usize) -> Self {
+        self.expected_corrections = expected.min(self.corrections());
+        self
+    }
+
+    /// Number of stages a scheduler books: the factor/initial-correct
+    /// pair plus `passes` residual/correct pairs.
+    pub fn booked_stages(passes: usize) -> usize {
+        2 + 2 * passes
     }
 
     /// The factorization rung and tiling `(rung, tiles, tile_size)`.
@@ -267,6 +293,11 @@ pub struct FusedProfile {
     /// index with the plan's `stages` — the refund table of adaptive
     /// early stops.
     pub stage_wall_ms: Vec<f64>,
+    /// Per-stage prep-lane share of `stage_wall_ms` (host overhead +
+    /// PCIe transfer), aligned index-for-index — what stage-granular
+    /// booking puts on the prep lane so the next job's factorization
+    /// prep can hide under this group's kernels.
+    pub stage_host_ms: Vec<f64>,
 }
 
 impl FusedProfile {
@@ -281,12 +312,54 @@ impl FusedProfile {
             predicted_kernel_ms: plan.predicted_kernel_ms,
             flops_paper: plan.flops_paper,
             stage_wall_ms: plan.stages.iter().map(|s| s.wall_ms()).collect(),
+            stage_host_ms: plan
+                .stages
+                .iter()
+                .map(|s| s.profile.host_ms + s.profile.transfer_ms)
+                .collect(),
         }
     }
 
     /// Booked wall clock per member job, ms.
     pub fn per_job_ms(&self) -> f64 {
         self.predicted_ms / self.group as f64
+    }
+
+    /// Lane-split booking requests of stages `..upto` — what a
+    /// stage-granular dispatch hands to
+    /// [`crate::pool::DevicePool::commit_stages`].
+    ///
+    /// Only the *first* stage's host overhead and transfers go on the
+    /// prep lane: that is the per-dispatch prep (promotion, pinned
+    /// staging, the system upload) a service genuinely runs ahead of
+    /// time while the device still computes the previous job. Every
+    /// later stage's transfers are mid-launch-sequence moves of the
+    /// iterate, synchronous with the kernel stream — they book on the
+    /// compute lane with their kernels.
+    pub fn stage_reqs(&self, upto: usize) -> Vec<StageReq> {
+        let upto = upto.min(self.stage_wall_ms.len());
+        (0..upto)
+            .map(|i| {
+                let host = if i == 0 { self.stage_host_ms[i] } else { 0.0 };
+                StageReq::split(self.stage_wall_ms[i], host)
+            })
+            .collect()
+    }
+
+    /// Booking request of one extra residual/correct pass beyond the
+    /// plan's stage list — priced as the *last* booked pair (every pass
+    /// after the first residual costs the same; the first also carries
+    /// the system upload), for online pass extension when conditioning
+    /// stalls the residual above target. Pure compute-lane work, like
+    /// every mid-sequence stage.
+    pub fn extension_reqs(&self) -> Vec<StageReq> {
+        let n = self.stage_wall_ms.len();
+        if n < 4 {
+            return Vec::new(); // direct plans have no pass to replay
+        }
+        (n - 2..n)
+            .map(|i| StageReq::split(self.stage_wall_ms[i], 0.0))
+            .collect()
     }
 
     /// One member job's booked share of every stage from index
@@ -389,12 +462,23 @@ mod tests {
             predicted_kernel_ms: 32.0,
             flops_paper: 400.0,
             stage_wall_ms: vec![20.0, 8.0, 8.0, 4.0],
+            stage_host_ms: vec![12.0, 1.0, 2.0, 1.0],
         };
         assert_eq!(f.per_job_ms(), 10.0);
         // skipping the last residual/correct pair refunds its share
         assert_eq!(f.per_job_tail_ms(2), 3.0);
         assert_eq!(f.per_job_tail_ms(4), 0.0);
         assert_eq!(f.per_job_tail_ms(99), 0.0);
+        // lane-split requests line up with the walls
+        let reqs = f.stage_reqs(4);
+        assert_eq!(reqs.len(), 4);
+        assert_eq!(reqs[0].host_ms, 12.0);
+        assert_eq!(reqs[0].device_ms, 8.0);
+        // an extension pass replays the last residual/correct pair
+        let ext = f.extension_reqs();
+        assert_eq!(ext.len(), 2);
+        assert_eq!(ext[0].wall_ms(), 8.0);
+        assert_eq!(ext[1].wall_ms(), 4.0);
     }
 
     #[test]

@@ -101,9 +101,18 @@ fn device_fingerprint(gpu: &Gpu) -> u64 {
 type TilingMemo = HashMap<(usize, usize, Precision), (usize, usize)>;
 
 /// A plan structure chosen on the reference model: the stage sequence
-/// (profiles not yet priced for any particular device) plus the digits
-/// the accuracy model credits it.
-type Strategy = (Vec<Stage>, u32);
+/// (profiles not yet priced for any particular device), the digits the
+/// accuracy model credits it, and the passes the optimistic posterior
+/// expects execution to actually run (≤ the structural pass count).
+type Strategy = (Vec<Stage>, u32, usize);
+
+/// Optimistic digits-per-pass headroom of the expected-pass posterior:
+/// the conservative accuracy model credits a rung a couple of digits
+/// under its unit roundoff per pass; measured passes on well-behaved
+/// systems land near the roundoff. Booking against the optimistic
+/// estimate and re-booking online when execution diverges beats
+/// booking the worst case and refunding after the fact.
+const EXPECTED_DIGITS_SLACK: u32 = 2;
 
 /// Memo key of a fused-priced plan: the singleton plan key plus the
 /// fused-group size.
@@ -305,9 +314,10 @@ impl Planner {
         // entry. (When `gpu` is the reference model the winning
         // structure gets priced twice — once inside the search, once
         // here; both memo layers make that a one-time cost per key.)
-        let (stages, digits) = self.strategy(rows, cols, target_digits, direct_only);
+        let (stages, digits, expected) = self.strategy(rows, cols, target_digits, direct_only);
         let planned = self.price(gpu, rows, cols, &stages);
-        let plan = ExecPlan::from_stages(planned, target_digits, digits);
+        let plan = ExecPlan::from_stages(planned, target_digits, digits)
+            .with_expected_corrections(expected);
         self.cache
             .lock()
             .unwrap()
@@ -390,10 +400,10 @@ impl Planner {
         }
         let target_rung = Precision::for_digits(target_digits);
         let mut best: Option<(f64, Strategy)> = None;
-        let mut consider = |this: &Planner, stages: Vec<Stage>, digits: u32| {
+        let mut consider = |this: &Planner, stages: Vec<Stage>, digits: u32, expected: usize| {
             let ms = this.reference_wall_ms(rows, cols, &stages);
             if best.as_ref().map(|(b, _)| ms < *b).unwrap_or(true) {
-                best = Some((ms, (stages, digits)));
+                best = Some((ms, (stages, digits, expected)));
             }
         };
 
@@ -413,7 +423,7 @@ impl Planner {
                     tile_size,
                 },
             ];
-            consider(self, stages, rung.digits());
+            consider(self, stages, rung.digits(), 0);
         }
 
         // refinement candidates: factor below the target rung, iterate
@@ -444,7 +454,16 @@ impl Planner {
                     stages.push(correct);
                 }
                 let digits = ((passes as u32 + 1) * per_pass).min(cap);
-                consider(self, stages, digits);
+                // the expected pass count under the optimistic
+                // posterior: slightly more digits per pass, residual
+                // rung allowed its own slack — what a stage scheduler
+                // books, with online re-booking absorbing the variance
+                let opt = per_pass + EXPECTED_DIGITS_SLACK;
+                let opt_cap = cap + EXPECTED_DIGITS_SLACK;
+                let expected = (1..=passes)
+                    .find(|k| ((*k as u32 + 1) * opt).min(opt_cap) >= target_digits)
+                    .unwrap_or(passes);
+                consider(self, stages, digits, expected);
             }
         }
 
@@ -596,7 +615,33 @@ impl Planner {
             predicted_kernel_ms: total.all_kernels_ms(),
             flops_paper: total.total_flops_paper(),
             stage_wall_ms: profiles.iter().map(|p| p.wall_ms()).collect(),
+            stage_host_ms: profiles.iter().map(|p| p.host_ms + p.transfer_ms).collect(),
         }
+    }
+
+    /// Deadline-aware cap on a fused-group size: the largest `k ≤
+    /// preferred` whose whole-group fused wall clock on the reference
+    /// model fits inside `slack_ms` (a fused group completes as a
+    /// whole, so a tight front-member deadline must shrink the group it
+    /// waits for). Always at least 1 — an unmeetable deadline still
+    /// dispatches the front job alone rather than holding it.
+    pub fn deadline_group_cap(
+        &self,
+        rows: usize,
+        cols: usize,
+        target_digits: u32,
+        preferred: usize,
+        slack_ms: f64,
+    ) -> usize {
+        let mut k = preferred.max(1);
+        while k > 1 {
+            let (_, fused) = self.plan_fused(&self.reference, rows, cols, target_digits, k);
+            if fused.predicted_ms <= slack_ms {
+                break;
+            }
+            k -= 1;
+        }
+        k
     }
 
     /// The occupancy-aware preferred fused-group size for a job shape:
@@ -630,7 +675,7 @@ impl Planner {
             [1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256];
         let mut candidates: Vec<usize> = CANDIDATES.iter().copied().filter(|&k| k < cap).collect();
         candidates.push(cap);
-        let (stages, _) = self.strategy(rows, cols, target_digits, false);
+        let (stages, _, _) = self.strategy(rows, cols, target_digits, false);
         let per_job: Vec<f64> = candidates
             .iter()
             .map(|&k| {

@@ -7,8 +7,125 @@
 //! device's clock by the solve's modeled wall clock; the batch makespan
 //! is the maximum clock over the pool, and throughput is solves per
 //! simulated second of makespan.
+//!
+//! ## Stage-granular timelines
+//!
+//! A booking is no longer one opaque interval: [`DevicePool::commit_stages`]
+//! books each stage of a staged plan as its own interval, split into
+//! two *lanes* per device —
+//!
+//! * the **prep lane** (host-side overhead + PCIe transfers of a launch
+//!   sequence: promotion, pinned-buffer staging, uploads), and
+//! * the **compute lane** (kernel time + launch gaps).
+//!
+//! Within one stage the prep part completes before the compute part
+//! starts (a stage's uploads feed its kernels), and a job's stages run
+//! in order. *Across* jobs the lanes are independent: with overlap
+//! enabled, the next job's factorization prep books under the current
+//! job's residual/correct device passes — the standard async
+//! copy/compute pipelining every CUDA service does with streams and
+//! pinned staging buffers. Overlap changes *when* work is clocked,
+//! never what arithmetic runs, so solutions stay bit-identical to
+//! sequential booking.
+//!
+//! Stage bookings can also be handed back *online*:
+//! [`DevicePool::rebook_tail`] rewinds the lane cursors over a
+//! booking's unexecuted tail stages (an adaptive refinement that
+//! certified early), so the freed time is visible to every later
+//! dispatch — unlike the busy-only [`DevicePool::reconcile`], which
+//! fixes the utilization books but leaves the schedule untouched.
 
 use gpusim::Gpu;
+
+/// Booking request of one planned stage, split by lane: the host-side
+/// prep (fixed host overhead + PCIe transfer) and the device-side
+/// execution (kernel time + launch gaps).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageReq {
+    /// Prep-lane time, ms (host overhead + transfers).
+    pub host_ms: f64,
+    /// Compute-lane time, ms (kernels + launch gaps).
+    pub device_ms: f64,
+}
+
+impl StageReq {
+    /// A stage whose lane split is unknown (fused stage walls): treat
+    /// `host_ms` of the total as prep and the rest as compute.
+    pub fn split(wall_ms: f64, host_ms: f64) -> StageReq {
+        let host = host_ms.clamp(0.0, wall_ms);
+        StageReq {
+            host_ms: host,
+            device_ms: wall_ms - host,
+        }
+    }
+
+    /// Total booked wall clock of this stage, ms.
+    pub fn wall_ms(&self) -> f64 {
+        self.host_ms + self.device_ms
+    }
+}
+
+/// One stage's booked intervals on a device timeline.
+#[derive(Clone, Copy, Debug)]
+pub struct StageInterval {
+    /// Prep-lane interval `(start, end)`, ms.
+    pub host: (f64, f64),
+    /// Compute-lane interval `(start, end)`, ms; starts no earlier than
+    /// the prep interval ends.
+    pub device: (f64, f64),
+}
+
+impl StageInterval {
+    /// Earliest simulated time of this stage.
+    pub fn start_ms(&self) -> f64 {
+        self.host.0.min(self.device.0)
+    }
+
+    /// Completion time of this stage.
+    pub fn end_ms(&self) -> f64 {
+        self.device.1
+    }
+
+    /// Booked wall clock across both lanes, ms.
+    pub fn wall_ms(&self) -> f64 {
+        (self.host.1 - self.host.0) + (self.device.1 - self.device.0)
+    }
+}
+
+/// A stage-granular booking: one interval pair per booked stage, in
+/// stage order. Returned by [`DevicePool::commit_stages`]; handed back
+/// to [`DevicePool::rebook_tail`] when execution stops early.
+#[derive(Clone, Debug)]
+pub struct StageBooking {
+    /// Pool id of the booked device.
+    pub device: usize,
+    /// Per-stage intervals, aligned with the booked stage requests.
+    pub stages: Vec<StageInterval>,
+}
+
+impl StageBooking {
+    /// Simulated start of the first booked stage, ms.
+    pub fn start_ms(&self) -> f64 {
+        self.stages.first().map(|s| s.start_ms()).unwrap_or(0.0)
+    }
+
+    /// Simulated completion of the last booked stage, ms.
+    pub fn end_ms(&self) -> f64 {
+        self.stages.last().map(|s| s.end_ms()).unwrap_or(0.0)
+    }
+}
+
+/// Outcome of an online re-booking: how much booked time was unwound
+/// from the schedule vs merely written off the utilization books.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageRefund {
+    /// Booked time removed from the lane cursors, ms — later dispatches
+    /// book into it.
+    pub freed_ms: f64,
+    /// Booked-but-unexecuted time written off the busy aggregate, ms
+    /// (includes `freed_ms`).
+    pub refunded_ms: f64,
+}
 
 /// One pooled device and its running aggregates.
 #[derive(Clone, Debug)]
@@ -18,7 +135,10 @@ pub struct PoolDevice {
     /// The device model (cloned into the pool, so heterogeneous pools
     /// may mix V100s, A100s, …).
     pub gpu: Gpu,
-    busy_until_ms: f64,
+    /// Prep-lane cursor: end of the last booked host/transfer work, ms.
+    host_until_ms: f64,
+    /// Compute-lane cursor: end of the last booked device work, ms.
+    device_until_ms: f64,
     /// Accumulated solve time, ms. Distinct from the clock: holding a
     /// device idle (a gap before a delayed job) advances the clock but
     /// not the busy aggregate, so utilization stays honest.
@@ -32,9 +152,10 @@ pub struct PoolDevice {
 }
 
 impl PoolDevice {
-    /// Simulated time at which this device becomes idle.
+    /// Simulated time at which this device becomes idle: the latest end
+    /// over both lanes.
     pub fn clock_ms(&self) -> f64 {
-        self.busy_until_ms
+        self.host_until_ms.max(self.device_until_ms)
     }
 
     /// Simulated time this device spent solving, ms — excludes idle
@@ -67,6 +188,9 @@ pub struct DeviceStats {
     /// Simulated busy time, ms.
     pub busy_ms: f64,
     /// Busy fraction of the batch makespan (occupancy of the device).
+    /// Counts both lanes' booked time, so a stage-overlapped schedule —
+    /// prep of one job hiding under another's kernels — can honestly
+    /// report above 1.
     pub utilization: f64,
     /// Kernel-time gigaflops under the paper's reporting convention.
     pub kernel_gflops: f64,
@@ -93,7 +217,8 @@ impl DevicePool {
                 .map(|(id, gpu)| PoolDevice {
                     id,
                     gpu,
-                    busy_until_ms: 0.0,
+                    host_until_ms: 0.0,
+                    device_until_ms: 0.0,
                     busy_ms: 0.0,
                     refunded_ms: 0.0,
                     solves: 0,
@@ -135,13 +260,20 @@ impl DevicePool {
         assert!(!self.devices.is_empty(), "empty device pool");
         self.devices
             .iter()
-            .min_by(|a, b| {
-                a.busy_until_ms
-                    .total_cmp(&b.busy_until_ms)
-                    .then(a.id.cmp(&b.id))
-            })
+            .min_by(|a, b| a.clock_ms().total_cmp(&b.clock_ms()).then(a.id.cmp(&b.id)))
             .unwrap()
             .id
+    }
+
+    /// Earliest clock over the pool, ms — the soonest any device could
+    /// start new work (the deadline-slack reference of the stream's
+    /// fused-group cap).
+    pub fn min_clock_ms(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(|d| d.clock_ms())
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::MAX)
     }
 
     /// Commit one solve to device `id`: advance its clock by `wall_ms`
@@ -172,13 +304,166 @@ impl DevicePool {
         solves: u64,
     ) -> (f64, f64) {
         let d = &mut self.devices[id];
-        let start = d.busy_until_ms;
-        d.busy_until_ms += wall_ms;
+        let start = d.clock_ms();
+        let end = start + wall_ms;
+        // a composed (per-plan) booking occupies both lanes exclusively
+        d.host_until_ms = end;
+        d.device_until_ms = end;
         d.busy_ms += wall_ms;
         d.solves += solves;
         d.kernel_ms += kernel_ms;
         d.flops_paper += flops_paper;
-        (start, d.busy_until_ms)
+        (start, end)
+    }
+
+    /// Lay `reqs` onto lane cursors `(host, device)` starting no earlier
+    /// than `not_before`: each stage's prep books at the prep cursor
+    /// (after the previous stage completes), its compute after its own
+    /// prep and the compute cursor. `overlap = false` collapses both
+    /// lanes into one cursor — stage intervals then tile the same
+    /// single contiguous interval a composed [`DevicePool::commit`]
+    /// would book.
+    fn lay_stages(
+        mut host: f64,
+        mut device: f64,
+        reqs: &[StageReq],
+        overlap: bool,
+        not_before: f64,
+    ) -> (Vec<StageInterval>, f64, f64) {
+        if !overlap {
+            let cur = host.max(device);
+            host = cur;
+            device = cur;
+        }
+        let mut prev_end = not_before;
+        let stages = reqs
+            .iter()
+            .map(|r| {
+                if !overlap {
+                    host = host.max(device);
+                }
+                let hs = host.max(prev_end);
+                let he = hs + r.host_ms;
+                let ds = device.max(he);
+                let de = ds + r.device_ms;
+                // a zero-width lane part never advances its cursor —
+                // a stage with no prep must not push the prep lane past
+                // work that could still hide under earlier compute
+                if r.host_ms > 0.0 {
+                    host = he;
+                }
+                if r.device_ms > 0.0 {
+                    device = de;
+                }
+                prev_end = de;
+                StageInterval {
+                    host: (hs, he),
+                    device: (ds, de),
+                }
+            })
+            .collect();
+        (stages, host, device)
+    }
+
+    /// Preview the completion time of booking `reqs` on device `id`
+    /// without committing anything — the stage-timeline cost the SECT
+    /// policy ranks devices by.
+    pub fn preview_stages(
+        &self,
+        id: usize,
+        reqs: &[StageReq],
+        overlap: bool,
+        not_before: f64,
+    ) -> f64 {
+        let d = &self.devices[id];
+        let (stages, _, _) = DevicePool::lay_stages(
+            d.host_until_ms,
+            d.device_until_ms,
+            reqs,
+            overlap,
+            not_before,
+        );
+        stages.last().map(|s| s.end_ms()).unwrap_or(d.clock_ms())
+    }
+
+    /// Book `reqs` stage by stage onto device `id`'s timeline (see the
+    /// module docs for the lane model), counting `solves` member solves
+    /// and folding `kernel_ms`/`flops_paper` into the aggregates once
+    /// for the whole booking. `not_before` is the earliest admissible
+    /// start (a job's simulated release time); `overlap = false` books
+    /// the same contiguous interval a composed commit would.
+    ///
+    /// The busy aggregate counts every lane's booked time, so a device
+    /// whose prep lane hides under its compute lane can report
+    /// utilization above 1 — both lanes really are doing work.
+    pub fn commit_stages(
+        &mut self,
+        id: usize,
+        reqs: &[StageReq],
+        kernel_ms: f64,
+        flops_paper: f64,
+        solves: u64,
+        overlap: bool,
+        not_before: f64,
+    ) -> StageBooking {
+        let d = &mut self.devices[id];
+        let (stages, host, device) = DevicePool::lay_stages(
+            d.host_until_ms,
+            d.device_until_ms,
+            reqs,
+            overlap,
+            not_before,
+        );
+        d.host_until_ms = host;
+        d.device_until_ms = device;
+        d.busy_ms += reqs.iter().map(|r| r.wall_ms()).sum::<f64>();
+        d.solves += solves;
+        d.kernel_ms += kernel_ms;
+        d.flops_paper += flops_paper;
+        StageBooking { device: id, stages }
+    }
+
+    /// Hand back a booking's tail *online*: stages `from_stage..` were
+    /// never executed (the adaptive stop certified early), so rewind
+    /// the lane cursors over their intervals wherever they are still
+    /// the lane tails — later dispatches then book into the freed time,
+    /// which is what distinguishes re-booking from the busy-only
+    /// [`DevicePool::reconcile`]. The whole skipped tail is written off
+    /// the busy aggregate either way; only the part that was still the
+    /// timeline tail is actually freed (an interval another booking
+    /// already landed behind cannot be unwound from a cursor timeline).
+    ///
+    /// Settle each booking **at most once**: the pool keeps no record
+    /// of which bookings were already handed back, so a repeated call
+    /// over the same stages writes their busy time off again (the
+    /// cursor rewinds themselves are safely skipped). The staged
+    /// engines settle every dispatch exactly once, right after its
+    /// execution.
+    pub fn rebook_tail(&mut self, booking: &StageBooking, from_stage: usize) -> StageRefund {
+        let d = &mut self.devices[booking.device];
+        let mut refund = StageRefund::default();
+        let from = from_stage.min(booking.stages.len());
+        let mut host_tail = true;
+        let mut device_tail = true;
+        for s in booking.stages[from..].iter().rev() {
+            refund.refunded_ms += s.wall_ms();
+            if device_tail && d.device_until_ms == s.device.1 {
+                d.device_until_ms = s.device.0;
+                refund.freed_ms += s.device.1 - s.device.0;
+            } else {
+                device_tail = false;
+            }
+            if host_tail && d.host_until_ms == s.host.1 {
+                d.host_until_ms = s.host.0;
+                refund.freed_ms += s.host.1 - s.host.0;
+            } else {
+                host_tail = false;
+            }
+        }
+        let r = refund.refunded_ms.min(d.busy_ms);
+        d.busy_ms -= r;
+        d.refunded_ms += r;
+        refund
     }
 
     /// Hand back booked-but-unused time on device `id`: an adaptive
@@ -201,14 +486,15 @@ impl DevicePool {
     /// deadline-held job.
     pub fn hold_until(&mut self, id: usize, until_ms: f64) {
         let d = &mut self.devices[id];
-        d.busy_until_ms = d.busy_until_ms.max(until_ms);
+        d.host_until_ms = d.host_until_ms.max(until_ms);
+        d.device_until_ms = d.device_until_ms.max(until_ms);
     }
 
     /// Batch makespan: the latest clock over the pool, ms.
     pub fn makespan_ms(&self) -> f64 {
         self.devices
             .iter()
-            .map(|d| d.busy_until_ms)
+            .map(|d| d.clock_ms())
             .fold(0.0, f64::max)
     }
 
@@ -229,7 +515,8 @@ impl DevicePool {
     /// Zero all clocks and aggregates (reuse the pool for a new batch).
     pub fn reset(&mut self) {
         for d in &mut self.devices {
-            d.busy_until_ms = 0.0;
+            d.host_until_ms = 0.0;
+            d.device_until_ms = 0.0;
             d.busy_ms = 0.0;
             d.refunded_ms = 0.0;
             d.solves = 0;
@@ -368,5 +655,122 @@ mod tests {
         let pool = DevicePool::new(vec![Gpu::v100(), Gpu::a100(), Gpu::p100()]);
         assert_eq!(pool.gpu(1).name, "A100");
         assert_eq!(pool.devices()[2].gpu.name, "P100");
+    }
+
+    fn req(host: f64, device: f64) -> StageReq {
+        StageReq {
+            host_ms: host,
+            device_ms: device,
+        }
+    }
+
+    #[test]
+    fn sequential_stage_booking_matches_composed_commit() {
+        // overlap off: stage intervals tile the exact interval one
+        // composed commit would book — per-plan and stage-granular
+        // sequential bookings are timing-identical
+        let reqs = [req(12.0, 2.0), req(0.0, 0.5), req(0.1, 0.4)];
+        let wall: f64 = reqs.iter().map(|r| r.wall_ms()).sum();
+        let mut a = DevicePool::homogeneous(&Gpu::v100(), 1);
+        a.commit(0, wall, 0.0, 0.0);
+        let mut b = DevicePool::homogeneous(&Gpu::v100(), 1);
+        let booking = b.commit_stages(0, &reqs, 0.0, 0.0, 1, false, 0.0);
+        assert_eq!(booking.start_ms(), 0.0);
+        assert!((booking.end_ms() - wall).abs() < 1e-12);
+        assert!((a.makespan_ms() - b.makespan_ms()).abs() < 1e-12);
+        assert_eq!(a.devices()[0].busy_ms(), b.devices()[0].busy_ms());
+        // stages are contiguous
+        let mut clock = 0.0;
+        for s in &booking.stages {
+            assert_eq!(s.start_ms(), clock);
+            clock = s.end_ms();
+        }
+    }
+
+    #[test]
+    fn overlapped_booking_hides_prep_under_compute() {
+        // job A: long factor (prep 12 + compute 2) and a device-only
+        // tail; job B books after it with overlap — B's prep lane runs
+        // while A still computes, so B finishes well before the
+        // sequential 2x cadence
+        let reqs = [req(12.0, 2.0), req(0.0, 1.0)];
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+        let a = pool.commit_stages(0, &reqs, 0.0, 0.0, 1, true, 0.0);
+        assert_eq!(a.end_ms(), 15.0);
+        let b = pool.commit_stages(0, &reqs, 0.0, 0.0, 1, true, 0.0);
+        // B's prep starts at A's prep end (12), ends 24; B's compute
+        // waits for its own prep (24) and A's compute lane (15) → 24–26
+        assert_eq!(b.stages[0].host, (12.0, 24.0));
+        assert_eq!(b.stages[0].device, (24.0, 26.0));
+        assert_eq!(b.end_ms(), 27.0);
+        // sequential booking of the same pair would end at 30
+        let mut seq = DevicePool::homogeneous(&Gpu::v100(), 1);
+        seq.commit_stages(0, &reqs, 0.0, 0.0, 1, false, 0.0);
+        let s = seq.commit_stages(0, &reqs, 0.0, 0.0, 1, false, 0.0);
+        assert_eq!(s.end_ms(), 30.0);
+        assert!(pool.makespan_ms() < seq.makespan_ms());
+        // preview agrees with what a commit would have produced
+        let mut p = DevicePool::homogeneous(&Gpu::v100(), 1);
+        p.commit_stages(0, &reqs, 0.0, 0.0, 1, true, 0.0);
+        assert_eq!(p.preview_stages(0, &reqs, true, 0.0), 27.0);
+    }
+
+    #[test]
+    fn release_time_delays_a_stage_booking() {
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+        let b = pool.commit_stages(0, &[req(1.0, 2.0)], 0.0, 0.0, 1, true, 10.0);
+        assert_eq!(b.start_ms(), 10.0);
+        assert_eq!(b.end_ms(), 13.0);
+        assert_eq!(pool.makespan_ms(), 13.0);
+        // the idle gap before the release is not busy time
+        assert_eq!(pool.devices()[0].busy_ms(), 3.0);
+    }
+
+    #[test]
+    fn rebook_tail_frees_the_schedule_online() {
+        // book factor + correct + 2 residual/correct pairs; execution
+        // stops after the first pair → the tail rewinds off the lane
+        // cursors and the next booking starts earlier
+        let reqs = [
+            req(12.0, 2.0),
+            req(0.0, 0.5),
+            req(0.2, 0.4),
+            req(0.0, 0.5),
+            req(0.2, 0.4),
+            req(0.0, 0.5),
+        ];
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+        let booking = pool.commit_stages(0, &reqs, 0.0, 0.0, 1, true, 0.0);
+        let booked_end = booking.end_ms();
+        let refund = pool.rebook_tail(&booking, 4);
+        let skipped: f64 = reqs[4..].iter().map(|r| r.wall_ms()).sum();
+        assert!((refund.refunded_ms - skipped).abs() < 1e-12);
+        assert!(refund.freed_ms > 0.0);
+        assert!(pool.makespan_ms() < booked_end);
+        assert_eq!(pool.devices()[0].refunded_ms(), refund.refunded_ms);
+        // the next dispatch books into the freed tail
+        let next = pool.commit_stages(0, &[req(0.0, 1.0)], 0.0, 0.0, 1, true, 0.0);
+        assert!(next.start_ms() < booked_end);
+        // settling past the end of the booking refunds nothing (note:
+        // re-settling the *same* stage range would write its busy time
+        // off twice — the API contract is one settle per booking)
+        let again = pool.rebook_tail(&booking, 6);
+        assert_eq!(again.refunded_ms, 0.0);
+    }
+
+    #[test]
+    fn rebook_tail_only_frees_what_is_still_the_tail() {
+        let reqs = [req(2.0, 2.0), req(0.0, 1.0)];
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+        let first = pool.commit_stages(0, &reqs, 0.0, 0.0, 1, false, 0.0);
+        // a later booking lands behind the tail: the tail cannot be
+        // unwound, but the busy write-off still happens
+        pool.commit_stages(0, &[req(0.0, 1.0)], 0.0, 0.0, 1, false, 0.0);
+        let clock = pool.makespan_ms();
+        let refund = pool.rebook_tail(&first, 1);
+        assert_eq!(refund.freed_ms, 0.0);
+        assert_eq!(refund.refunded_ms, 1.0);
+        assert_eq!(pool.makespan_ms(), clock);
+        assert_eq!(pool.devices()[0].busy_ms(), 6.0 - 1.0);
     }
 }

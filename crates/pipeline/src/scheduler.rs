@@ -60,6 +60,80 @@ impl DispatchPolicy {
     }
 }
 
+/// How stage-granular scheduling books, overlaps and re-books plan
+/// stages on the pool's timelines. The default ([`StageSchedConfig::staged`])
+/// turns everything on; [`StageSchedConfig::sequential`] books the same
+/// stage intervals contiguously — timing-identical to per-plan booking,
+/// the A/B control. None of these knobs ever changes which arithmetic
+/// runs for a *booked* pass: overlap and re-booking move work through
+/// simulated time only. `max_extra_passes` is the one exception by
+/// design — it lets a stalled refinement run extra passes past its
+/// plan, and must therefore match across runs being compared for bit
+/// identity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StageSchedConfig {
+    /// Book each stage's prep (host + transfer) and compute (kernels +
+    /// gaps) on independent per-device lanes, letting the next job's
+    /// factorization prep hide under the current job's device work.
+    pub overlap: bool,
+    /// Re-book online: when adaptive refinement certifies early, rewind
+    /// the unexecuted tail off the lane cursors
+    /// ([`DevicePool::rebook_tail`]) so queued dispatches book into the
+    /// freed time, instead of only writing the tail off the busy books.
+    pub rebook: bool,
+    /// Book the planner's *expected* pass count instead of the
+    /// structural worst case; execution divergence is absorbed by
+    /// re-booking (shrink) or extension (grow).
+    pub book_expected: bool,
+    /// Extra residual/correct passes a stalled job may run past its
+    /// plan when the measured residual is still improving but has not
+    /// certified the target (0 = legacy stop-at-plan behavior).
+    pub max_extra_passes: usize,
+}
+
+impl StageSchedConfig {
+    /// Everything on: overlapped lanes, expected-pass booking, online
+    /// re-booking, and pass extension for stalled jobs.
+    pub fn staged() -> Self {
+        StageSchedConfig {
+            overlap: true,
+            rebook: true,
+            book_expected: true,
+            max_extra_passes: 4,
+        }
+    }
+
+    /// Stage overlap only — worst-case booking, no re-booking, no
+    /// extension. Isolates the cross-job overlap win in A/Bs, with
+    /// execution semantics identical to the per-plan path.
+    pub fn overlap_only() -> Self {
+        StageSchedConfig {
+            overlap: true,
+            rebook: false,
+            book_expected: false,
+            max_extra_passes: 0,
+        }
+    }
+
+    /// Contiguous stage booking: timing-identical to per-plan booking
+    /// (the stage intervals tile the same composed interval) — the
+    /// baseline every staged schedule is compared against.
+    pub fn sequential() -> Self {
+        StageSchedConfig {
+            overlap: false,
+            rebook: false,
+            book_expected: false,
+            max_extra_passes: 0,
+        }
+    }
+}
+
+impl Default for StageSchedConfig {
+    fn default() -> Self {
+        StageSchedConfig::staged()
+    }
+}
+
 /// The scheduling-relevant part of a job: its shape and accuracy target.
 /// Equality/hashing make it the fusion key of the micro-batcher: jobs
 /// sharing a `JobShape` share a plan structure and may fuse into one
@@ -115,6 +189,20 @@ pub(crate) fn place_with<T>(
     policy: DispatchPolicy,
     price: impl Fn(&gpusim::Gpu) -> (T, f64),
 ) -> (usize, T) {
+    place_release(pool, policy, 0.0, price)
+}
+
+/// [`place_with`] with a simulated release time: the job cannot start
+/// before `release_ms`, so shortest-expected-completion ranks devices
+/// by `max(clock, release) + cost` — an idle device that must wait for
+/// the release no longer beats a busy one that would start (and
+/// finish) right after it.
+pub(crate) fn place_release<T>(
+    pool: &DevicePool,
+    policy: DispatchPolicy,
+    release_ms: f64,
+    price: impl Fn(&gpusim::Gpu) -> (T, f64),
+) -> (usize, T) {
     match policy {
         DispatchPolicy::LeastLoaded => {
             let device = pool.least_loaded();
@@ -127,12 +215,43 @@ pub(crate) fn place_with<T>(
                 .iter()
                 .map(|d| {
                     let (payload, cost_ms) = price(&d.gpu);
-                    (d.clock_ms() + cost_ms, d.id, payload)
+                    (d.clock_ms().max(release_ms) + cost_ms, d.id, payload)
                 })
                 .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
                 .map(|(_, id, payload)| (id, payload))
                 .unwrap()
         }
+    }
+}
+
+/// Device selection against the *stage timeline*: `end` previews the
+/// completion time of the candidate booking on each device (lane
+/// cursors, overlap, release — whatever the caller encodes), and SECT
+/// commits where that end is minimal, ties to the lowest id. The
+/// least-loaded rule keeps its earliest-idle-clock choice so the two
+/// policies stay comparable across booking modes.
+pub(crate) fn place_by_end<T>(
+    pool: &DevicePool,
+    policy: DispatchPolicy,
+    end: impl Fn(&crate::pool::PoolDevice) -> (T, f64),
+) -> (usize, T) {
+    assert!(!pool.is_empty(), "empty device pool");
+    match policy {
+        DispatchPolicy::LeastLoaded => {
+            let device = pool.least_loaded();
+            let (payload, _) = end(&pool.devices()[device]);
+            (device, payload)
+        }
+        DispatchPolicy::ShortestExpectedCompletion => pool
+            .devices()
+            .iter()
+            .map(|d| {
+                let (payload, end_ms) = end(d);
+                (end_ms, d.id, payload)
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+            .map(|(_, id, payload)| (id, payload))
+            .unwrap(),
     }
 }
 

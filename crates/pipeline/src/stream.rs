@@ -22,12 +22,14 @@
 
 use std::collections::{BinaryHeap, VecDeque};
 
-use crate::batch::{solve_planned_fused, solve_planned_traced, JobOutcome};
+use crate::batch::{
+    settle_staged_dispatch, solve_planned_fused_with, solve_planned_traced_with, JobOutcome,
+};
 use crate::job::Job;
-use crate::microbatch::{dispatch_group, GroupDispatch, MicrobatchConfig};
+use crate::microbatch::{dispatch_group_at, dispatch_group_staged, MicrobatchConfig};
 use crate::planner::Planner;
 use crate::pool::DevicePool;
-use crate::scheduler::{dispatch_one, DispatchPolicy, JobShape};
+use crate::scheduler::{DispatchPolicy, JobShape, StageSchedConfig};
 
 /// A job waiting in the reorder buffer, ordered so the heap's max is
 /// the next job to dispatch: higher priority first, then earlier
@@ -80,12 +82,21 @@ pub struct BatchStream<'p, I> {
     /// next dispatch slot. 1 = FIFO.
     window: usize,
     buffer: BinaryHeap<QueuedJob>,
-    /// Micro-batching: when set, each dispatch drains a maximal run of
-    /// *consecutive* same-shaped jobs from the reorder buffer (capped
-    /// at the shape's preferred group size) and fuses them into one
-    /// batched launch sequence. Only drain-order prefixes fuse, so
-    /// priority/deadline ordering is exactly the unfused stream's.
+    /// Micro-batching: when set (the default), each dispatch drains a
+    /// maximal run of *consecutive* same-shaped jobs from the reorder
+    /// buffer (capped at the shape's preferred group size, shrunk
+    /// further when the front member's deadline is tight) and fuses
+    /// them into one batched launch sequence. Only drain-order prefixes
+    /// fuse, so priority/deadline ordering is exactly the unfused
+    /// stream's. [`MicrobatchConfig::off`] restores per-job launches.
     micro: Option<MicrobatchConfig>,
+    /// Stage-level scheduling: when set, dispatches book stage-granular
+    /// lane-split intervals (overlapping the next group's prep under
+    /// the current group's compute), settle refunds online, and may
+    /// extend stalled jobs — see [`StageSchedConfig`]. The stream is
+    /// already a sequential dispatch→execute loop, so every refund is
+    /// causal for the next dispatch by construction.
+    sched: Option<StageSchedConfig>,
     /// Outcomes of the current fused group not yet yielded.
     ready: VecDeque<JobOutcome>,
     admitted: usize,
@@ -94,8 +105,10 @@ pub struct BatchStream<'p, I> {
 
 /// Stream `jobs` through `pool` in FIFO order under the default
 /// [`DispatchPolicy::LeastLoaded`]: each `next()` plans, dispatches and
-/// solves one job. Equivalent to [`solve_stream_with`] with a reorder
-/// window of 1.
+/// solves one job (or, by default, the run of consecutive same-shaped
+/// jobs it fuses with — see [`solve_stream_fused`] for the escape
+/// hatch). Equivalent to [`solve_stream_with`] with a reorder window
+/// of 1.
 pub fn solve_stream<'p, I>(pool: &'p mut DevicePool, jobs: I) -> BatchStream<'p, I::IntoIter>
 where
     I: IntoIterator<Item = Job>,
@@ -108,6 +121,11 @@ where
 /// jobs from the input before every dispatch and drains them highest
 /// priority first, so a late high-priority job can overtake up to
 /// `w − 1` earlier low-priority ones.
+///
+/// Device micro-batching is **on by default** (drain-order prefixes
+/// only, so ordering is exactly the unfused stream's and bits never
+/// change); pass [`MicrobatchConfig::off`] to [`solve_stream_fused`]
+/// for the legacy per-job launch timing.
 pub fn solve_stream_with<'p, I>(
     pool: &'p mut DevicePool,
     jobs: I,
@@ -124,7 +142,8 @@ where
         policy,
         window: window.max(1),
         buffer: BinaryHeap::new(),
-        micro: None,
+        micro: Some(MicrobatchConfig::default()),
+        sched: None,
         ready: VecDeque::new(),
         admitted: 0,
         dispatched: 0,
@@ -157,6 +176,33 @@ where
 {
     BatchStream {
         micro: Some(cfg),
+        ..solve_stream_with(pool, jobs, policy, window)
+    }
+}
+
+/// [`solve_stream_fused`] with **stage-level scheduling**: every
+/// dispatch books its stages as lane-split intervals on the chosen
+/// device's timeline (the next group's factorization prep hides under
+/// the current group's device passes), adaptive early stops are
+/// re-booked online so the freed time is visible to the very next
+/// dispatch, and a job whose residual stalls above target may extend
+/// past its plan ([`StageSchedConfig::max_extra_passes`]). Ordering is
+/// the fused stream's; bits match every other path whenever the
+/// extension cap matches.
+pub fn solve_stream_staged<'p, I>(
+    pool: &'p mut DevicePool,
+    jobs: I,
+    policy: DispatchPolicy,
+    window: usize,
+    cfg: MicrobatchConfig,
+    sched: StageSchedConfig,
+) -> BatchStream<'p, I::IntoIter>
+where
+    I: IntoIterator<Item = Job>,
+{
+    BatchStream {
+        micro: Some(cfg),
+        sched: Some(sched),
         ..solve_stream_with(pool, jobs, policy, window)
     }
 }
@@ -197,6 +243,10 @@ where
         self.admit();
         let job = self.buffer.pop()?.job;
         let shape = JobShape::from(&job);
+        // the earliest the group could possibly start: the front job's
+        // arrival, or the soonest any device frees up — the reference
+        // point of the deadline slack and the member-arrival guard
+        let floor = job.release().max(self.pool.min_clock_ms());
         // ...plus, when micro-batching, the run of jobs the unfused
         // stream would have dispatched next anyway, as long as they
         // share the shape key. Re-admitting before every member keeps
@@ -205,54 +255,90 @@ where
         // where it would have — so fusion can never violate priority or
         // deadline ordering.
         let mut group = vec![job];
-        if let Some(cfg) = self.micro {
-            let preferred = self.planner.preferred_group_size(
+        if let Some(cfg) = self.micro.filter(|c| !c.is_off()) {
+            let mut preferred = self.planner.preferred_group_size(
                 shape.rows,
                 shape.cols,
                 shape.target_digits,
                 cfg.max_group,
                 cfg.tolerance,
             );
+            // deadline-aware cap: a fused group completes as a whole,
+            // so when the front (most urgent) member's deadline is
+            // tight, shrink the group until its fused wall clock fits
+            // the remaining slack
+            if let Some(deadline) = group[0].deadline_ms {
+                let slack = (deadline - floor).max(0.0);
+                preferred = self.planner.deadline_group_cap(
+                    shape.rows,
+                    shape.cols,
+                    shape.target_digits,
+                    preferred,
+                    slack,
+                );
+            }
             while group.len() < preferred {
                 self.admit();
                 match self.buffer.peek() {
-                    Some(q) if JobShape::from(&q.job) == shape => {
+                    // a member that has not arrived by the group's
+                    // earliest feasible start would delay the whole
+                    // group (and its front deadline) — leave it queued
+                    Some(q) if JobShape::from(&q.job) == shape && q.job.release() <= floor => {
                         group.push(self.buffer.pop().unwrap().job);
                     }
                     _ => break,
                 }
             }
         }
-        let g = if group.len() == 1 {
-            let d = dispatch_one(
+        let release = group.iter().map(|j| j.release()).fold(0.0f64, f64::max);
+        let idxs: Vec<usize> = (0..group.len()).map(|i| self.dispatched + i).collect();
+        let mut g = match &self.sched {
+            Some(sched) => dispatch_group_staged(
                 self.pool,
                 &self.planner,
-                self.dispatched,
+                idxs,
                 &shape,
                 self.policy,
-            );
-            GroupDispatch::singleton(d)
-        } else {
-            let idxs: Vec<usize> = (0..group.len()).map(|i| self.dispatched + i).collect();
-            dispatch_group(self.pool, &self.planner, idxs, &shape, self.policy)
+                sched,
+                release,
+            ),
+            None => dispatch_group_at(self.pool, &self.planner, idxs, &shape, self.policy, release),
         };
         self.dispatched += group.len();
+        let extra = self.sched.map(|s| s.max_extra_passes).unwrap_or(0);
         let solved = if group.len() == 1 {
-            vec![solve_planned_traced(
+            vec![solve_planned_traced_with(
                 self.pool.gpu(g.device),
                 &group[0],
                 &g.plan,
+                extra,
             )]
         } else {
             let members: Vec<&Job> = group.iter().collect();
-            solve_planned_fused(self.pool.gpu(g.device), &members, &g.plan)
+            solve_planned_fused_with(self.pool.gpu(g.device), &members, &g.plan, extra)
         };
         let ids: Vec<u64> = group.iter().map(|j| j.id).collect();
-        for o in JobOutcome::assemble_group(&ids, &g, solved) {
-            if o.refunded_ms > 0.0 {
-                self.pool.reconcile(o.device, o.refunded_ms);
+        match self.sched {
+            Some(sched) => {
+                // settle the stage booking online: refunds rewind the
+                // lane cursors before the next dispatch ever looks
+                let passes_run = solved.iter().map(|s| s.corrections_run).max().unwrap_or(0);
+                let (refunded, extended) =
+                    settle_staged_dispatch(self.pool, &mut g, passes_run, &sched);
+                for mut o in JobOutcome::assemble_group(&ids, &g, solved) {
+                    o.refunded_ms = refunded;
+                    o.extended_ms = extended;
+                    self.ready.push_back(o);
+                }
             }
-            self.ready.push_back(o);
+            None => {
+                for o in JobOutcome::assemble_group(&ids, &g, solved) {
+                    if o.refunded_ms > 0.0 {
+                        self.pool.reconcile(o.device, o.refunded_ms);
+                    }
+                    self.ready.push_back(o);
+                }
+            }
         }
         self.ready.pop_front()
     }
@@ -278,11 +364,27 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(91);
         let jobs = power_flow_jobs(10, &mut rng);
 
+        // fusion off on both sides: the stream fuses drain-order runs
+        // while the batch buckets across the whole queue, so exact
+        // device/timing equality is the *unfused* contract
         let mut pool_b = DevicePool::homogeneous(&Gpu::v100(), 2);
-        let batch = solve_batch_with(&mut pool_b, &jobs, 1, DispatchPolicy::LeastLoaded);
+        let batch = crate::batch::solve_batch_fused_with(
+            &mut pool_b,
+            &jobs,
+            1,
+            DispatchPolicy::LeastLoaded,
+            &MicrobatchConfig::off(),
+        );
 
         let mut pool_s = DevicePool::homogeneous(&Gpu::v100(), 2);
-        let streamed: Vec<JobOutcome> = solve_stream(&mut pool_s, jobs).collect();
+        let streamed: Vec<JobOutcome> = solve_stream_fused(
+            &mut pool_s,
+            jobs.clone(),
+            DispatchPolicy::LeastLoaded,
+            1,
+            MicrobatchConfig::off(),
+        )
+        .collect();
 
         assert_eq!(streamed.len(), batch.outcomes.len());
         for (s, b) in streamed.iter().zip(&batch.outcomes) {
@@ -296,6 +398,19 @@ mod tests {
             assert_eq!(s.end_ms, b.end_ms);
         }
         assert_eq!(pool_s.makespan_ms(), pool_b.makespan_ms());
+
+        // the default (fused) paths group differently but must still
+        // agree with each other — and the unfused run — on every bit
+        let mut pool_fb = DevicePool::homogeneous(&Gpu::v100(), 2);
+        let fused_batch = solve_batch_with(&mut pool_fb, &jobs, 1, DispatchPolicy::LeastLoaded);
+        let mut pool_fs = DevicePool::homogeneous(&Gpu::v100(), 2);
+        let fused_stream: Vec<JobOutcome> = solve_stream(&mut pool_fs, jobs).collect();
+        for b in &fused_batch.outcomes {
+            let s = fused_stream.iter().find(|s| s.job_id == b.job_id).unwrap();
+            let u = streamed.iter().find(|u| u.job_id == b.job_id).unwrap();
+            assert_eq!(s.x, b.x, "job {}: fused stream vs batch bits", b.job_id);
+            assert_eq!(u.x, b.x, "job {}: fused vs unfused bits", b.job_id);
+        }
     }
 
     #[test]
@@ -377,8 +492,14 @@ mod tests {
             })
             .collect();
         let mut pool_u = DevicePool::homogeneous(&Gpu::v100(), 2);
-        let unfused: Vec<JobOutcome> =
-            solve_stream_with(&mut pool_u, jobs.clone(), DispatchPolicy::LeastLoaded, 8).collect();
+        let unfused: Vec<JobOutcome> = solve_stream_fused(
+            &mut pool_u,
+            jobs.clone(),
+            DispatchPolicy::LeastLoaded,
+            8,
+            MicrobatchConfig::off(),
+        )
+        .collect();
         let mut pool_f = DevicePool::homogeneous(&Gpu::v100(), 2);
         let fused: Vec<JobOutcome> = solve_stream_fused(
             &mut pool_f,
@@ -470,6 +591,114 @@ mod tests {
             assert_eq!(first.fused_group, 1);
         }
         assert_eq!(pool.total_solves(), 1, "fused stream ran ahead of the pull");
+    }
+
+    /// Same-shaped fusible jobs for the deadline-cap and release tests.
+    fn same_shape_jobs(count: u64, n: usize, digits: u32, seed: u64) -> Vec<Job> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|id| {
+                let a = mdls_matrix::HostMat::<f64>::from_fn(n, n, |r, c| {
+                    let u: f64 = multidouble::random::rand_real(&mut rng);
+                    u + if r == c { 4.0 } else { 0.0 }
+                });
+                let b: Vec<f64> = (0..n)
+                    .map(|_| multidouble::random::rand_real(&mut rng))
+                    .collect();
+                Job::new(id, a, b, digits)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tight_deadline_caps_the_fused_group() {
+        // without deadlines the stream fuses up to the preferred size;
+        // with a tight front-member deadline the group shrinks so its
+        // fused wall clock fits the slack — and a slack big enough for
+        // the whole group changes nothing
+        let planner = Planner::new();
+        let cfg = MicrobatchConfig::default();
+        let (n, digits) = (10usize, 25u32);
+        let preferred = planner.preferred_group_size(n, n, digits, cfg.max_group, cfg.tolerance);
+        assert!(preferred > 1, "shape never fuses; the test is vacuous");
+        let (_, single) = planner.plan_fused(&Gpu::v100(), n, n, digits, 1);
+        let (_, full) = planner.plan_fused(&Gpu::v100(), n, n, digits, preferred);
+        assert!(full.predicted_ms > single.predicted_ms);
+
+        let run = |deadline: Option<f64>| {
+            let mut jobs = same_shape_jobs(preferred as u64 * 2, n, digits, 0xd1_77);
+            if let Some(d) = deadline {
+                jobs[0].deadline_ms = Some(d);
+            }
+            let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+            let first = solve_stream_fused(
+                &mut pool,
+                jobs,
+                DispatchPolicy::LeastLoaded,
+                preferred * 2,
+                cfg,
+            )
+            .next()
+            .unwrap();
+            first.fused_group
+        };
+        assert_eq!(run(None), preferred, "unconstrained stream must fuse fully");
+        // slack halfway between the singleton and the full group cost:
+        // the cap must bind strictly below the preferred size but
+        // still admit the front job
+        let tight = (single.predicted_ms + full.predicted_ms) / 2.0;
+        let capped = run(Some(tight));
+        assert!(
+            capped < preferred && capped >= 1,
+            "tight deadline gave group {capped} (preferred {preferred})"
+        );
+        // a deadline past the full fused cost changes nothing
+        assert_eq!(run(Some(full.predicted_ms * 10.0)), preferred);
+    }
+
+    #[test]
+    fn release_times_hold_jobs_and_misses_are_countable() {
+        let mut jobs = same_shape_jobs(3, 8, 25, 0xae1ea5e);
+        // distinct shapes would also work; here releases alone keep the
+        // stream honest: job 1 arrives at t=50, long after job 0 ends
+        jobs[1].release_ms = Some(50.0);
+        jobs[1].deadline_ms = Some(55.0); // unmeetable: a real miss
+        jobs[2].release_ms = Some(50.0);
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+        let outs: Vec<JobOutcome> =
+            solve_stream_fused(&mut pool, jobs, DispatchPolicy::LeastLoaded, 1, {
+                MicrobatchConfig::off()
+            })
+            .collect();
+        // job 0 runs from t=0; job 1 cannot start before its arrival
+        assert_eq!(outs[0].start_ms, 0.0);
+        assert!(outs[0].end_ms < 50.0);
+        assert!(outs[1].start_ms >= 50.0, "job 1 ran before its release");
+        // the release gap is idle, not busy: utilization stays honest
+        let stats = &pool.stats()[0];
+        assert!(stats.busy_ms < pool.makespan_ms());
+        // and the deadline miss is a measurable fact of the timeline
+        assert!(outs[1].end_ms > 55.0, "the unmeetable deadline was met?");
+        // a fused group never waits for an unarrived member: jobs 1 and
+        // 2 share a shape and releases, so with fusion they may group —
+        // but job 0 must never be delayed to t=50
+        let mut pool_f = DevicePool::homogeneous(&Gpu::v100(), 1);
+        let jobs2 = {
+            let mut j = same_shape_jobs(3, 8, 25, 0xae1ea5e);
+            j[1].release_ms = Some(50.0);
+            j[2].release_ms = Some(50.0);
+            j
+        };
+        let fused: Vec<JobOutcome> = solve_stream_fused(
+            &mut pool_f,
+            jobs2,
+            DispatchPolicy::LeastLoaded,
+            3,
+            MicrobatchConfig::default(),
+        )
+        .collect();
+        assert_eq!(fused[0].fused_group, 1, "job 0 fused with unarrived jobs");
+        assert_eq!(fused[0].start_ms, 0.0);
     }
 
     #[test]

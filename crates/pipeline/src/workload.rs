@@ -102,6 +102,53 @@ pub fn workload_mix(count: usize) -> Vec<JobShape> {
         .collect()
 }
 
+/// The deterministic shape queue of the **stage-overlap A/B**: a
+/// refinement-heavy tracker mix — every target sits past the rung its
+/// factorization runs at, so each plan is a cheap factorization
+/// followed by residual/correct passes, the exact stage structure
+/// whose prep/compute lanes the overlapped scheduler pipelines across
+/// jobs. Shapes span the corrector sizes where the factorization's
+/// fixed host prep is a large share of the wall clock.
+pub fn refinement_mix(count: usize) -> Vec<JobShape> {
+    (0..count)
+        .map(|i| {
+            let cols = [64, 96, 128, 192, 256, 128][i % 6];
+            JobShape {
+                rows: cols + [0, 32][i % 2],
+                cols,
+                target_digits: [30, 50, 90, 100, 50, 30][i % 6],
+            }
+        })
+        .collect()
+}
+
+/// Bursty tracker jobs: the [`tracker_jobs`] mix with simulated
+/// arrivals — jobs land in bursts of `burst` every `gap_ms` (a tracker
+/// stepping a path emits its predictor/corrector solves together), and
+/// every deadline is re-anchored relative to its job's arrival. The
+/// stream's reorder buffer then models a live bursty queue, and
+/// comparing each outcome's `end_ms` against its deadline counts real
+/// deadline *misses*, not just deadline ordering.
+pub fn bursty_tracker_jobs<R: Rng + ?Sized>(
+    count: usize,
+    burst: usize,
+    gap_ms: f64,
+    rng: &mut R,
+) -> Vec<Job> {
+    tracker_jobs(count, rng)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut job)| {
+            let release = (i / burst.max(1)) as f64 * gap_ms;
+            job.release_ms = Some(release);
+            if let Some(d) = job.deadline_ms {
+                job.deadline_ms = Some(release + d.max(gap_ms));
+            }
+            job
+        })
+        .collect()
+}
+
 fn pick<R: Rng + ?Sized>(rng: &mut R, n: usize) -> usize {
     (rng.random_range(0.0..n as f64) as usize).min(n - 1)
 }
