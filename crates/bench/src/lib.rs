@@ -10,6 +10,7 @@ pub mod experiments;
 pub mod figures;
 pub mod tables;
 pub mod throughput;
+pub mod trace;
 pub mod verify;
 
 pub use tables::TextTable;

@@ -15,10 +15,15 @@
 //!   throughput-smoke    policy A/B at a small job count + refinement A/B
 //!                       + micro-batching A/B + stage-overlap and
 //!                       re-booking A/Bs (CI)
+//!   trace               record a bursty tracker stream, write the
+//!                       Chrome-trace JSON (chrome://tracing / Perfetto)
+//!                       and print latency / counter / calibration tables
+//!   trace-smoke         record a small stream and validate the exported
+//!                       trace: one prep + one compute track per device (CI)
 //!   all                 everything, in paper order
 //! ```
 
-use mdls_bench::{ablate, experiments as ex, figures, throughput, verify};
+use mdls_bench::{ablate, experiments as ex, figures, throughput, trace, verify};
 
 fn print_tables(ts: &[mdls_bench::TextTable]) {
     for t in ts {
@@ -67,6 +72,30 @@ fn run(cmd: &str) -> bool {
             println!("{}", throughput::stage_overlap_ab(24).render());
             println!("{}", throughput::rebooking_ab(12).render());
         }
+        "trace" => {
+            let r = trace::trace_report(48);
+            print_tables(&r.tables);
+            let path = std::path::Path::new("target").join("repro-trace.json");
+            let write = std::fs::create_dir_all("target")
+                .and_then(|()| std::fs::write(&path, &r.trace_json));
+            match write {
+                Ok(()) => println!(
+                    "chrome trace written to {} — open in chrome://tracing or ui.perfetto.dev",
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        "trace-smoke" => match trace::trace_smoke() {
+            Ok(msg) => println!("{msg}"),
+            Err(e) => {
+                eprintln!("trace-smoke failed: {e}");
+                std::process::exit(1);
+            }
+        },
         "all" => {
             for c in [
                 "table1",
@@ -101,7 +130,7 @@ fn run(cmd: &str) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <table1..table11 | fig1..fig5 | verify | ablate-smem | ablate-invert | throughput | throughput-smoke | all>");
+        eprintln!("usage: repro <table1..table11 | fig1..fig5 | verify | ablate-smem | ablate-invert | throughput | throughput-smoke | trace | trace-smoke | all>");
         std::process::exit(2);
     }
     for a in &args {

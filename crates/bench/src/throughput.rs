@@ -475,16 +475,10 @@ pub fn bursty_deadline_table(jobs: usize) -> TextTable {
         ),
         "scheduler",
     );
-    t.col("makespan ms").col("deadline misses");
-    let deadline_of: std::collections::HashMap<u64, f64> = jobs
-        .iter()
-        .filter_map(|j| j.deadline_ms.map(|d| (j.id, d)))
-        .collect();
-    let count_misses = |outs: &[JobOutcome]| {
-        outs.iter()
-            .filter(|o| deadline_of.get(&o.job_id).is_some_and(|d| o.end_ms > *d))
-            .count()
-    };
+    t.col("makespan ms")
+        .col("deadline misses")
+        .col("p99 turnaround ms");
+    let with_deadline = jobs.iter().filter(|j| j.deadline_ms.is_some()).count();
     for (name, sched) in [
         ("per-plan booking", None),
         ("staged online", Some(StageSchedConfig::staged())),
@@ -508,11 +502,13 @@ pub fn bursty_deadline_table(jobs: usize) -> TextTable {
             )
             .collect(),
         };
+        let lat = mdls_pipeline::latency_summary(&outs);
         t.row(
             name,
             vec![
                 format!("{:.1}", pool.makespan_ms()),
-                format!("{} / {}", count_misses(&outs), deadline_of.len()),
+                format!("{} / {}", lat.deadline_misses, with_deadline),
+                format!("{:.1}", lat.p99_ms),
             ],
         );
     }

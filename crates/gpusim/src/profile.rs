@@ -115,6 +115,19 @@ impl Profile {
         self.all_kernels_ms() + self.transfer_ms + self.launch_gap_ms + self.host_ms
     }
 
+    /// Two-lane attribution of the wall clock, ms: `(prep, compute)`.
+    /// The prep lane is what a host core and the PCIe link spend (fixed
+    /// host overhead + transfers); the compute lane is what the device
+    /// itself spends (kernels + launch gaps). The shares sum to
+    /// [`Profile::wall_ms`] exactly — this is the split the pipeline's
+    /// stage timelines and trace tracks render as separate lanes.
+    pub fn lane_split_ms(&self) -> (f64, f64) {
+        (
+            self.host_ms + self.transfer_ms,
+            self.all_kernels_ms() + self.launch_gap_ms,
+        )
+    }
+
     /// Kernel-time gigaflops under the paper's reporting convention
     /// ("the kernel flops in the tables are the totals of the counts of
     /// the double precision operations over the sum of the times spent by
@@ -201,6 +214,19 @@ mod tests {
         p.launch_gap_ms = 1.0;
         p.host_ms = 4.0;
         assert!((p.wall_ms() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lane_split_partitions_the_wall_clock() {
+        let mut p = Profile::new();
+        p.record("k", 10.0, ops(1), 1.0, 1.0, 0);
+        p.transfer_ms = 5.0;
+        p.launch_gap_ms = 1.0;
+        p.host_ms = 4.0;
+        let (prep, compute) = p.lane_split_ms();
+        assert!((prep - 9.0).abs() < 1e-12);
+        assert!((compute - 11.0).abs() < 1e-12);
+        assert!((prep + compute - p.wall_ms()).abs() < 1e-12);
     }
 
     #[test]

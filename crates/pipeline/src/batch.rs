@@ -46,9 +46,10 @@ use crate::microbatch::{
     dispatch_group_staged, plan_groups, schedule_groups, GroupDispatch, MicrobatchConfig,
 };
 use crate::plan::ExecPlan;
-use crate::planner::Planner;
+use crate::planner::{PlanCacheStats, Planner};
 use crate::pool::{DevicePool, DeviceStats};
 use crate::scheduler::{schedule, DispatchPolicy, JobShape, StageSchedConfig};
+use mdls_obs::Event;
 
 /// Outcome of one job.
 #[derive(Clone, Debug)]
@@ -92,6 +93,14 @@ pub struct JobOutcome {
     /// past its plan (see [`solve_batch_staged`]). Zero on the per-plan
     /// paths.
     pub extended_ms: f64,
+    /// The job's scheduling priority, carried through from [`Job`] so
+    /// latency summaries can slice by class.
+    pub priority: i32,
+    /// Simulated arrival time, ms (0 for always-ready jobs) — the
+    /// baseline of [`JobOutcome::turnaround_ms`].
+    pub release_ms: f64,
+    /// The job's completion deadline, if it had one.
+    pub deadline_ms: Option<f64>,
 }
 
 /// Result of interpreting one job's plan: the solution, its measured
@@ -117,17 +126,18 @@ impl JobOutcome {
     /// among the members. (A singleton group degenerates to refunding
     /// exactly its own skipped stages.)
     pub(crate) fn assemble_group(
-        ids: &[u64],
+        members: &[&Job],
         g: &GroupDispatch,
         solved: Vec<PlannedSolve>,
     ) -> Vec<JobOutcome> {
-        assert_eq!(ids.len(), solved.len());
+        assert_eq!(members.len(), solved.len());
         let group_passes = solved.iter().map(|s| s.corrections_run).max().unwrap_or(0);
         let refunded_ms = g.fused.per_job_tail_ms(2 + 2 * group_passes);
-        ids.iter()
+        members
+            .iter()
             .zip(solved)
-            .map(|(&job_id, s)| JobOutcome {
-                job_id,
+            .map(|(&job, s)| JobOutcome {
+                job_id: job.id,
                 device: g.device,
                 plan: g.plan.clone(),
                 achieved_digits: digits_from_residual(s.residual),
@@ -139,8 +149,21 @@ impl JobOutcome {
                 corrections_run: s.corrections_run,
                 refunded_ms,
                 extended_ms: 0.0,
+                priority: job.priority,
+                release_ms: job.release(),
+                deadline_ms: job.deadline_ms,
             })
             .collect()
+    }
+
+    /// Turnaround latency: completion minus arrival, ms.
+    pub fn turnaround_ms(&self) -> f64 {
+        self.end_ms - self.release_ms
+    }
+
+    /// True when the job carried a deadline and completed past it.
+    pub fn missed_deadline(&self) -> bool {
+        self.deadline_ms.is_some_and(|d| self.end_ms > d)
     }
 }
 
@@ -150,6 +173,41 @@ pub fn digits_from_residual(residual: f64) -> f64 {
         f64::INFINITY
     } else {
         -residual.log10()
+    }
+}
+
+/// Turnaround-latency percentiles and deadline accounting over a set of
+/// outcomes — the one place the miss check lives (reports, streams and
+/// benches all summarize through here instead of re-deriving it).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Median turnaround (`end_ms − release_ms`), ms.
+    pub p50_ms: f64,
+    /// 99th-percentile turnaround, ms.
+    pub p99_ms: f64,
+    /// 99.9th-percentile turnaround, ms.
+    pub p999_ms: f64,
+    /// Jobs that carried a deadline and completed past it.
+    pub deadline_misses: usize,
+}
+
+/// Summarize turnaround latency and deadline misses over `outcomes`
+/// (nearest-rank percentiles; all zeros for an empty slice).
+pub fn latency_summary(outcomes: &[JobOutcome]) -> LatencySummary {
+    let mut turnaround: Vec<f64> = outcomes.iter().map(JobOutcome::turnaround_ms).collect();
+    turnaround.sort_by(f64::total_cmp);
+    let pct = |q: f64| -> f64 {
+        if turnaround.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * turnaround.len() as f64).ceil() as usize).clamp(1, turnaround.len());
+        turnaround[rank - 1]
+    };
+    LatencySummary {
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        p999_ms: pct(0.999),
+        deadline_misses: outcomes.iter().filter(|o| o.missed_deadline()).count(),
     }
 }
 
@@ -171,11 +229,20 @@ pub struct BatchReport {
     pub solves_per_sec: f64,
     /// Per-device snapshots of the (cumulative) pool state.
     pub device_stats: Vec<DeviceStats>,
-    /// Number of distinct plans the planner computed (cache pressure).
+    /// Number of distinct plans the planner computed (cache pressure) —
+    /// the size of this batch's plan cache; `plan_cache` breaks the
+    /// lookups behind it into hits and misses.
     pub distinct_plans: usize,
+    /// Plan-cache traffic of this batch's planner: plan and fused-memo
+    /// hits/misses (the planner-side sibling of
+    /// [`promoted_cache_stats`]).
+    pub plan_cache: PlanCacheStats,
     /// Number of micro-batched fused groups (of ≥ 2 jobs) this batch
     /// ran; 0 on the unfused paths.
     pub fused_groups: usize,
+    /// Turnaround percentiles and deadline misses over `outcomes`,
+    /// computed once via [`latency_summary`].
+    pub latency: LatencySummary,
 }
 
 // ---------------------------------------------------------------------
@@ -755,7 +822,10 @@ fn solve_batch_engine(
     policy: DispatchPolicy,
     micro: Option<&MicrobatchConfig>,
 ) -> BatchReport {
-    let planner = Planner::new();
+    let mut planner = Planner::new();
+    if let Some(obs) = pool.observer() {
+        planner.attach_observer(obs.clone());
+    }
     let shapes: Vec<JobShape> = jobs.iter().map(JobShape::from).collect();
     let groups: Vec<GroupDispatch> = match micro {
         Some(cfg) if !cfg.is_off() => schedule_groups(pool, &planner, &shapes, policy, cfg),
@@ -774,14 +844,13 @@ fn solve_batch_engine(
     let run_group = |gi: usize| {
         let g: &GroupDispatch = &groups[gi];
         let gpu = pool.gpu(g.device);
-        let solved: Vec<PlannedSolve> = if g.jobs.len() == 1 {
-            vec![solve_planned_traced(gpu, &jobs[g.jobs[0]], &g.plan)]
+        let members: Vec<&Job> = g.jobs.iter().map(|&j| &jobs[j]).collect();
+        let solved: Vec<PlannedSolve> = if members.len() == 1 {
+            vec![solve_planned_traced(gpu, members[0], &g.plan)]
         } else {
-            let members: Vec<&Job> = g.jobs.iter().map(|&j| &jobs[j]).collect();
             solve_planned_fused(gpu, &members, &g.plan)
         };
-        let ids: Vec<u64> = g.jobs.iter().map(|&j| jobs[j].id).collect();
-        let assembled = JobOutcome::assemble_group(&ids, g, solved);
+        let assembled = JobOutcome::assemble_group(&members, g, solved);
         let mut out = outcomes_mx.lock().unwrap();
         for (&j, o) in g.jobs.iter().zip(assembled) {
             out[j] = Some(o);
@@ -824,6 +893,7 @@ fn solve_batch_engine(
             pool.reconcile(o.device, o.refunded_ms);
         }
     }
+    emit_settled(pool, &outcomes);
     // batch-relative aggregates: the completion time of *this* batch's
     // last job, not the pool's cumulative clock
     let makespan_ms = groups.iter().map(|g| g.end_ms).fold(0.0, f64::max);
@@ -837,8 +907,33 @@ fn solve_batch_engine(
         solves_per_sec,
         device_stats: pool.stats(),
         distinct_plans: planner.cached_plans(),
+        plan_cache: planner.cache_stats(),
         fused_groups: groups.iter().filter(|g| g.jobs.len() > 1).count(),
+        latency: latency_summary(&outcomes),
         outcomes,
+    }
+}
+
+/// Emit one [`Event::JobSettled`] per outcome, in submission order —
+/// shared by every batch engine so the settled stream is deterministic
+/// regardless of host-thread interleaving during execution.
+pub(crate) fn emit_settled(pool: &DevicePool, outcomes: &[JobOutcome]) {
+    for o in outcomes {
+        pool.emit(|| Event::JobSettled {
+            job: o.job_id,
+            device: o.device,
+            priority: o.priority,
+            start_ms: o.start_ms,
+            end_ms: o.end_ms,
+            release_ms: o.release_ms,
+            deadline_ms: o.deadline_ms.unwrap_or(0.0),
+            has_deadline: o.deadline_ms.is_some(),
+            fused: o.fused_group,
+            corrections: o.corrections_run,
+            refunded_ms: o.refunded_ms,
+            extended_ms: o.extended_ms,
+            achieved_digits: o.achieved_digits,
+        });
     }
 }
 
@@ -852,6 +947,7 @@ fn solve_batch_engine(
 pub(crate) fn settle_staged_dispatch(
     pool: &mut DevicePool,
     g: &mut GroupDispatch,
+    shape: &JobShape,
     passes_run: usize,
     sched: &StageSchedConfig,
 ) -> (f64, f64) {
@@ -861,6 +957,21 @@ pub(crate) fn settle_staged_dispatch(
         .booking
         .clone()
         .expect("staged dispatches carry a booking");
+    // calibration records for the stages that actually ran: the
+    // planner's singleton per-stage prediction against this group's
+    // realized per-job share of the fused booking
+    let executed = ExecPlan::booked_stages(passes_run.min(booked)).min(booking.stages.len());
+    for (ps, iv) in g.plan.stages.iter().zip(&booking.stages).take(executed) {
+        pool.emit(|| Event::StageTime {
+            device: g.device,
+            rows: shape.rows,
+            cols: shape.cols,
+            kind: ps.stage.kind(),
+            rung: ps.stage.rung().tag(),
+            predicted_ms: ps.wall_ms(),
+            settled_ms: iv.wall_ms() / k,
+        });
+    }
     if passes_run < booked {
         let from = ExecPlan::booked_stages(passes_run);
         let executed_end = booking.stages[from - 1].end_ms();
@@ -883,8 +994,14 @@ pub(crate) fn settle_staged_dispatch(
         let pair = g.fused.extension_reqs();
         let mut extended = 0.0;
         let mut end = g.end_ms;
-        for _ in booked..passes_run {
+        for pass in booked..passes_run {
             let ext = pool.commit_stages(g.device, &pair, 0.0, 0.0, 0, sched.overlap, 0.0);
+            pool.emit(|| Event::PassExtended {
+                device: g.device,
+                job: g.jobs[0] as u64,
+                pass: pass + 1,
+                end_ms: ext.end_ms(),
+            });
             extended += pair.iter().map(|r| r.wall_ms()).sum::<f64>();
             end = end.max(ext.end_ms());
         }
@@ -928,7 +1045,10 @@ pub fn solve_batch_staged(
     micro: &MicrobatchConfig,
     sched: &StageSchedConfig,
 ) -> BatchReport {
-    let planner = Planner::new();
+    let mut planner = Planner::new();
+    if let Some(obs) = pool.observer() {
+        planner.attach_observer(obs.clone());
+    }
     let shapes: Vec<JobShape> = jobs.iter().map(JobShape::from).collect();
     let groups_idx: Vec<Vec<usize>> = if micro.is_off() {
         (0..jobs.len()).map(|i| vec![i]).collect()
@@ -950,16 +1070,16 @@ pub fn solve_batch_staged(
             .fold(0.0f64, f64::max);
         let mut g =
             dispatch_group_staged(pool, &planner, idxs.clone(), &shape, policy, sched, release);
-        let solved: Vec<PlannedSolve> = if idxs.len() == 1 {
+        let members: Vec<&Job> = idxs.iter().map(|&j| &jobs[j]).collect();
+        let solved: Vec<PlannedSolve> = if members.len() == 1 {
             vec![solve_planned_traced_with(
                 pool.gpu(g.device),
-                &jobs[idxs[0]],
+                members[0],
                 &g.plan,
                 sched.max_extra_passes,
             )]
         } else {
             fused_groups += 1;
-            let members: Vec<&Job> = idxs.iter().map(|&j| &jobs[j]).collect();
             solve_planned_fused_with(
                 pool.gpu(g.device),
                 &members,
@@ -968,10 +1088,9 @@ pub fn solve_batch_staged(
             )
         };
         let passes_run = solved.iter().map(|s| s.corrections_run).max().unwrap_or(0);
-        let (refunded, extended) = settle_staged_dispatch(pool, &mut g, passes_run, sched);
+        let (refunded, extended) = settle_staged_dispatch(pool, &mut g, &shape, passes_run, sched);
         makespan_ms = makespan_ms.max(g.end_ms);
-        let ids: Vec<u64> = idxs.iter().map(|&j| jobs[j].id).collect();
-        let mut assembled = JobOutcome::assemble_group(&ids, &g, solved);
+        let mut assembled = JobOutcome::assemble_group(&members, &g, solved);
         for o in &mut assembled {
             o.refunded_ms = refunded;
             o.extended_ms = extended;
@@ -985,6 +1104,7 @@ pub fn solve_batch_staged(
         .into_iter()
         .map(|o| o.expect("every job executed"))
         .collect();
+    emit_settled(pool, &outcomes);
     let solves_per_sec = if makespan_ms > 0.0 {
         outcomes.len() as f64 / (makespan_ms * 1.0e-3)
     } else {
@@ -995,7 +1115,9 @@ pub fn solve_batch_staged(
         solves_per_sec,
         device_stats: pool.stats(),
         distinct_plans: planner.cached_plans(),
+        plan_cache: planner.cache_stats(),
         fused_groups,
+        latency: latency_summary(&outcomes),
         outcomes,
     }
 }

@@ -66,6 +66,14 @@
 //! digits their measured residual certifies plus the per-stage
 //! predicted breakdown of the plan they ran under.
 //!
+//! **Observability** ([`mdls_obs`], re-exported as `obs` from the
+//! workspace root): attach any [`mdls_obs::Observer`] to a pool via
+//! [`DevicePool::attach_observer`] and every layer — planner cache and
+//! search, SECT previews, stage bookings, refunds, holds, extensions,
+//! settlements — emits typed events through it. With no observer
+//! attached (the default) no event is even constructed; observation
+//! never changes solutions or simulated timing.
+//!
 //! ```
 //! use gpusim::Gpu;
 //! use mdls_pipeline::{power_flow_jobs, solve_batch, DevicePool};
@@ -91,10 +99,11 @@ pub mod stream;
 pub mod workload;
 
 pub use batch::{
-    digits_from_residual, promoted_cache_stats, promoted_cache_warm_insert, solve_batch,
-    solve_batch_fused, solve_batch_fused_with, solve_batch_policy, solve_batch_staged,
+    digits_from_residual, latency_summary, promoted_cache_stats, promoted_cache_warm_insert,
+    solve_batch, solve_batch_fused, solve_batch_fused_with, solve_batch_policy, solve_batch_staged,
     solve_batch_with, solve_planned, solve_planned_fused, solve_planned_fused_with,
-    solve_planned_traced, solve_planned_traced_with, BatchReport, JobOutcome, PlannedSolve,
+    solve_planned_traced, solve_planned_traced_with, BatchReport, JobOutcome, LatencySummary,
+    PlannedSolve,
 };
 pub use job::{Job, Precision, Solution};
 pub use microbatch::{
@@ -102,7 +111,7 @@ pub use microbatch::{
     schedule_staged, GroupDispatch, MicrobatchConfig,
 };
 pub use plan::{ExecPlan, FusedProfile, PlannedStage, Stage};
-pub use planner::Planner;
+pub use planner::{plan_cache_stats, PlanCacheStats, Planner};
 pub use pool::{
     DevicePool, DeviceStats, PoolDevice, StageBooking, StageInterval, StageRefund, StageReq,
 };
@@ -111,5 +120,6 @@ pub use stream::{
     solve_stream, solve_stream_fused, solve_stream_staged, solve_stream_with, BatchStream,
 };
 pub use workload::{
-    bursty_tracker_jobs, power_flow_jobs, refinement_mix, tracker_jobs, workload_mix,
+    bursty_tracker_jobs, jobs_for_shapes, power_flow_jobs, refinement_mix, tracker_jobs,
+    workload_mix,
 };

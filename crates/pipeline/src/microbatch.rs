@@ -34,6 +34,7 @@ use crate::pool::{DevicePool, StageBooking};
 use crate::scheduler::{
     place_by_end, place_release, Dispatch, DispatchPolicy, JobShape, StageSchedConfig,
 };
+use mdls_obs::Event;
 
 /// Configuration of the micro-batcher.
 #[derive(Clone, Copy, Debug)]
@@ -177,6 +178,13 @@ pub fn plan_groups(
                 .max(1)
         };
         for chunk in idxs.chunks(k) {
+            planner.emit(|| Event::GroupFormed {
+                rows: shape.rows,
+                cols: shape.cols,
+                digits: shape.target_digits,
+                size: chunk.len(),
+                preferred: k,
+            });
             groups.push(chunk.to_vec());
         }
     }
@@ -283,6 +291,21 @@ pub fn dispatch_group_staged(
         sched.overlap,
         release_ms,
     );
+    // labeled stage intervals: the plan knows each booked stage's kind
+    // and rung, the booking knows where its lanes landed
+    for (i, (ps, iv)) in plan.stages.iter().zip(&booking.stages).enumerate() {
+        pool.emit(|| Event::StageBooked {
+            device,
+            job: jobs[0] as u64,
+            stage: i,
+            kind: ps.stage.kind(),
+            rung: ps.stage.rung().tag(),
+            host_start_ms: iv.host.0,
+            host_end_ms: iv.host.1,
+            dev_start_ms: iv.device.0,
+            dev_end_ms: iv.device.1,
+        });
+    }
     GroupDispatch {
         jobs,
         device,

@@ -77,6 +77,16 @@ impl Stage {
         }
     }
 
+    /// The observability classification of this stage, used when
+    /// emitting [`mdls_obs::Event::StageBooked`] / stage-time events.
+    pub fn kind(&self) -> mdls_obs::StageKind {
+        match self {
+            Stage::Factor { .. } => mdls_obs::StageKind::Factor,
+            Stage::Residual { .. } => mdls_obs::StageKind::Residual,
+            Stage::Correct { .. } => mdls_obs::StageKind::Correct,
+        }
+    }
+
     /// Short label for tables and per-stage breakdowns, e.g.
     /// `"factor@2d 4x256"` or `"residual@4d"`.
     pub fn label(&self) -> String {
@@ -315,7 +325,7 @@ impl FusedProfile {
             stage_host_ms: plan
                 .stages
                 .iter()
-                .map(|s| s.profile.host_ms + s.profile.transfer_ms)
+                .map(|s| s.profile.lane_split_ms().0)
                 .collect(),
         }
     }

@@ -41,13 +41,15 @@
 //! batch of thousands of same-shaped jobs plans once.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use gpusim::{ExecMode, Gpu, Profile};
 use mdls_core::{
     lstsq_batched_model_profiles, lstsq_factor_model, residual_model_profile,
     residual_model_profile_batched, LstsqOptions,
 };
+use mdls_obs::{Event, Observer};
 use multidouble::{Dd, MdScalar, Od, Qd};
 
 use crate::job::Precision;
@@ -122,6 +124,40 @@ type FusedKey = (PlanKey, usize);
 /// the tolerance bits (callers may sweep tolerances).
 type GroupKey = (usize, usize, u32, usize, u64);
 
+/// Plan-cache traffic of one planner instance: memo hits and misses of
+/// the per-device plan cache and the fused-pricing memo. The same
+/// shape as the promoted-matrix cache's hit/miss stats — process-wide
+/// totals are available from [`plan_cache_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Plans served from the memo cache.
+    pub hits: u64,
+    /// Plans that ran the full strategy search and pricing.
+    pub misses: u64,
+    /// Fused group pricings served from the fused memo.
+    pub fused_hits: u64,
+    /// Fused group pricings computed fresh.
+    pub fused_misses: u64,
+}
+
+static PLAN_HITS: AtomicU64 = AtomicU64::new(0);
+static PLAN_MISSES: AtomicU64 = AtomicU64::new(0);
+static FUSED_HITS: AtomicU64 = AtomicU64::new(0);
+static FUSED_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide plan-cache traffic across every planner constructed so
+/// far — the planner-side sibling of
+/// [`crate::batch::promoted_cache_stats`]. Counters only grow; sample
+/// before and after a run and subtract to scope them to it.
+pub fn plan_cache_stats() -> PlanCacheStats {
+    PlanCacheStats {
+        hits: PLAN_HITS.load(Ordering::Relaxed),
+        misses: PLAN_MISSES.load(Ordering::Relaxed),
+        fused_hits: FUSED_HITS.load(Ordering::Relaxed),
+        fused_misses: FUSED_MISSES.load(Ordering::Relaxed),
+    }
+}
+
 /// A memoizing planner. One planner is shared by a whole batch run.
 pub struct Planner {
     cache: Mutex<HashMap<PlanKey, ExecPlan>>,
@@ -131,6 +167,15 @@ pub struct Planner {
     group_sizes: Mutex<HashMap<GroupKey, usize>>,
     /// The numerics reference model the plan structure is tuned on.
     reference: Gpu,
+    /// This instance's cache traffic (process totals in the statics).
+    hits: AtomicU64,
+    misses: AtomicU64,
+    fused_hits: AtomicU64,
+    fused_misses: AtomicU64,
+    /// Optional event sink: cache probes, candidate counts and group
+    /// formation emit through it. Observability is inert — the
+    /// observer never feeds back into the search.
+    observer: Option<Arc<dyn Observer>>,
 }
 
 impl Default for Planner {
@@ -266,6 +311,35 @@ impl Planner {
             fused: Mutex::new(HashMap::new()),
             group_sizes: Mutex::new(HashMap::new()),
             reference,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            fused_hits: AtomicU64::new(0),
+            fused_misses: AtomicU64::new(0),
+            observer: None,
+        }
+    }
+
+    /// Attach an event sink: later cache probes and candidate counts
+    /// emit through it. Inert — never changes what the planner returns.
+    pub fn attach_observer(&mut self, observer: Arc<dyn Observer>) {
+        self.observer = Some(observer);
+    }
+
+    /// Emit one event if an observer is attached (construction skipped
+    /// otherwise).
+    pub(crate) fn emit(&self, ev: impl FnOnce() -> Event) {
+        if let Some(obs) = &self.observer {
+            obs.on_event(&ev());
+        }
+    }
+
+    /// This planner's cache traffic so far.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            fused_hits: self.fused_hits.load(Ordering::Relaxed),
+            fused_misses: self.fused_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -303,8 +377,22 @@ impl Planner {
             direct_only,
         };
         if let Some(p) = self.cache.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            PLAN_HITS.fetch_add(1, Ordering::Relaxed);
+            self.emit(|| Event::PlanCacheHit {
+                rows,
+                cols,
+                digits: target_digits,
+            });
             return p.clone();
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
+        self.emit(|| Event::PlanCacheMiss {
+            rows,
+            cols,
+            digits: target_digits,
+        });
         // compute outside the lock (model evaluation is the slow part;
         // holding the mutex here would serialize all concurrent
         // planning), then insert through `entry` so a racing thread's
@@ -400,7 +488,9 @@ impl Planner {
         }
         let target_rung = Precision::for_digits(target_digits);
         let mut best: Option<(f64, Strategy)> = None;
+        let mut candidates = 0usize;
         let mut consider = |this: &Planner, stages: Vec<Stage>, digits: u32, expected: usize| {
+            candidates += 1;
             let ms = this.reference_wall_ms(rows, cols, &stages);
             if best.as_ref().map(|(b, _)| ms < *b).unwrap_or(true) {
                 best = Some((ms, (stages, digits, expected)));
@@ -468,6 +558,12 @@ impl Planner {
         }
 
         let (_, strategy) = best.expect("at least one direct candidate always exists");
+        self.emit(|| Event::PlanCandidates {
+            rows,
+            cols,
+            digits: target_digits,
+            candidates,
+        });
         if direct_only {
             return strategy;
         }
@@ -542,8 +638,24 @@ impl Planner {
             k,
         );
         if let Some(f) = self.fused.lock().unwrap().get(&key) {
+            self.fused_hits.fetch_add(1, Ordering::Relaxed);
+            FUSED_HITS.fetch_add(1, Ordering::Relaxed);
+            self.emit(|| Event::FusedMemoHit {
+                rows,
+                cols,
+                digits: target_digits,
+                group: k,
+            });
             return (plan, f.clone());
         }
+        self.fused_misses.fetch_add(1, Ordering::Relaxed);
+        FUSED_MISSES.fetch_add(1, Ordering::Relaxed);
+        self.emit(|| Event::FusedMemoMiss {
+            rows,
+            cols,
+            digits: target_digits,
+            group: k,
+        });
         // compute outside the lock, insert through `entry` — the same
         // race discipline as the plan cache
         let stages: Vec<Stage> = plan.stages.iter().map(|s| s.stage).collect();
@@ -615,7 +727,7 @@ impl Planner {
             predicted_kernel_ms: total.all_kernels_ms(),
             flops_paper: total.total_flops_paper(),
             stage_wall_ms: profiles.iter().map(|p| p.wall_ms()).collect(),
-            stage_host_ms: profiles.iter().map(|p| p.host_ms + p.transfer_ms).collect(),
+            stage_host_ms: profiles.iter().map(|p| p.lane_split_ms().0).collect(),
         }
     }
 

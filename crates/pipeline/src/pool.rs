@@ -35,7 +35,10 @@
 //! dispatch — unlike the busy-only [`DevicePool::reconcile`], which
 //! fixes the utilization books but leaves the schedule untouched.
 
+use std::sync::Arc;
+
 use gpusim::Gpu;
+use mdls_obs::{Event, Observer};
 
 /// Booking request of one planned stage, split by lane: the host-side
 /// prep (fixed host overhead + PCIe transfer) and the device-side
@@ -202,9 +205,22 @@ pub struct DeviceStats {
 }
 
 /// A pool of simulated devices.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct DevicePool {
     devices: Vec<PoolDevice>,
+    /// Optional event sink (see [`DevicePool::attach_observer`]):
+    /// timeline mutations emit [`Event`]s through it. `None` costs one
+    /// branch per emit point and constructs nothing.
+    observer: Option<Arc<dyn Observer>>,
+}
+
+impl std::fmt::Debug for DevicePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DevicePool")
+            .field("devices", &self.devices)
+            .field("observed", &self.observer.is_some())
+            .finish()
+    }
 }
 
 impl DevicePool {
@@ -226,6 +242,39 @@ impl DevicePool {
                     flops_paper: 0.0,
                 })
                 .collect(),
+            observer: None,
+        }
+    }
+
+    /// Attach an event observer: every later timeline mutation
+    /// (commits, stage bookings via the dispatch paths, refunds,
+    /// holds) emits through it, and each pooled device is announced
+    /// immediately so trace exports can name its tracks.
+    ///
+    /// Observability is inert: observers only read values the pool has
+    /// already computed, so schedules and solutions are identical with
+    /// or without one attached.
+    pub fn attach_observer(&mut self, observer: Arc<dyn Observer>) {
+        for d in &self.devices {
+            observer.on_event(&Event::Device {
+                device: d.id,
+                name: d.gpu.name,
+            });
+        }
+        self.observer = Some(observer);
+    }
+
+    /// The attached observer, if any — dispatch and settlement sites
+    /// outside the pool emit their own events through this.
+    pub fn observer(&self) -> Option<&Arc<dyn Observer>> {
+        self.observer.as_ref()
+    }
+
+    /// Emit one event if (and only if) an observer is attached; the
+    /// closure keeps event construction off the unobserved path.
+    pub(crate) fn emit(&self, ev: impl FnOnce() -> Event) {
+        if let Some(obs) = &self.observer {
+            obs.on_event(&ev());
         }
     }
 
@@ -313,6 +362,12 @@ impl DevicePool {
         d.solves += solves;
         d.kernel_ms += kernel_ms;
         d.flops_paper += flops_paper;
+        self.emit(|| Event::PlanSpan {
+            device: id,
+            jobs: solves as usize,
+            start_ms: start,
+            end_ms: end,
+        });
         (start, end)
     }
 
@@ -463,6 +518,16 @@ impl DevicePool {
         let r = refund.refunded_ms.min(d.busy_ms);
         d.busy_ms -= r;
         d.refunded_ms += r;
+        let at_ms = d.device_until_ms;
+        if refund.refunded_ms > 0.0 {
+            self.emit(|| Event::Refund {
+                device: booking.device,
+                from_stage: from,
+                freed_ms: refund.freed_ms,
+                refunded_ms: refund.refunded_ms,
+                at_ms,
+            });
+        }
         refund
     }
 
@@ -478,6 +543,12 @@ impl DevicePool {
         let r = refund_ms.max(0.0).min(d.busy_ms);
         d.busy_ms -= r;
         d.refunded_ms += r;
+        if r > 0.0 {
+            self.emit(|| Event::Reconciled {
+                device: id,
+                refund_ms: r,
+            });
+        }
     }
 
     /// Hold device `id` idle until simulated time `until_ms` (no-op if
@@ -486,8 +557,15 @@ impl DevicePool {
     /// deadline-held job.
     pub fn hold_until(&mut self, id: usize, until_ms: f64) {
         let d = &mut self.devices[id];
+        let advanced = until_ms > d.host_until_ms || until_ms > d.device_until_ms;
         d.host_until_ms = d.host_until_ms.max(until_ms);
         d.device_until_ms = d.device_until_ms.max(until_ms);
+        if advanced {
+            self.emit(|| Event::Held {
+                device: id,
+                until_ms,
+            });
+        }
     }
 
     /// Batch makespan: the latest clock over the pool, ms.

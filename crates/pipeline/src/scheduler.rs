@@ -215,7 +215,12 @@ pub(crate) fn place_release<T>(
                 .iter()
                 .map(|d| {
                     let (payload, cost_ms) = price(&d.gpu);
-                    (d.clock_ms().max(release_ms) + cost_ms, d.id, payload)
+                    let end_ms = d.clock_ms().max(release_ms) + cost_ms;
+                    pool.emit(|| mdls_obs::Event::SectPreview {
+                        device: d.id,
+                        end_ms,
+                    });
+                    (end_ms, d.id, payload)
                 })
                 .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
                 .map(|(_, id, payload)| (id, payload))
@@ -247,6 +252,10 @@ pub(crate) fn place_by_end<T>(
             .iter()
             .map(|d| {
                 let (payload, end_ms) = end(d);
+                pool.emit(|| mdls_obs::Event::SectPreview {
+                    device: d.id,
+                    end_ms,
+                });
                 (end_ms, d.id, payload)
             })
             .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))

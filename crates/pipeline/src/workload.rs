@@ -37,25 +37,49 @@ pub fn power_flow_jobs<R: Rng + ?Sized>(count: usize, rng: &mut R) -> Vec<Job> {
             let cols = COLS[pick(rng, COLS.len())];
             let rows = cols + EXTRA_ROWS[pick(rng, EXTRA_ROWS.len())];
             let target_digits = DIGITS[pick(rng, DIGITS.len())];
-            // dense random entries with a dominant diagonal (tame
-            // conditioning), quantized to 2⁻²⁰ so that products against a
-            // small-integer solution are exact dyadics
-            let a = HostMat::<f64>::from_fn(rows, cols, |r, c| {
-                let u: f64 = rand_real(rng);
-                let q = (u * (1 << 20) as f64).round() / (1 << 20) as f64;
-                q + if r == c { 4.0 } else { 0.0 }
-            });
-            // `b = A x_true` computed *exactly* in f64 (quantized entries ×
-            // integer solution never round): the right hand side lies
-            // exactly in the column space, so even the tall
-            // measurement-augmented systems solve to the working precision
-            // and the accuracy target is checkable at every rung
-            let x_true: Vec<f64> = (0..cols)
-                .map(|_| (rand_real::<f64, _>(rng) * 8.0).round())
-                .collect();
-            let b = a.matvec(&x_true);
-            Job::new(id, a, b, target_digits)
+            well_conditioned_job(id, rows, cols, target_digits, rng)
         })
+        .collect()
+}
+
+/// One well-conditioned random system of an explicit shape: dense
+/// random entries with a dominant diagonal (tame conditioning),
+/// quantized to 2⁻²⁰ so that products against a small-integer solution
+/// are exact dyadics. `b = A x_true` is computed *exactly* in f64
+/// (quantized entries × integer solution never round): the right hand
+/// side lies exactly in the column space, so even tall
+/// measurement-augmented systems solve to the working precision and
+/// the accuracy target is checkable at every rung.
+fn well_conditioned_job<R: Rng + ?Sized>(
+    id: u64,
+    rows: usize,
+    cols: usize,
+    target_digits: u32,
+    rng: &mut R,
+) -> Job {
+    let a = HostMat::<f64>::from_fn(rows, cols, |r, c| {
+        let u: f64 = rand_real(rng);
+        let q = (u * (1 << 20) as f64).round() / (1 << 20) as f64;
+        q + if r == c { 4.0 } else { 0.0 }
+    });
+    let x_true: Vec<f64> = (0..cols)
+        .map(|_| (rand_real::<f64, _>(rng) * 8.0).round())
+        .collect();
+    let b = a.matvec(&x_true);
+    Job::new(id, a, b, target_digits)
+}
+
+/// Functional jobs for an explicit shape queue: one well-conditioned
+/// random system per [`JobShape`], ids in queue order. This is the
+/// bridge from the model-only shape mixes ([`workload_mix`],
+/// [`refinement_mix`]) to jobs the functional solve paths accept —
+/// and, because the caller controls shape repetition, the way to build
+/// queues the micro-batcher can actually fuse.
+pub fn jobs_for_shapes<R: Rng + ?Sized>(shapes: &[JobShape], rng: &mut R) -> Vec<Job> {
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(id, s)| well_conditioned_job(id as u64, s.rows, s.cols, s.target_digits, rng))
         .collect()
 }
 
@@ -178,6 +202,19 @@ mod tests {
         digits.sort();
         digits.dedup();
         assert!(digits.len() >= 3, "only {} distinct targets", digits.len());
+    }
+
+    #[test]
+    fn shapes_produce_matching_jobs() {
+        let shapes = refinement_mix(6);
+        let mut rng = StdRng::seed_from_u64(3);
+        let jobs = jobs_for_shapes(&shapes, &mut rng);
+        assert_eq!(jobs.len(), shapes.len());
+        for (job, s) in jobs.iter().zip(&shapes) {
+            assert_eq!((job.rows(), job.cols()), (s.rows, s.cols));
+            assert_eq!(job.target_digits, s.target_digits);
+            assert_eq!(job.b.len(), s.rows);
+        }
     }
 
     #[test]

@@ -18,7 +18,10 @@
 //! * [`solver`] — the least squares solver combining the two;
 //! * [`pipeline`] — the batched multi-GPU solve service (cost-model
 //!   planner, device pool, policy-driven scheduler, priority-aware
-//!   `solve_batch`/`solve_stream`).
+//!   `solve_batch`/`solve_stream`);
+//! * [`obs`] — the observability layer: typed pipeline events,
+//!   Chrome-trace export and latency/calibration metrics (attach a
+//!   recorder via `pipeline::DevicePool::attach_observer`).
 //!
 //! ## Quickstart
 //!
@@ -54,3 +57,11 @@ pub use gpusim as sim;
 /// pool, policy-driven scheduler (`DispatchPolicy`), and the
 /// `solve_batch` / `solve_stream` API with priority-aware streaming.
 pub use mdls_pipeline as pipeline;
+
+/// The observability layer: typed [`obs::Event`]s emitted from every
+/// pipeline stage, an [`obs::Recorder`] sink, Chrome-trace export
+/// ([`obs::trace`]) and metrics aggregation ([`obs::metrics`]).
+/// Observation is provably inert: with no observer attached no event
+/// is constructed, and an attached observer changes neither solution
+/// bits nor simulated timing.
+pub use mdls_obs as obs;
