@@ -1,0 +1,940 @@
+//! The lint passes and the per-crate policy table.
+//!
+//! Every lint here is grounded in a real hazard of this reproduction
+//! (see the README's "Static analysis" section for the full story):
+//!
+//! * [`MAP_ITERATION_ORDER`] — bit-identity and placement invariance
+//!   die the day someone traverses a `HashMap` in plan or schedule
+//!   code: iteration order varies per process, so any order-dependent
+//!   result varies per run.
+//! * [`WALL_CLOCK_IN_SIM`] — the pipeline runs on *simulated* clocks;
+//!   a stray `Instant::now()` silently couples results to host load.
+//! * [`LOCK_ACROSS_EMIT`] — the observer contract is "inert": an
+//!   emit site that holds a planner/cache `MutexGuard` hands every
+//!   observer a loaded gun (re-entering the planner deadlocks).
+//! * [`UNDOCUMENTED_UNSAFE`] — every `unsafe` block or impl must carry
+//!   an adjacent `// Safety:` comment naming its contract.
+//! * [`FLOAT_EQ_OUTSIDE_CORE`] — `==`/`!=` on floats is legitimate in
+//!   the error-free-transform kernels (`multidouble`, `matrix`), and a
+//!   latent bug everywhere else.
+//!
+//! Suppression grammar: `// analyze::allow(lint-id): reason`. The
+//! reason is mandatory — a bare allow is itself a finding — and an
+//! allow that suppresses nothing is flagged too, so the corpus of
+//! exceptions can only shrink.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+use crate::report::Finding;
+
+pub const MAP_ITERATION_ORDER: &str = "map-iteration-order";
+pub const WALL_CLOCK_IN_SIM: &str = "wall-clock-in-sim";
+pub const LOCK_ACROSS_EMIT: &str = "lock-across-emit";
+pub const UNDOCUMENTED_UNSAFE: &str = "undocumented-unsafe";
+pub const FLOAT_EQ_OUTSIDE_CORE: &str = "float-eq-outside-core";
+pub const BARE_ALLOW: &str = "bare-allow";
+pub const UNKNOWN_LINT: &str = "unknown-lint";
+pub const UNUSED_ALLOW: &str = "unused-allow";
+
+/// Which crates a lint applies to.
+pub enum Scope {
+    /// Every workspace crate.
+    All,
+    /// Only the named crates.
+    Only(&'static [&'static str]),
+    /// Every crate except the named ones.
+    Except(&'static [&'static str]),
+}
+
+impl Scope {
+    fn applies(&self, krate: &str) -> bool {
+        match self {
+            Scope::All => true,
+            Scope::Only(list) => list.contains(&krate),
+            Scope::Except(list) => !list.contains(&krate),
+        }
+    }
+}
+
+/// One lint's identity and policy.
+pub struct LintDef {
+    pub id: &'static str,
+    pub scope: Scope,
+    /// Skip `#[cfg(test)]` modules and `tests/`/`benches/` files.
+    pub skip_tests: bool,
+    pub summary: &'static str,
+}
+
+/// The policy table: which lint runs where. One place to read, one
+/// place to change.
+pub const LINTS: &[LintDef] = &[
+    LintDef {
+        id: MAP_ITERATION_ORDER,
+        scope: Scope::Only(&["pipeline", "gpusim", "core", "obs"]),
+        skip_tests: false,
+        summary: "no order-dependent traversal of HashMap/HashSet in determinism-bearing crates",
+    },
+    LintDef {
+        id: WALL_CLOCK_IN_SIM,
+        scope: Scope::Except(&["bench", "analyze"]),
+        skip_tests: false,
+        summary: "no Instant::now/SystemTime/thread::sleep outside the bench crate (simulated clocks only)",
+    },
+    LintDef {
+        id: LOCK_ACROSS_EMIT,
+        scope: Scope::All,
+        skip_tests: false,
+        summary: "no MutexGuard live across an .emit(..) observer call",
+    },
+    LintDef {
+        id: UNDOCUMENTED_UNSAFE,
+        scope: Scope::All,
+        skip_tests: false,
+        summary: "every unsafe block/impl carries an adjacent // Safety: comment",
+    },
+    LintDef {
+        id: FLOAT_EQ_OUTSIDE_CORE,
+        scope: Scope::Except(&["multidouble", "matrix"]),
+        skip_tests: true,
+        summary: "no ==/!= on float expressions outside the error-free-transform crates",
+    },
+];
+
+/// Look a lint up by id.
+pub fn lint_by_id(id: &str) -> Option<&'static LintDef> {
+    LINTS.iter().find(|l| l.id == id)
+}
+
+/// Map a workspace-relative path to its crate name, or `None` when the
+/// file is out of scope (vendored stand-ins, build output, the
+/// analyzer's own intentionally-dirty fixture corpus).
+pub fn crate_of(rel: &str) -> Option<&str> {
+    let rel = rel.trim_start_matches("./");
+    if rel.starts_with("vendor/") || rel.starts_with("target/") || rel.contains("/fixtures/") {
+        return None;
+    }
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        return rest.split('/').next();
+    }
+    if rel.starts_with("src/") || rel.starts_with("tests/") || rel.starts_with("examples/") {
+        return Some("multidouble-ls");
+    }
+    None
+}
+
+/// Whether a path is test-only by location.
+fn is_test_path(rel: &str) -> bool {
+    rel.split('/').any(|c| c == "tests" || c == "benches")
+}
+
+// ---------------------------------------------------------------------
+// suppression grammar
+// ---------------------------------------------------------------------
+
+struct Allow {
+    lint: String,
+    has_reason: bool,
+    line: u32,
+    target_line: Option<u32>,
+    used: bool,
+}
+
+/// Parse `analyze::allow(lint-id): reason` comments. `code_lines` maps
+/// an own-line allow to the next line holding code.
+fn parse_allows(comments: &[Comment], code_lines: &BTreeSet<u32>) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.strip_prefix("analyze::allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let lint = rest[..close].trim().to_string();
+        let tail = rest[close + 1..].trim();
+        let has_reason = tail
+            .strip_prefix(':')
+            .map(|r| !r.trim().is_empty())
+            .unwrap_or(false);
+        let target_line = if c.trailing {
+            Some(c.line)
+        } else {
+            code_lines.range(c.line + 1..).next().copied()
+        };
+        out.push(Allow {
+            lint,
+            has_reason,
+            line: c.line,
+            target_line,
+            used: false,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// token-scope helpers
+// ---------------------------------------------------------------------
+
+fn is(t: &Token, s: &str) -> bool {
+    t.text == s
+}
+
+/// Index of the brace/bracket/paren closing the one at `open`.
+fn matching(toks: &[Token], open: usize) -> usize {
+    let (o, c) = match toks[open].text.as_str() {
+        "{" => ("{", "}"),
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        _ => return open,
+    };
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == o {
+                depth += 1;
+            } else if t.text == c {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Index of the paren/bracket *opening* the one closing at `close`,
+/// scanning backwards.
+fn matching_back(toks: &[Token], close: usize) -> usize {
+    let (o, c) = match toks[close].text.as_str() {
+        ")" => ("(", ")"),
+        "]" => ("[", "]"),
+        "}" => ("{", "}"),
+        _ => return close,
+    };
+    let mut depth = 0usize;
+    for i in (0..=close).rev() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            if t.text == c {
+                depth += 1;
+            } else if t.text == o {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+    }
+    0
+}
+
+/// Token-index spans of `#[cfg(test)] mod ... { ... }` bodies.
+fn cfg_test_spans(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i + 4 < toks.len() {
+        if is(&toks[i], "#")
+            && is(&toks[i + 1], "[")
+            && is(&toks[i + 2], "cfg")
+            && is(&toks[i + 3], "(")
+        {
+            let close_paren = matching(toks, i + 3);
+            let has_test = toks[i + 4..close_paren].iter().any(|t| t.text == "test");
+            let mut j = matching(toks, i + 1) + 1; // past the `]`
+            if has_test {
+                // skip further attributes
+                while j + 1 < toks.len() && is(&toks[j], "#") && is(&toks[j + 1], "[") {
+                    j = matching(toks, j + 1) + 1;
+                }
+                // pub? mod name {
+                if j < toks.len() && is(&toks[j], "pub") {
+                    j += 1;
+                    if j < toks.len() && is(&toks[j], "(") {
+                        j = matching(toks, j) + 1;
+                    }
+                }
+                if j + 2 < toks.len() && is(&toks[j], "mod") && is(&toks[j + 2], "{") {
+                    let open = j + 2;
+                    spans.push((open, matching(toks, open)));
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+// ---------------------------------------------------------------------
+// workspace pass 1: names that denote floats
+// ---------------------------------------------------------------------
+
+/// Collect identifiers `src` declares as `f64`/`f32` — struct fields,
+/// let bindings and fn params (`name: f64`) go into `decls`; functions
+/// returning floats (`fn name(..) -> f64`) go into `fns`. The split
+/// matters for scoping: fn names are cross-crate API (`wall_ms()`
+/// reads as a float anywhere), while field/binding names are only
+/// trustworthy within their own crate — `device` is an `f64` cursor in
+/// one crate and a `usize` id in another.
+pub fn collect_float_names(src: &str, decls: &mut BTreeSet<String>, fns: &mut BTreeSet<String>) {
+    let toks = lex(src).tokens;
+    let mut last_fn_name: Option<String> = None;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "fn" {
+            if let Some(n) = toks.get(i + 1) {
+                if n.kind == TokKind::Ident {
+                    last_fn_name = Some(n.text.clone());
+                }
+            }
+            continue;
+        }
+        if t.text == "f64" || t.text == "f32" {
+            // `name : [& mut] f64`
+            let mut j = i;
+            while j > 0 && (is(&toks[j - 1], "&") || is(&toks[j - 1], "mut")) {
+                j -= 1;
+            }
+            // short names (`p`, `x`, `ms`) collide with non-float
+            // locals all over a numeric workspace; only names of three
+            // or more characters are specific enough to trust
+            if j >= 2 && is(&toks[j - 1], ":") && toks[j - 2].kind == TokKind::Ident {
+                let name = &toks[j - 2].text;
+                if name.len() >= 3 {
+                    decls.insert(name.clone());
+                }
+            }
+            // `fn name(..) -> [& mut] f64`
+            if j >= 1 && is(&toks[j - 1], "->") {
+                if let Some(n) = &last_fn_name {
+                    if n.len() >= 3 {
+                        fns.insert(n.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// the per-file analysis
+// ---------------------------------------------------------------------
+
+/// Run every applicable lint over one file. `float_names` comes from
+/// [`collect_float_names`] over the whole workspace.
+pub fn analyze_source(
+    rel: &str,
+    krate: &str,
+    src: &str,
+    float_names: &BTreeSet<String>,
+) -> Vec<Finding> {
+    let lexed = lex(src);
+    let toks = &lexed.tokens;
+    let code_lines: BTreeSet<u32> = toks.iter().map(|t| t.line).collect();
+    let mut allows = parse_allows(&lexed.comments, &code_lines);
+    let test_spans = cfg_test_spans(toks);
+    let path_is_test = is_test_path(rel);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    let enabled = |id: &str| {
+        lint_by_id(id)
+            .map(|l| l.scope.applies(krate))
+            .unwrap_or(false)
+    };
+    let skip_tests = |id: &str| lint_by_id(id).map(|l| l.skip_tests).unwrap_or(false);
+
+    if enabled(MAP_ITERATION_ORDER) {
+        lint_map_iteration(rel, toks, &mut raw);
+    }
+    if enabled(WALL_CLOCK_IN_SIM) {
+        lint_wall_clock(rel, toks, &mut raw);
+    }
+    if enabled(LOCK_ACROSS_EMIT) {
+        lint_lock_across_emit(rel, toks, &mut raw);
+    }
+    if enabled(UNDOCUMENTED_UNSAFE) {
+        lint_undocumented_unsafe(rel, toks, &lexed.comments, &mut raw);
+    }
+    if enabled(FLOAT_EQ_OUTSIDE_CORE) {
+        lint_float_eq(rel, toks, float_names, &mut raw);
+    }
+
+    // drop findings of skip_tests lints that landed in test code
+    raw.retain(|f| {
+        if !skip_tests(f.lint) {
+            return true;
+        }
+        if path_is_test {
+            return false;
+        }
+        // token-index spans → line check: a finding inside a
+        // #[cfg(test)] mod is dropped
+        !test_spans.iter().any(|&(a, b)| {
+            let (lo, hi) = (toks[a].line, toks[b].line);
+            f.line >= lo && f.line <= hi
+        })
+    });
+
+    // apply suppressions
+    let mut findings: Vec<Finding> = Vec::new();
+    'f: for f in raw {
+        for a in allows.iter_mut() {
+            if a.lint == f.lint && a.target_line == Some(f.line) && a.has_reason {
+                a.used = true;
+                continue 'f;
+            }
+        }
+        findings.push(f);
+    }
+
+    // the suppression grammar's own rules
+    for a in &allows {
+        if lint_by_id(&a.lint).is_none() {
+            findings.push(Finding::new(
+                rel,
+                a.line,
+                UNKNOWN_LINT,
+                format!("allow names unknown lint `{}`", a.lint),
+            ));
+            continue;
+        }
+        if !a.has_reason {
+            findings.push(Finding::new(
+                rel,
+                a.line,
+                BARE_ALLOW,
+                format!(
+                    "allow({}) without a reason — write `// analyze::allow({}): why`",
+                    a.lint, a.lint
+                ),
+            ));
+            continue;
+        }
+        if !a.used {
+            findings.push(Finding::new(
+                rel,
+                a.line,
+                UNUSED_ALLOW,
+                format!("allow({}) suppresses nothing — remove it", a.lint),
+            ));
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
+    findings
+}
+
+// ---------------------------------------------------------------------
+// individual lints
+// ---------------------------------------------------------------------
+
+const MAP_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ORDER_DEPENDENT: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+    "extract_if",
+];
+
+/// Names in this file bound to a `HashMap`/`HashSet`: fields and
+/// bindings declared `name: ..HashMap<..`, and `name = HashMap::new()`
+/// style initializers.
+fn map_names(toks: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident || !MAP_TYPES.contains(&toks[i].text.as_str()) {
+            continue;
+        }
+        // walk back over type-path noise to the declaring `:` or `=`
+        let mut j = i;
+        while j > 0 {
+            let p = &toks[j - 1];
+            let skip = p.text == "::"
+                || p.text == "<"
+                || p.text == "&"
+                || p.text == "mut"
+                || (p.kind == TokKind::Ident && p.text != "let");
+            if !skip {
+                break;
+            }
+            j -= 1;
+        }
+        if j >= 2 && (is(&toks[j - 1], ":") || is(&toks[j - 1], "=")) {
+            let mut k = j - 1;
+            // `name : Ty` / `name = init` / `name : Ty = init`
+            if is(&toks[k], "=") {
+                // skip back over a type annotation if present
+                let mut depth = 0i32;
+                while k > 0 {
+                    let t = &toks[k - 1];
+                    match t.text.as_str() {
+                        ">" | ">>" => depth += 1,
+                        "<" => depth -= 1,
+                        ":" if depth == 0 => {
+                            k -= 1;
+                            break;
+                        }
+                        ";" | "{" | "}" => break,
+                        _ => {}
+                    }
+                    if depth < 0 {
+                        break;
+                    }
+                    k -= 1;
+                }
+            }
+            if k >= 1
+                && (is(&toks[k], ":") || is(&toks[k], "="))
+                && toks[k - 1].kind == TokKind::Ident
+            {
+                names.insert(toks[k - 1].text.clone());
+            }
+        }
+    }
+    names
+}
+
+/// The object a method chain ending at `dot` (the `.` of a call)
+/// actually operates on: walk left *through* method calls — `.lock()`,
+/// `.unwrap()` and friends hand the same underlying object along — and
+/// stop at the first plain field/variable segment, which is the
+/// receiver. `fused.stage_wall_ms.iter()` iterates `stage_wall_ms`,
+/// not `fused`; `self.cache.lock().unwrap().iter()` iterates `cache`.
+fn chain_receiver(toks: &[Token], dot: usize) -> Option<String> {
+    let mut i = dot; // index of the `.`
+    loop {
+        if i == 0 {
+            return None;
+        }
+        let prev = i - 1;
+        match toks[prev].kind {
+            TokKind::Ident => return Some(toks[prev].text.clone()),
+            TokKind::Punct if toks[prev].text == ")" || toks[prev].text == "]" => {
+                // a call or index — skip over it and its callee name,
+                // staying on the same logical object
+                let open = matching_back(toks, prev);
+                if open == 0 {
+                    return None;
+                }
+                i = open;
+                if toks[prev].text == ")" && toks[i - 1].kind == TokKind::Ident {
+                    i -= 1; // past the method name
+                }
+            }
+            _ => return None,
+        }
+        // continue only across `.` / `::`
+        if i == 0 {
+            return None;
+        }
+        let link = &toks[i - 1];
+        if link.text == "." || link.text == "::" {
+            i -= 1;
+        } else {
+            return None;
+        }
+    }
+}
+
+fn lint_map_iteration(rel: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    let names = map_names(toks);
+    for i in 0..toks.len() {
+        // `.method(` with an order-dependent method on a known map
+        if toks[i].text == "."
+            && i + 2 < toks.len()
+            && toks[i + 1].kind == TokKind::Ident
+            && ORDER_DEPENDENT.contains(&toks[i + 1].text.as_str())
+            && is(&toks[i + 2], "(")
+        {
+            let receiver = chain_receiver(toks, i);
+            if let Some(hit) = receiver.filter(|r| names.contains(r)) {
+                out.push(Finding::new(
+                    rel,
+                    toks[i + 1].line,
+                    MAP_ITERATION_ORDER,
+                    format!(
+                        "`.{}()` on hash-ordered `{}` — iteration order varies per process; \
+                         use first-appearance bucketing or a sorted/BTree container",
+                        toks[i + 1].text,
+                        hit
+                    ),
+                ));
+            }
+        }
+        // `for pat in [&[mut]] map {`
+        if is(&toks[i], "for") && toks[i].kind == TokKind::Ident {
+            // find the `in` at depth 0 before the body `{`
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "in" if depth == 0 => break,
+                    "{" if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j < toks.len() && is(&toks[j], "in") {
+                // expr tokens up to the body `{`
+                let mut k = j + 1;
+                let mut expr = Vec::new();
+                let mut d = 0i32;
+                while k < toks.len() {
+                    match toks[k].text.as_str() {
+                        "(" | "[" => d += 1,
+                        ")" | "]" => d -= 1,
+                        "{" if d == 0 => break,
+                        _ => {}
+                    }
+                    expr.push(k);
+                    k += 1;
+                }
+                // flag only a bare `&`/`&mut` map ident — chains with
+                // methods are handled by the method rule above, and
+                // things like `0..map.len()` must not trip
+                let idents: Vec<&Token> = expr
+                    .iter()
+                    .map(|&x| &toks[x])
+                    .filter(|t| !(t.text == "&" || t.text == "mut"))
+                    .collect();
+                if idents.len() == 1
+                    && idents[0].kind == TokKind::Ident
+                    && names.contains(&idents[0].text)
+                {
+                    out.push(Finding::new(
+                        rel,
+                        idents[0].line,
+                        MAP_ITERATION_ORDER,
+                        format!(
+                            "`for .. in {}` iterates a hash-ordered container — order varies \
+                             per process",
+                            idents[0].text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn lint_wall_clock(rel: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let hit = match t.text.as_str() {
+            "Instant" | "SystemTime" => {
+                // flag the read (`::now`), not the mere import
+                i + 2 < toks.len() && is(&toks[i + 1], "::") && is(&toks[i + 2], "now")
+            }
+            "thread" => i + 2 < toks.len() && is(&toks[i + 1], "::") && is(&toks[i + 2], "sleep"),
+            _ => false,
+        };
+        if hit {
+            out.push(Finding::new(
+                rel,
+                t.line,
+                WALL_CLOCK_IN_SIM,
+                format!(
+                    "`{}::{}` reads the host clock — sim code must use simulated time only",
+                    t.text,
+                    toks[i + 2].text
+                ),
+            ));
+        }
+    }
+}
+
+fn lint_lock_across_emit(rel: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        // `.lock()` call
+        if !(toks[i].text == "."
+            && i + 2 < toks.len()
+            && toks[i + 1].text == "lock"
+            && is(&toks[i + 2], "("))
+        {
+            continue;
+        }
+        let lock_line = toks[i + 1].line;
+        // walk back to the statement start
+        let mut start = i;
+        while start > 0 {
+            match toks[start - 1].text.as_str() {
+                ";" | "{" | "}" => break,
+                _ => start -= 1,
+            }
+        }
+        let head = &toks[start];
+        // chain after .lock(): which methods follow?
+        let mut j = matching(toks, i + 2) + 1;
+        let mut guard_persists = true; // `.unwrap()`/`.expect()` only
+        while j + 2 < toks.len() && toks[j].text == "." && toks[j + 1].kind == TokKind::Ident {
+            let m = toks[j + 1].text.as_str();
+            if is(&toks[j + 2], "(") {
+                if !(m == "unwrap" || m == "expect") {
+                    guard_persists = false;
+                }
+                j = matching(toks, j + 2) + 1;
+            } else {
+                guard_persists = false;
+                break;
+            }
+        }
+
+        let (span, origin): (Option<(usize, usize)>, &str) = match head.text.as_str() {
+            // condition temporaries live through the whole expression,
+            // arms and all — even when the guard is chained further
+            // (`..lock().unwrap().get(&k)` still borrows the guard)
+            "if" | "while" | "match" => {
+                let mut k = i;
+                let mut d = 0i32;
+                while k < toks.len() {
+                    match toks[k].text.as_str() {
+                        "(" | "[" => d += 1,
+                        ")" | "]" => d -= 1,
+                        "{" if d == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if k < toks.len() {
+                    let mut end = matching(toks, k);
+                    // chained else / else if blocks extend the span
+                    while end + 1 < toks.len() && is(&toks[end + 1], "else") {
+                        let mut b = end + 1;
+                        while b < toks.len() && !is(&toks[b], "{") {
+                            b += 1;
+                        }
+                        if b >= toks.len() {
+                            break;
+                        }
+                        end = matching(toks, b);
+                    }
+                    (Some((k, end)), "a temporary guard in this condition")
+                } else {
+                    (None, "")
+                }
+            }
+            "let" if guard_persists => {
+                // named guard: live to the end of the enclosing block
+                // (or an explicit drop)
+                let mut name_idx = start + 1;
+                if name_idx < toks.len() && is(&toks[name_idx], "mut") {
+                    name_idx += 1;
+                }
+                let name = toks
+                    .get(name_idx)
+                    .map(|t| t.text.clone())
+                    .unwrap_or_default();
+                // enclosing block: nearest unmatched `{` before start
+                let mut depth = 0i32;
+                let mut open = 0usize;
+                for b in (0..start).rev() {
+                    match toks[b].text.as_str() {
+                        "}" => depth += 1,
+                        "{" => {
+                            if depth == 0 {
+                                open = b;
+                                break;
+                            }
+                            depth -= 1;
+                        }
+                        _ => {}
+                    }
+                }
+                let mut end = matching(toks, open);
+                // an explicit drop(name) releases it early
+                for d in i..end {
+                    if is(&toks[d], "drop")
+                        && d + 2 < toks.len()
+                        && is(&toks[d + 1], "(")
+                        && toks[d + 2].text == name
+                    {
+                        end = d;
+                        break;
+                    }
+                }
+                (Some((i, end)), "a named guard binding")
+            }
+            _ => (None, ""), // plain statement: temporary dies at `;`
+        };
+
+        let Some((a, b)) = span else { continue };
+        for e in a..=b.min(toks.len().saturating_sub(1)) {
+            if toks[e].text == "."
+                && e + 2 < toks.len()
+                && toks[e + 1].text == "emit"
+                && is(&toks[e + 2], "(")
+            {
+                out.push(Finding::new(
+                    rel,
+                    toks[e + 1].line,
+                    LOCK_ACROSS_EMIT,
+                    format!(
+                        "`.emit(..)` runs while {} from `.lock()` (line {}) is still live — \
+                         an observer that re-enters the lock deadlocks; drop the guard first",
+                        origin, lock_line
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn lint_undocumented_unsafe(
+    rel: &str,
+    toks: &[Token],
+    comments: &[Comment],
+    out: &mut Vec<Finding>,
+) {
+    // line → comment texts, for adjacency checks
+    let mut by_line: std::collections::BTreeMap<u32, Vec<&Comment>> =
+        std::collections::BTreeMap::new();
+    for c in comments {
+        by_line.entry(c.line).or_default().push(c);
+    }
+    let has_safety = |line: u32| -> bool {
+        // same line, or the contiguous own-line comment run above
+        if let Some(cs) = by_line.get(&line) {
+            if cs.iter().any(|c| c.text.starts_with("Safety:")) {
+                return true;
+            }
+        }
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            match by_line.get(&l) {
+                Some(cs) => {
+                    if cs.iter().any(|c| c.text.starts_with("Safety:")) {
+                        return true;
+                    }
+                }
+                None => return false,
+            }
+        }
+        false
+    };
+    for i in 0..toks.len() {
+        if !(toks[i].kind == TokKind::Ident && toks[i].text == "unsafe") {
+            continue;
+        }
+        let next = match toks.get(i + 1) {
+            Some(n) => n,
+            None => continue,
+        };
+        let what = match next.text.as_str() {
+            "{" => "block",
+            "impl" | "trait" => "impl",
+            _ => continue, // `unsafe fn` is deny(unsafe_op_in_unsafe_fn)'s job
+        };
+        if !has_safety(toks[i].line) {
+            out.push(Finding::new(
+                rel,
+                toks[i].line,
+                UNDOCUMENTED_UNSAFE,
+                format!(
+                    "unsafe {what} without an adjacent `// Safety:` comment naming its contract"
+                ),
+            ));
+        }
+    }
+}
+
+/// Does the operand chain starting at token `i` (moving right) resolve
+/// to a float? The chain's *terminal* segment determines the type
+/// (`other.wall_ms()` is whatever `wall_ms` returns, no matter what
+/// `other` is), so only the last ident of the `a.b.c()` / `A::B::c`
+/// walk is checked — plus float literals and `f64::`/`f32::` paths.
+fn rhs_is_float(toks: &[Token], mut i: usize, names: &BTreeSet<String>) -> bool {
+    // skip unary noise
+    while i < toks.len() && (toks[i].text == "-" || toks[i].text == "&" || toks[i].text == "(") {
+        i += 1;
+    }
+    if i >= toks.len() {
+        return false;
+    }
+    if toks[i].kind == TokKind::Ident && (toks[i].text == "f64" || toks[i].text == "f32") {
+        return true; // f64::INFINITY and friends
+    }
+    let mut terminal: Option<&str> = None;
+    let mut steps = 0;
+    while i < toks.len() && steps < 24 {
+        steps += 1;
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Float => return true,
+            TokKind::Ident => {
+                terminal = Some(&t.text);
+                i += 1;
+            }
+            TokKind::Int => i += 1,
+            TokKind::Punct if t.text == "." || t.text == "::" => i += 1,
+            TokKind::Punct if t.text == "(" => {
+                i = matching(toks, i) + 1;
+            }
+            _ => break,
+        }
+    }
+    terminal.map(|t| names.contains(t)).unwrap_or(false)
+}
+
+/// Does the operand ending at token `i` (the token left of the
+/// operator) resolve to a float? Terminal-segment typing, as in
+/// [`rhs_is_float`]: the last field/method of the chain decides.
+fn lhs_is_float(toks: &[Token], end: usize, names: &BTreeSet<String>) -> bool {
+    let t = &toks[end];
+    match t.kind {
+        TokKind::Float => true,
+        TokKind::Ident => names.contains(&t.text) || t.text == "f64" || t.text == "f32",
+        TokKind::Punct if t.text == ")" => {
+            // `..method()` — the called method is the terminal
+            let open = matching_back(toks, end);
+            open > 0
+                && toks[open - 1].kind == TokKind::Ident
+                && names.contains(&toks[open - 1].text)
+        }
+        _ => false,
+    }
+}
+
+fn lint_float_eq(rel: &str, toks: &[Token], names: &BTreeSet<String>, out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !(t.kind == TokKind::Punct && (t.text == "==" || t.text == "!=")) {
+            continue;
+        }
+        if i == 0 || i + 1 >= toks.len() {
+            continue;
+        }
+        if lhs_is_float(toks, i - 1, names) || rhs_is_float(toks, i + 1, names) {
+            out.push(Finding::new(
+                rel,
+                t.line,
+                FLOAT_EQ_OUTSIDE_CORE,
+                format!(
+                    "`{}` on a float expression — exact float comparison belongs to the \
+                     error-free-transform crates; compare against a tolerance or justify \
+                     the exactness",
+                    t.text
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+#![forbid(unsafe_code)]
+//! `mdls-analyze` — the workspace lint gate.
+//!
+//! ```text
+//! mdls-analyze check [--json] [ROOT]   # analyze the workspace (default ROOT: .)
+//! mdls-analyze lints                   # print the lint/policy table
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mdls_analyze::{analyze_workspace, lints};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: mdls-analyze check [--json] [ROOT]\n       mdls-analyze lints");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lints") => {
+            for l in lints::LINTS {
+                println!("{:<24} {}", l.id, l.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let mut json = false;
+            let mut root: Option<PathBuf> = None;
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--json" => json = true,
+                    other if !other.starts_with('-') => root = Some(PathBuf::from(other)),
+                    _ => return usage(),
+                }
+            }
+            let root = root.unwrap_or_else(|| PathBuf::from("."));
+            match analyze_workspace(&root) {
+                Ok((findings, scanned)) => {
+                    let rendered = if json {
+                        mdls_analyze::report::render_json(&findings, scanned)
+                    } else {
+                        mdls_analyze::report::render_human(&findings, scanned)
+                    };
+                    print!("{rendered}");
+                    if findings.is_empty() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(1)
+                    }
+                }
+                Err(e) => {
+                    eprintln!("mdls-analyze: {}: {e}", root.display());
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

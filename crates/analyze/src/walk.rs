@@ -1,0 +1,52 @@
+//! Deterministic workspace file walker.
+//!
+//! Collects every `.rs` file under the workspace root, sorted by
+//! relative path so diagnostics come out in one stable order (the
+//! analyzer holds itself to the same determinism bar it enforces).
+//! Skips build output (`target/`), the vendored offline stand-ins
+//! (`vendor/` — third-party idiom, not ours to police), version
+//! control internals, and the analyzer's own fixture corpus (which is
+//! intentionally dirty).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
+
+/// All workspace `.rs` files as `(relative_path, contents)`, sorted by
+/// path.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    collect(root, &mut paths)?;
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for p in paths {
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&p)?;
+        out.push((rel, src));
+    }
+    Ok(out)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

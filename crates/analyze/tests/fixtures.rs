@@ -1,0 +1,166 @@
+//! The fixture corpus: every lint has a tripping and a clean fixture
+//! under `tests/fixtures/`, lexed through [`mdls_analyze::analyze_str`]
+//! exactly as the workspace pass would. Tripping fixtures carry
+//! `// FINDING: lint-id` markers on the lines the analyzer must flag —
+//! the expected set is read out of the fixture itself, so fixture and
+//! expectation cannot drift apart.
+//!
+//! The fixture directory is named `fixtures` on purpose: both the
+//! workspace walker and `crate_of` skip it, so the intentionally-dirty
+//! corpus never pollutes a real `mdls-analyze check` run (the
+//! self-check test in `self_check.rs` proves that).
+
+use mdls_analyze::analyze_str;
+
+/// `(line, lint-id)` pairs declared by `// FINDING: id[, id]` markers.
+fn expected(src: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        if let Some(pos) = line.find("FINDING:") {
+            for id in line[pos + "FINDING:".len()..].split(',') {
+                out.push((idx as u32 + 1, id.trim().to_string()));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Analyze `src` as a non-test file of `krate` and compare against the
+/// fixture's own markers.
+fn check(name: &str, krate: &str, src: &str) {
+    let rel = format!("crates/{krate}/src/{name}");
+    let mut got: Vec<(u32, String)> = analyze_str(&rel, krate, src)
+        .into_iter()
+        .map(|f| (f.line, f.lint.to_string()))
+        .collect();
+    got.sort();
+    assert_eq!(
+        got,
+        expected(src),
+        "findings for fixture `{name}` (as crate `{krate}`) diverge from its markers"
+    );
+}
+
+/// Analyze `src` as `krate` and require a completely clean report.
+fn check_clean(name: &str, krate: &str, src: &str) {
+    let got = analyze_str(&format!("crates/{krate}/src/{name}"), krate, src);
+    assert!(
+        got.is_empty(),
+        "fixture `{name}` (as crate `{krate}`) should be clean, got:\n{}",
+        got.iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+const MAP_TRIP: &str = include_str!("fixtures/map_iteration_trip.rs");
+const MAP_CLEAN: &str = include_str!("fixtures/map_iteration_clean.rs");
+const CLOCK_TRIP: &str = include_str!("fixtures/wall_clock_trip.rs");
+const CLOCK_CLEAN: &str = include_str!("fixtures/wall_clock_clean.rs");
+const LOCK_TRIP: &str = include_str!("fixtures/lock_across_emit_trip.rs");
+const LOCK_CLEAN: &str = include_str!("fixtures/lock_across_emit_clean.rs");
+const UNSAFE_TRIP: &str = include_str!("fixtures/unsafe_trip.rs");
+const UNSAFE_CLEAN: &str = include_str!("fixtures/unsafe_clean.rs");
+const FLOAT_TRIP: &str = include_str!("fixtures/float_eq_trip.rs");
+const FLOAT_CLEAN: &str = include_str!("fixtures/float_eq_clean.rs");
+const SUPPRESS_GOOD: &str = include_str!("fixtures/suppression_good.rs");
+const SUPPRESS_BAD: &str = include_str!("fixtures/suppression_bad.rs");
+
+#[test]
+fn map_iteration_trips_and_cleans() {
+    check("map_iteration_trip.rs", "pipeline", MAP_TRIP);
+    assert_eq!(expected(MAP_TRIP).len(), 4, "marker count drifted");
+    check_clean("map_iteration_clean.rs", "pipeline", MAP_CLEAN);
+}
+
+#[test]
+fn map_iteration_scope_is_policy() {
+    // the same tripping source is out of scope in a numerics crate
+    check_clean("map_iteration_trip.rs", "qr", MAP_TRIP);
+}
+
+#[test]
+fn wall_clock_trips_and_cleans() {
+    check("wall_clock_trip.rs", "pipeline", CLOCK_TRIP);
+    assert_eq!(expected(CLOCK_TRIP).len(), 3, "marker count drifted");
+    check_clean("wall_clock_clean.rs", "pipeline", CLOCK_CLEAN);
+}
+
+#[test]
+fn wall_clock_allowed_in_bench() {
+    // the bench crate times the harness itself — host clocks are its job
+    check_clean("wall_clock_trip.rs", "bench", CLOCK_TRIP);
+}
+
+#[test]
+fn lock_across_emit_trips_and_cleans() {
+    check("lock_across_emit_trip.rs", "pipeline", LOCK_TRIP);
+    assert_eq!(expected(LOCK_TRIP).len(), 2, "marker count drifted");
+    check_clean("lock_across_emit_clean.rs", "pipeline", LOCK_CLEAN);
+}
+
+#[test]
+fn lock_across_emit_applies_everywhere() {
+    // Scope::All — even the root crate's sources are covered
+    check("lock_across_emit_trip.rs", "multidouble-ls", LOCK_TRIP);
+}
+
+#[test]
+fn undocumented_unsafe_trips_and_cleans() {
+    check("unsafe_trip.rs", "gpusim", UNSAFE_TRIP);
+    assert_eq!(expected(UNSAFE_TRIP).len(), 3, "marker count drifted");
+    check_clean("unsafe_clean.rs", "gpusim", UNSAFE_CLEAN);
+}
+
+#[test]
+fn float_eq_trips_and_cleans() {
+    check("float_eq_trip.rs", "pipeline", FLOAT_TRIP);
+    assert_eq!(expected(FLOAT_TRIP).len(), 4, "marker count drifted");
+    check_clean("float_eq_clean.rs", "pipeline", FLOAT_CLEAN);
+}
+
+#[test]
+fn float_eq_allowed_in_transform_crates() {
+    // error-free transforms (two-sum, two-product) *depend* on exact
+    // float equality — the lint stays out of multidouble and matrix
+    check_clean("float_eq_trip.rs", "multidouble", FLOAT_TRIP);
+    check_clean("float_eq_trip.rs", "matrix", FLOAT_TRIP);
+}
+
+#[test]
+fn float_eq_skips_test_files_by_path() {
+    // skip_tests also applies to whole files under tests/
+    let got = analyze_str("crates/pipeline/tests/model.rs", "pipeline", FLOAT_TRIP);
+    assert!(got.is_empty(), "tests/ path should be exempt: {got:?}");
+}
+
+#[test]
+fn reasoned_allows_suppress() {
+    check_clean("suppression_good.rs", "pipeline", SUPPRESS_GOOD);
+}
+
+#[test]
+fn suppression_meta_lints() {
+    let got: Vec<(u32, String)> = analyze_str(
+        "crates/pipeline/src/suppression_bad.rs",
+        "pipeline",
+        SUPPRESS_BAD,
+    )
+    .into_iter()
+    .map(|f| (f.line, f.lint.to_string()))
+    .collect();
+    // a reason-less allow suppresses nothing (the finding survives)
+    // *and* is flagged itself; unknown ids and stale allows are
+    // findings too — the exception list can only shrink
+    assert_eq!(
+        got,
+        vec![
+            (7, "bare-allow".to_string()),
+            (7, "float-eq-outside-core".to_string()),
+            (11, "unknown-lint".to_string()),
+            (15, "unused-allow".to_string()),
+        ]
+    );
+}

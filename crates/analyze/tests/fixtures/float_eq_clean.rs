@@ -1,0 +1,28 @@
+// Clean fixture for `float-eq-outside-core` (analyzed as crate
+// `pipeline`): tolerance compares, integer compares, and test-module
+// exemption. Never compiled — lexed only.
+
+pub fn close(lhs: f64, rhs: f64) -> bool {
+    // tolerance comparison is the sanctioned form
+    (lhs - rhs).abs() < 1.0e-12
+}
+
+pub fn same_count(n: usize, m: usize) -> bool {
+    // integer equality is fine
+    n == m
+}
+
+pub fn same_name(a: &str, b: &str) -> bool {
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    // the lint skips test code: asserting exact values of a
+    // deterministic model is the whole point of the test suites
+    #[test]
+    fn exact_model_value() {
+        let wall_ms: f64 = super::close(1.0, 1.0) as u8 as f64;
+        assert!(wall_ms == 1.0);
+    }
+}

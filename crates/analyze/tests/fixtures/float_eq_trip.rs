@@ -1,0 +1,29 @@
+// Tripping fixture for `float-eq-outside-core` (analyzed as crate
+// `pipeline`; the same source analyzed as `multidouble` is clean —
+// scope test). Never compiled — lexed only.
+
+pub struct Stage {
+    pub wall_ms: f64,
+}
+
+impl Stage {
+    pub fn kernel_ms(&self) -> f64 {
+        self.wall_ms * 0.5
+    }
+}
+
+pub fn same_wall(a: &Stage, b: &Stage) -> bool {
+    a.wall_ms == b.wall_ms // FINDING: float-eq-outside-core
+}
+
+pub fn same_kernel(a: &Stage, b: &Stage) -> bool {
+    a.kernel_ms() != b.kernel_ms() // FINDING: float-eq-outside-core
+}
+
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0 // FINDING: float-eq-outside-core
+}
+
+pub fn saturated(residual: f64) -> bool {
+    residual == f64::INFINITY // FINDING: float-eq-outside-core
+}

@@ -1,0 +1,25 @@
+// Clean fixture for `lock-across-emit`: both tripping shapes from the
+// paired fixture, fixed the way the planner fixes them. Never
+// compiled — lexed only.
+
+impl Planner {
+    pub fn hit(&self, key: u64) -> Option<Plan> {
+        // clone out of the guard in its own statement — the temporary
+        // dies at the `;`, before the emit
+        let cached = self.cache.lock().unwrap().get(&key).cloned();
+        if let Some(p) = cached {
+            self.emit(|| Event::PlanCacheHit { key });
+            return Some(p);
+        }
+        None
+    }
+
+    pub fn stats(&self) -> u64 {
+        // an explicit drop releases a named guard before the emit
+        let guard = self.counts.lock().unwrap();
+        let n = guard.len() as u64;
+        drop(guard);
+        self.emit(|| Event::CacheSize { n });
+        n
+    }
+}

@@ -1,0 +1,23 @@
+// Tripping fixture for `lock-across-emit` (any crate — Scope::All):
+// the two shapes the planner actually shipped with. Never compiled —
+// lexed only.
+
+impl Planner {
+    pub fn hit(&self, key: u64) -> Option<Plan> {
+        // the `if let` condition's temporary guard lives through the
+        // whole branch, arms and all
+        if let Some(p) = self.cache.lock().unwrap().get(&key) {
+            self.emit(|| Event::PlanCacheHit { key }); // FINDING: lock-across-emit
+            return Some(p.clone());
+        }
+        None
+    }
+
+    pub fn stats(&self) -> u64 {
+        // a named guard binding is live to the end of the block
+        let guard = self.counts.lock().unwrap();
+        let n = guard.len() as u64;
+        self.emit(|| Event::CacheSize { n }); // FINDING: lock-across-emit
+        n
+    }
+}

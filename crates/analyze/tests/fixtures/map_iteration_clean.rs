@@ -1,0 +1,43 @@
+// Clean fixture for `map-iteration-order` (analyzed as crate
+// `pipeline`): lookups, sorted containers, first-appearance bucketing
+// and Vec iteration are all fine. Never compiled — lexed only.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn lookup(cache: &HashMap<u64, f64>, key: u64) -> Option<f64> {
+    // point lookups don't depend on iteration order
+    cache.get(&key).copied()
+}
+
+pub fn sorted_walk(totals: &BTreeMap<u64, f64>) -> f64 {
+    // BTreeMap iterates in key order — deterministic by construction
+    totals.values().sum()
+}
+
+pub fn first_appearance(jobs: &[u64], cache: &HashMap<u64, usize>) -> Vec<u64> {
+    // the repo's idiom: bucket by first appearance in a Vec, use the
+    // map only for membership
+    let mut order = Vec::new();
+    for j in jobs {
+        if !cache.contains_key(j) {
+            order.push(*j);
+        }
+    }
+    order
+}
+
+pub fn vec_iteration(stage_wall_ms: &[f64]) -> f64 {
+    // `.iter()` on a non-map receiver is fine
+    stage_wall_ms.iter().sum()
+}
+
+pub fn indexed(cache: &HashMap<u64, f64>, keys: &[u64]) -> usize {
+    // `for i in 0..cache.len()` has a method chain in the loop expr,
+    // not a bare map ident — not an iteration of the map
+    let mut hits = 0;
+    for i in 0..keys.len() {
+        if cache.contains_key(&keys[i]) {
+            hits += 1;
+        }
+    }
+    hits
+}

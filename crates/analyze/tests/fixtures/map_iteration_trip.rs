@@ -1,0 +1,37 @@
+// Tripping fixture for `map-iteration-order` (analyzed as crate
+// `pipeline`). Never compiled — lexed by the analyzer only.
+use std::collections::{HashMap, HashSet};
+
+pub fn bucket_totals(wall_by_job: &HashMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_job, ms) in wall_by_job.iter() { // FINDING: map-iteration-order
+        total += *ms;
+    }
+    total
+}
+
+pub fn drain_all(mut pending: HashMap<u64, u32>) -> u32 {
+    let mut n = 0;
+    for (_k, v) in pending.drain() { // FINDING: map-iteration-order
+        n += v;
+    }
+    n
+}
+
+pub fn keys_in_hash_order(index: &HashSet<u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for k in index { // FINDING: map-iteration-order
+        out.push(*k);
+    }
+    out
+}
+
+pub struct Cache {
+    seen: HashMap<u64, u64>,
+}
+
+impl Cache {
+    pub fn purge(&mut self) {
+        self.seen.retain(|_, v| *v > 0); // FINDING: map-iteration-order
+    }
+}

@@ -1,0 +1,17 @@
+// Tripping fixture for the suppression meta-lints: a reason-less
+// allow does not suppress (and is itself a finding), an allow naming
+// an unknown lint is a finding, and an allow that matches nothing is
+// a finding. Never compiled — lexed only.
+
+pub fn bare(residual: f64) -> bool {
+    residual == 0.0 // analyze::allow(float-eq-outside-core)
+}
+
+pub fn unknown() -> u32 {
+    1 // analyze::allow(no-such-lint): misremembered id
+}
+
+pub fn stale() -> u32 {
+    // analyze::allow(wall-clock-in-sim): nothing below reads a clock
+    2
+}

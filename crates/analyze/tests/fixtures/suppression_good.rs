@@ -1,0 +1,12 @@
+// Clean fixture for the suppression grammar: both placement forms,
+// each with a written reason, each actually suppressing a finding.
+// Never compiled — lexed only.
+
+pub fn is_sentinel(residual: f64) -> bool {
+    residual == -1.0 // analyze::allow(float-eq-outside-core): -1.0 is an exact sentinel, never computed
+}
+
+pub fn demo_timing() -> std::time::Instant {
+    // analyze::allow(wall-clock-in-sim): host-side harness timing, not simulated time
+    std::time::Instant::now()
+}

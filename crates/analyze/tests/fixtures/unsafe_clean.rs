@@ -1,0 +1,21 @@
+// Clean fixture for `undocumented-unsafe`: every documented adjacency
+// form the lint accepts. Never compiled — lexed only.
+
+pub fn read_plane(buf: &Buffer, i: usize) -> f64 {
+    // Safety: caller guarantees `i < len`; the plane pointer is valid
+    // for the buffer's lifetime (second line of the run still counts).
+    unsafe { *buf.ptr.add(i) }
+}
+
+// Safety: the cells are only touched by one simulated block at a time.
+unsafe impl Send for Buffer {}
+
+pub fn trailing_form(buf: &Buffer) -> f64 {
+    unsafe { *buf.ptr } // Safety: non-null by construction
+}
+
+// `unsafe fn` declarations are rustc's job via
+// `deny(unsafe_op_in_unsafe_fn)`; the lint only polices blocks/impls
+pub unsafe fn raw_entry(ptr: *const f64) -> *const f64 {
+    ptr
+}

@@ -1,0 +1,14 @@
+// Tripping fixture for `undocumented-unsafe` (any crate — Scope::All).
+// Never compiled — lexed only.
+
+pub fn read_plane(buf: &Buffer, i: usize) -> f64 {
+    unsafe { *buf.ptr.add(i) } // FINDING: undocumented-unsafe
+}
+
+unsafe impl Send for Buffer {} // FINDING: undocumented-unsafe
+
+pub fn wrong_prefix(buf: &Buffer) -> f64 {
+    // SAFETY contract is upheld by the caller — wrong spelling: the
+    // convention is `// Safety:` with the colon
+    unsafe { *buf.ptr } // FINDING: undocumented-unsafe
+}

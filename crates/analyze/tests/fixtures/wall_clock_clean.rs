@@ -1,0 +1,23 @@
+// Clean fixture for `wall-clock-in-sim` (analyzed as crate
+// `pipeline`): simulated clocks and mere imports are fine. Never
+// compiled — lexed only.
+use std::time::Instant; // importing the type is not reading the clock
+
+pub struct Device {
+    clock_ms: f64,
+}
+
+impl Device {
+    pub fn advance(&mut self, wall_ms: f64) -> f64 {
+        // simulated time is the analytic model's currency — advancing
+        // a stored clock never touches the host
+        self.clock_ms += wall_ms;
+        self.clock_ms
+    }
+}
+
+pub fn holds_an_instant(t: Instant) -> Instant {
+    // passing one through (e.g. plumbing for the bench crate) is fine;
+    // only `Instant::now()` reads the clock
+    t
+}

@@ -1,0 +1,11 @@
+// Tripping fixture for `wall-clock-in-sim` (analyzed as crate
+// `pipeline`; the same source analyzed as `bench` is clean — scope
+// test). Never compiled — lexed only.
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn race_the_host_clock() -> f64 {
+    let t0 = Instant::now(); // FINDING: wall-clock-in-sim
+    let _wall = SystemTime::now(); // FINDING: wall-clock-in-sim
+    std::thread::sleep(Duration::from_millis(1)); // FINDING: wall-clock-in-sim
+    t0.elapsed().as_secs_f64()
+}

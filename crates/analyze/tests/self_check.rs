@@ -1,0 +1,36 @@
+//! The analyzer's own gate, as a test: the workspace must be clean.
+//!
+//! This is the same pass CI runs (`mdls-analyze check`), asserted from
+//! inside the test suite so `cargo test` alone catches a regression —
+//! a new hash-map traversal in plan code, a host-clock read in the
+//! simulator, an emit under a guard, an undocumented `unsafe`, an
+//! exact float compare — before the workflow step does. Because the
+//! meta-lints (`bare-allow`, `unknown-lint`, `unused-allow`) are
+//! findings too, "clean" also proves every suppression in the tree
+//! names a real lint, carries a written reason, and still suppresses
+//! something.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let (findings, scanned) =
+        mdls_analyze::analyze_workspace(&root).expect("workspace walk failed");
+    assert!(
+        scanned > 50,
+        "suspiciously few files scanned ({scanned}) — did the walker lose the workspace root?"
+    );
+    assert!(
+        findings.is_empty(),
+        "mdls-analyze found {} invariant violation(s) in the workspace:\n{}\n\
+         fix the code, or add `// analyze::allow(lint-id): reason` where the\n\
+         exactness/lock/clock use is genuinely intended",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -16,6 +16,8 @@
 //! Total: `1 + N(N+1)/2` kernel launches, exactly as the paper counts.
 //! The three stage names match the row legend of the paper's Tables 7–9.
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod driver;
 pub mod kernels;

@@ -5,6 +5,8 @@
 //! model-only mode (the numerics themselves are validated by the
 //! `verify` subcommand and the test suites at smaller sizes).
 
+#![forbid(unsafe_code)]
+
 pub mod ablate;
 pub mod experiments;
 pub mod figures;

@@ -22,6 +22,8 @@
 //! [`residual_model_profile`] as its analytic cost — the "one rung up"
 //! residual stage of a refinement plan.
 
+#![forbid(unsafe_code)]
+
 use gpusim::{BlockCtx, ExecMode, Gpu, KernelCost, Profile, Sim};
 use mdls_backsub::{backsub_on_sim, BacksubOptions};
 use mdls_matrix::HostMat;

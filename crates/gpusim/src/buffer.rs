@@ -130,6 +130,8 @@ impl<S: MdScalar> DeviceBuf<S> {
     pub fn plane_snapshot(&self, plane: usize) -> Vec<f64> {
         assert!(plane < S::PLANES);
         (0..self.len)
+            // Safety: plane_idx is in bounds (plane asserted above, i < len)
+            // and no kernel is running while a layout test snapshots.
             .map(|i| unsafe { *self.data[self.plane_idx(plane, i)].0.get() })
             .collect()
     }

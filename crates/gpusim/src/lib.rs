@@ -24,6 +24,8 @@
 //! transition of the roofline, is what makes the observed precision
 //! overhead factors land below the Table 1 predictions, as in the paper.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod buffer;
 pub mod device;
 pub mod exec;

@@ -27,6 +27,8 @@
 //! * [`json`] is a dependency-free JSON reader used to validate
 //!   exported traces in smoke tests.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 pub mod metrics;
 pub mod trace;

@@ -88,6 +88,8 @@
 //! assert!(report.solves_per_sec > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod job;
 pub mod microbatch;

@@ -376,7 +376,11 @@ impl Planner {
             target_digits,
             direct_only,
         };
-        if let Some(p) = self.cache.lock().unwrap().get(&key) {
+        // the guard is dropped at the end of this statement, *before*
+        // the hit path emits: an emit site under a planner lock hands
+        // every observer a re-entrancy deadlock (`lock-across-emit`)
+        let cached = self.cache.lock().unwrap().get(&key).cloned();
+        if let Some(p) = cached {
             self.hits.fetch_add(1, Ordering::Relaxed);
             PLAN_HITS.fetch_add(1, Ordering::Relaxed);
             self.emit(|| Event::PlanCacheHit {
@@ -384,7 +388,7 @@ impl Planner {
                 cols,
                 digits: target_digits,
             });
-            return p.clone();
+            return p;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
@@ -637,7 +641,10 @@ impl Planner {
             },
             k,
         );
-        if let Some(f) = self.fused.lock().unwrap().get(&key) {
+        // guard dropped before the emit — same re-entrancy discipline
+        // as the plan cache above (`lock-across-emit`)
+        let cached = self.fused.lock().unwrap().get(&key).cloned();
+        if let Some(f) = cached {
             self.fused_hits.fetch_add(1, Ordering::Relaxed);
             FUSED_HITS.fetch_add(1, Ordering::Relaxed);
             self.emit(|| Event::FusedMemoHit {
@@ -646,7 +653,7 @@ impl Planner {
                 digits: target_digits,
                 group: k,
             });
-            return (plan, f.clone());
+            return (plan, f);
         }
         self.fused_misses.fetch_add(1, Ordering::Relaxed);
         FUSED_MISSES.fetch_add(1, Ordering::Relaxed);
@@ -1119,6 +1126,65 @@ mod tests {
         // preferred group stays small
         let big = planner.preferred_group_size(1024, 1024, 25, 64, 0.05);
         assert!(big < k, "1024x1024 preferred {big} >= small-shape {k}");
+    }
+
+    #[test]
+    fn observer_may_reenter_the_planner() {
+        // regression: the plan-cache and fused-memo *hit* paths once
+        // emitted their events while the cache MutexGuard was still
+        // live (the `if let Some(p) = self.cache.lock()...` temporary
+        // lives through the whole branch), so an observer that called
+        // back into the planner self-deadlocked on the std Mutex. The
+        // guard now drops before every emit; a re-entrant observer
+        // must complete. This test hangs forever on the old code.
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Mutex as StdMutex;
+        struct Reenter {
+            planner: StdMutex<Option<Arc<Planner>>>,
+            reentered: AtomicU64,
+            busy: AtomicBool,
+        }
+        impl Observer for Reenter {
+            fn on_event(&self, ev: &Event) {
+                if !matches!(ev, Event::PlanCacheHit { .. } | Event::FusedMemoHit { .. }) {
+                    return;
+                }
+                // one level of re-entrancy is the interesting case;
+                // the flag keeps the hit→observer→hit loop finite
+                if self.busy.swap(true, Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(p) = self.planner.lock().unwrap().as_ref() {
+                    // touch every memo the emit paths guard: the plan
+                    // cache, the fused memo, and the cache-size probe
+                    let _ = p.plan(&Gpu::p100(), 48, 48, 25);
+                    let _ = p.plan_fused(&Gpu::p100(), 48, 48, 25, 2);
+                    let _ = p.cached_plans();
+                    self.reentered.fetch_add(1, Ordering::Relaxed);
+                }
+                self.busy.store(false, Ordering::SeqCst);
+            }
+        }
+        let obs = Arc::new(Reenter {
+            planner: StdMutex::new(None),
+            reentered: AtomicU64::new(0),
+            busy: AtomicBool::new(false),
+        });
+        let mut planner = Planner::new();
+        planner.attach_observer(obs.clone());
+        let planner = Arc::new(planner);
+        *obs.planner.lock().unwrap() = Some(planner.clone());
+        let gpu = Gpu::v100();
+        let baseline = planner.plan(&gpu, 64, 64, 25); // miss: no re-entry
+        let hit = planner.plan(&gpu, 64, 64, 25); // hit: observer re-enters
+        assert_eq!(baseline, hit, "re-entrant observation changed the plan");
+        let (_, fused) = planner.plan_fused(&gpu, 64, 64, 25, 4); // fused miss
+        let (_, fused2) = planner.plan_fused(&gpu, 64, 64, 25, 4); // fused hit
+        assert_eq!(fused, fused2);
+        assert!(
+            obs.reentered.load(Ordering::Relaxed) >= 2,
+            "observer never actually re-entered the planner"
+        );
     }
 
     #[test]

@@ -502,12 +502,17 @@ impl DevicePool {
         let mut device_tail = true;
         for s in booking.stages[from..].iter().rev() {
             refund.refunded_ms += s.wall_ms();
+            // A stage is un-bookable only while it is still the exact
+            // stored tail of the device/host timeline; these compare a
+            // value we wrote against itself, so identity is the test.
+            // analyze::allow(float-eq-outside-core): stored-endpoint identity
             if device_tail && d.device_until_ms == s.device.1 {
                 d.device_until_ms = s.device.0;
                 refund.freed_ms += s.device.1 - s.device.0;
             } else {
                 device_tail = false;
             }
+            // analyze::allow(float-eq-outside-core): stored-endpoint identity
             if host_tail && d.host_until_ms == s.host.1 {
                 d.host_until_ms = s.host.0;
                 refund.freed_ms += s.host.1 - s.host.0;

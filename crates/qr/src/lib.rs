@@ -18,6 +18,8 @@
 //! On complex data every transpose is the Hermitian transpose, as the
 //! paper prescribes.
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod driver;
 pub mod host;
