@@ -17,6 +17,10 @@
 //! * [`FLOAT_EQ_OUTSIDE_CORE`] — `==`/`!=` on floats is legitimate in
 //!   the error-free-transform kernels (`multidouble`, `matrix`), and a
 //!   latent bug everywhere else.
+//! * [`TIMELINE_MUTATION_OUTSIDE_POOL`] — the per-lane interval lists
+//!   carry the pool's sorted/disjoint/cursor-at-tail invariants;
+//!   touching `.intervals` with a container mutator anywhere but
+//!   `pool.rs`'s own `Timeline` API bypasses the invariant checks.
 //!
 //! Suppression grammar: `// analyze::allow(lint-id): reason`. The
 //! reason is mandatory — a bare allow is itself a finding — and an
@@ -33,6 +37,7 @@ pub const WALL_CLOCK_IN_SIM: &str = "wall-clock-in-sim";
 pub const LOCK_ACROSS_EMIT: &str = "lock-across-emit";
 pub const UNDOCUMENTED_UNSAFE: &str = "undocumented-unsafe";
 pub const FLOAT_EQ_OUTSIDE_CORE: &str = "float-eq-outside-core";
+pub const TIMELINE_MUTATION_OUTSIDE_POOL: &str = "timeline-mutation-outside-pool";
 pub const BARE_ALLOW: &str = "bare-allow";
 pub const UNKNOWN_LINT: &str = "unknown-lint";
 pub const UNUSED_ALLOW: &str = "unused-allow";
@@ -98,6 +103,12 @@ pub const LINTS: &[LintDef] = &[
         scope: Scope::Except(&["multidouble", "matrix"]),
         skip_tests: true,
         summary: "no ==/!= on float expressions outside the error-free-transform crates",
+    },
+    LintDef {
+        id: TIMELINE_MUTATION_OUTSIDE_POOL,
+        scope: Scope::Only(&["pipeline"]),
+        skip_tests: false,
+        summary: "lane interval lists mutate only through pool.rs's Timeline API",
     },
 ];
 
@@ -364,6 +375,13 @@ pub fn analyze_source(
     }
     if enabled(FLOAT_EQ_OUTSIDE_CORE) {
         lint_float_eq(rel, toks, float_names, &mut raw);
+    }
+    // pool.rs *is* the Timeline API — the invariant-checked mutators
+    // live there, so the one exemption is exact-path
+    if enabled(TIMELINE_MUTATION_OUTSIDE_POOL)
+        && rel.trim_start_matches("./") != "crates/pipeline/src/pool.rs"
+    {
+        lint_timeline_mutation(rel, toks, &mut raw);
     }
 
     // drop findings of skip_tests lints that landed in test code
@@ -935,6 +953,116 @@ fn lint_float_eq(rel: &str, toks: &[Token], names: &BTreeSet<String>, out: &mut 
                     t.text
                 ),
             ));
+        }
+    }
+}
+
+/// Container calls that rewrite an interval list in place. Reads
+/// (`len`, `iter`, `last`, `binary_search`, indexing without `=`) are
+/// fine anywhere; these are not.
+const TIMELINE_MUTATORS: &[&str] = &[
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "swap_remove",
+    "retain",
+    "clear",
+    "drain",
+    "truncate",
+    "extend",
+    "splice",
+    "dedup",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+];
+
+fn lint_timeline_mutation(rel: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !(t.kind == TokKind::Ident && t.text == "intervals") {
+            continue;
+        }
+        // field access `.intervals` only — the `intervals()` accessor
+        // returns a shared slice and binds nothing mutable
+        if i == 0 || !is(&toks[i - 1], ".") {
+            continue;
+        }
+        if i + 1 < toks.len() && is(&toks[i + 1], "(") {
+            continue;
+        }
+        // `.intervals.<mutator>(`
+        if i + 3 < toks.len()
+            && is(&toks[i + 1], ".")
+            && toks[i + 2].kind == TokKind::Ident
+            && TIMELINE_MUTATORS.contains(&toks[i + 2].text.as_str())
+            && is(&toks[i + 3], "(")
+        {
+            out.push(Finding::new(
+                rel,
+                toks[i + 2].line,
+                TIMELINE_MUTATION_OUTSIDE_POOL,
+                format!(
+                    "`.intervals.{}(..)` outside pool.rs — lane interval lists keep their \
+                     sorted/disjoint/cursor-at-tail invariants only when mutated through \
+                     the Timeline API",
+                    toks[i + 2].text
+                ),
+            ));
+            continue;
+        }
+        // `&mut recv.intervals` — handing out a mutable borrow of the
+        // list; walk back over the receiver chain (`self.devices[i].host`)
+        let mut j = i - 1; // the `.` before `intervals`
+        loop {
+            if j == 0 {
+                break;
+            }
+            let p = &toks[j - 1];
+            if (p.kind == TokKind::Ident && p.text != "mut")
+                || p.kind == TokKind::Int
+                || is(p, ".")
+                || is(p, "::")
+            {
+                j -= 1;
+            } else if is(p, "]") {
+                j = matching_back(toks, j - 1);
+            } else {
+                break;
+            }
+        }
+        if j >= 2 && is(&toks[j - 1], "mut") && is(&toks[j - 2], "&") {
+            out.push(Finding::new(
+                rel,
+                t.line,
+                TIMELINE_MUTATION_OUTSIDE_POOL,
+                "`&mut ..intervals` outside pool.rs — a mutable borrow of a lane's interval \
+                 list bypasses the Timeline API's invariant checks"
+                    .to_string(),
+            ));
+            continue;
+        }
+        // `.intervals[i] = ..` / `.intervals[i].0 = ..` — element overwrite
+        if i + 1 < toks.len() && is(&toks[i + 1], "[") {
+            let close = matching(toks, i + 1);
+            let mut j = close + 1;
+            // optional tuple-field projection `.0` / `.1`
+            if j + 1 < toks.len() && is(&toks[j], ".") {
+                j += 2;
+            }
+            if j < toks.len() && is(&toks[j], "=") {
+                out.push(Finding::new(
+                    rel,
+                    t.line,
+                    TIMELINE_MUTATION_OUTSIDE_POOL,
+                    "assignment into `..intervals[..]` outside pool.rs — interval spans \
+                     change only through the Timeline API"
+                        .to_string(),
+                ));
+            }
         }
     }
 }

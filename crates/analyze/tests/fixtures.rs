@@ -67,6 +67,8 @@ const FLOAT_TRIP: &str = include_str!("fixtures/float_eq_trip.rs");
 const FLOAT_CLEAN: &str = include_str!("fixtures/float_eq_clean.rs");
 const SUPPRESS_GOOD: &str = include_str!("fixtures/suppression_good.rs");
 const SUPPRESS_BAD: &str = include_str!("fixtures/suppression_bad.rs");
+const TIMELINE_TRIP: &str = include_str!("fixtures/timeline_trip.rs");
+const TIMELINE_CLEAN: &str = include_str!("fixtures/timeline_clean.rs");
 
 #[test]
 fn map_iteration_trips_and_cleans() {
@@ -134,6 +136,22 @@ fn float_eq_skips_test_files_by_path() {
     // skip_tests also applies to whole files under tests/
     let got = analyze_str("crates/pipeline/tests/model.rs", "pipeline", FLOAT_TRIP);
     assert!(got.is_empty(), "tests/ path should be exempt: {got:?}");
+}
+
+#[test]
+fn timeline_mutation_trips_and_cleans() {
+    check("timeline_trip.rs", "pipeline", TIMELINE_TRIP);
+    assert_eq!(expected(TIMELINE_TRIP).len(), 5, "marker count drifted");
+    check_clean("timeline_clean.rs", "pipeline", TIMELINE_CLEAN);
+}
+
+#[test]
+fn timeline_mutation_exempts_pool_and_other_crates() {
+    // pool.rs *is* the Timeline API — the exact path is exempt
+    let got = analyze_str("crates/pipeline/src/pool.rs", "pipeline", TIMELINE_TRIP);
+    assert!(got.is_empty(), "pool.rs should be exempt: {got:?}");
+    // and the lint is pipeline-only policy
+    check_clean("timeline_trip.rs", "gpusim", TIMELINE_TRIP);
 }
 
 #[test]

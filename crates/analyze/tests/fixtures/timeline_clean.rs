@@ -1,0 +1,37 @@
+// Clean fixture for `timeline-mutation-outside-pool`: everything a
+// pipeline file outside pool.rs may legitimately do with a lane —
+// read the accessor slice, fold over it, probe fits. Never compiled —
+// lexed only.
+
+pub struct Lane {
+    intervals: Vec<(f64, f64)>,
+}
+
+impl Lane {
+    pub fn intervals(&self) -> &[(f64, f64)] {
+        &self.intervals
+    }
+
+    pub fn cursor_ms(&self) -> f64 {
+        self.intervals.last().map(|iv| iv.1).unwrap_or(0.0)
+    }
+}
+
+pub fn booked_ms(lane: &Lane) -> f64 {
+    lane.intervals().iter().map(|iv| iv.1 - iv.0).sum()
+}
+
+pub fn first_gap(lane: &Lane, dur_ms: f64) -> f64 {
+    let mut t = 0.0f64;
+    for iv in lane.intervals() {
+        if t + dur_ms <= iv.0 {
+            return t;
+        }
+        t = t.max(iv.1);
+    }
+    t
+}
+
+pub fn span_count(lane: &Lane) -> usize {
+    lane.intervals().len()
+}

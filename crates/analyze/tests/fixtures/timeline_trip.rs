@@ -1,0 +1,33 @@
+// Tripping fixture for `timeline-mutation-outside-pool` (analyzed as
+// `crates/pipeline/src/timeline_trip.rs` — any pipeline file that is
+// not pool.rs itself; the same source under the pool.rs path is clean
+// — exemption test). Never compiled — lexed only.
+
+pub struct Lane {
+    pub intervals: Vec<(f64, f64)>,
+}
+
+pub fn squeeze(lane: &mut Lane, span: (f64, f64)) {
+    lane.intervals.push(span); // FINDING: timeline-mutation-outside-pool
+    lane.intervals.sort_by(|a, b| a.0.total_cmp(&b.0)); // FINDING: timeline-mutation-outside-pool
+}
+
+pub fn drop_first(lane: &mut Lane) {
+    lane.intervals.remove(0); // FINDING: timeline-mutation-outside-pool
+}
+
+pub fn stretch_tail(lane: &mut Lane, end_ms: f64) {
+    let last = lane.intervals.len() - 1;
+    lane.intervals[last].1 = end_ms; // FINDING: timeline-mutation-outside-pool
+}
+
+pub fn leak_mut(lane: &mut Lane) -> &mut Vec<(f64, f64)> {
+    &mut lane.intervals // FINDING: timeline-mutation-outside-pool
+}
+
+pub fn read_only(lane: &Lane) -> usize {
+    // reads are fine: length, iteration, the accessor call shape
+    let n = lane.intervals.len();
+    let spans: f64 = lane.intervals.iter().map(|iv| iv.1 - iv.0).sum();
+    n + spans as usize
+}

@@ -10,11 +10,14 @@
 //!   throughput          batched pipeline: scaling, batch depth, planner,
 //!                       direct-vs-refinement A/B, fused-vs-singleton
 //!                       micro-batching A/B, greedy-vs-SECT
-//!                       dispatch-policy A/B, stage-overlap and online
-//!                       re-booking A/Bs, bursty deadline misses
+//!                       dispatch-policy A/B, stage-overlap, online
+//!                       re-booking, timeline-compaction and
+//!                       host-staging A/Bs, bursty deadline misses;
+//!                       writes target/bench-throughput.json
 //!   throughput-smoke    policy A/B at a small job count + refinement A/B
-//!                       + micro-batching A/B + stage-overlap and
-//!                       re-booking A/Bs (CI)
+//!                       + micro-batching A/B + stage-overlap,
+//!                       re-booking, compaction and staging A/Bs +
+//!                       bench-throughput.json validation (CI)
 //!   trace               record a bursty tracker stream, write the
 //!                       Chrome-trace JSON (chrome://tracing / Perfetto)
 //!                       and print latency / counter / calibration tables
@@ -28,6 +31,25 @@ use mdls_bench::{ablate, experiments as ex, figures, throughput, trace, verify};
 fn print_tables(ts: &[mdls_bench::TextTable]) {
     for t in ts {
         println!("{}", t.render());
+    }
+}
+
+/// Write the machine-readable throughput results to
+/// `target/bench-throughput.json`, validating the document round-trips
+/// through the JSON reader first (the smoke contract).
+fn write_bench_json(jobs: usize) {
+    let doc = throughput::bench_json(jobs);
+    if let Err(e) = mdls_obs::json::parse(&doc) {
+        eprintln!("bench-throughput.json does not parse: {e}");
+        std::process::exit(1);
+    }
+    let path = std::path::Path::new("target").join("bench-throughput.json");
+    match std::fs::create_dir_all("target").and_then(|()| std::fs::write(&path, &doc)) {
+        Ok(()) => println!("machine-readable results written to {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
     }
 }
 
@@ -62,7 +84,10 @@ fn run(cmd: &str) -> bool {
             println!("{}", throughput::policy_ab(60).render());
             println!("{}", throughput::stage_overlap_ab(48).render());
             println!("{}", throughput::rebooking_ab(24).render());
+            println!("{}", throughput::timeline_ab(24).render());
+            println!("{}", throughput::staging_ab(48).render());
             println!("{}", throughput::bursty_deadline_table(36).render());
+            write_bench_json(24);
         }
         "throughput-smoke" => {
             println!("{}", throughput::policy_ab(24).render());
@@ -71,6 +96,9 @@ fn run(cmd: &str) -> bool {
             println!("{}", throughput::microbatch_queue_ab(64).render());
             println!("{}", throughput::stage_overlap_ab(24).render());
             println!("{}", throughput::rebooking_ab(12).render());
+            println!("{}", throughput::timeline_ab(12).render());
+            println!("{}", throughput::staging_ab(24).render());
+            write_bench_json(8);
         }
         "trace" => {
             let r = trace::trace_report(48);

@@ -7,12 +7,16 @@
 //! functional solver too (the analytic model is data independent), so
 //! these sweeps scale to paper-sized dimensions instantly.
 
+use std::sync::Arc;
+
 use gpusim::Gpu;
 use mdls_matrix::HostMat;
+use mdls_obs::metrics::Metrics;
+use mdls_obs::Recorder;
 use mdls_pipeline::{
     bursty_tracker_jobs, refinement_mix, schedule, schedule_groups, schedule_staged,
-    solve_batch_staged, solve_stream_staged, workload_mix, DevicePool, DispatchPolicy, Job,
-    JobOutcome, JobShape, MicrobatchConfig, Planner, StageSchedConfig,
+    solve_batch_staged, solve_stream_staged, workload_mix, BatchReport, DevicePool, DispatchPolicy,
+    Job, JobOutcome, JobShape, MicrobatchConfig, Planner, StageSchedConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -397,10 +401,12 @@ pub fn refund_heavy_jobs(count: usize, seed: u64) -> Vec<Job> {
 /// Online re-booking A/B (functional): the refund-heavy mix under
 /// stage-level SECT with worst-case pass bookings, refunds handled
 /// post-hoc (busy books only — the schedule keeps every booked
-/// interval) vs re-booked online (the unexecuted tail rewinds off the
-/// lane cursors before the next dispatch books). Same arithmetic, same
-/// refunded time — the only difference is whether later jobs get to
-/// use it.
+/// interval) vs re-booked online. Since the staged batch engine books
+/// every group up front, a tail-only re-book frees little more than
+/// each device's final booking — the schedule-level win now comes from
+/// compacting re-books ([`timeline_ab`]), which slide queued
+/// dispatches into mid-schedule holes. Same arithmetic, same refunded
+/// time in every arm.
 pub fn rebooking_ab(jobs: usize) -> TextTable {
     let jobs = refund_heavy_jobs(jobs, 0xeb00);
     let gpus = vec![Gpu::v100(), Gpu::v100(), Gpu::p100(), Gpu::p100()];
@@ -455,6 +461,198 @@ pub fn rebooking_ab(jobs: usize) -> TextTable {
         ],
     );
     t
+}
+
+/// One functional staged run of `jobs` on `gpus` with a recorder
+/// attached: the batch report plus the folded event metrics.
+fn staged_observed(gpus: &[Gpu], jobs: &[Job], sched: &StageSchedConfig) -> (BatchReport, Metrics) {
+    let mut pool = DevicePool::new(gpus.to_vec());
+    let recorder = Arc::new(Recorder::new());
+    pool.attach_observer(recorder.clone());
+    let report = solve_batch_staged(
+        &mut pool,
+        jobs,
+        DispatchPolicy::ShortestExpectedCompletion,
+        &MicrobatchConfig::off(),
+        sched,
+    );
+    let metrics = Metrics::from_events(&recorder.events());
+    (report, metrics)
+}
+
+/// The three refund-handling arms of the interval-timeline A/B, in
+/// makespan order of construction: post-hoc (keep every booked
+/// interval), tail-only re-booking (free only spans still at the lane
+/// tail — mid-schedule holes strand), and compacting re-booking
+/// (free mid-schedule spans and slide queued, unexecuted dispatches
+/// left into the hole).
+fn timeline_arms() -> [(&'static str, StageSchedConfig); 3] {
+    let post = StageSchedConfig::overlap_only();
+    let mut tail = StageSchedConfig::overlap_only();
+    tail.rebook = true;
+    let mut compact = tail;
+    compact.compact = true;
+    [
+        ("post-hoc", post),
+        ("tail-only", tail),
+        ("compaction", compact),
+    ]
+}
+
+/// Interval-timeline compaction A/B (functional): the refund-heavy mix
+/// with worst-case pass bookings on the mixed pool, post-hoc vs
+/// tail-only vs compacting re-books. The batch engine books every
+/// group up front, so when a booking certifies early the freed span
+/// sits *mid-schedule*; tail-only re-booking strands it, compaction
+/// slides the queued dispatches behind it left. `slid` counts
+/// dispatches moved, from the recorded [`mdls_obs::Event::Compacted`]
+/// stream.
+pub fn timeline_ab(jobs: usize) -> TextTable {
+    let jobs = refund_heavy_jobs(jobs, 0xeb00);
+    let gpus = vec![Gpu::v100(), Gpu::v100(), Gpu::p100(), Gpu::p100()];
+    let mut t = TextTable::new(
+        format!(
+            "Interval-timeline compaction A/B: {} refund-heavy jobs (96..192 \
+             cols, 30/90 digits) on 2x V100 + 2x P100, stage-level SECT",
+            jobs.len()
+        ),
+        "refund handling",
+    );
+    t.col("makespan ms")
+        .col("refunded ms")
+        .col("slid")
+        .col("gain");
+    let mut post_ms = 0.0;
+    for (i, (name, sched)) in timeline_arms().iter().enumerate() {
+        let (report, m) = staged_observed(&gpus, &jobs, sched);
+        if i == 0 {
+            post_ms = report.makespan_ms;
+        }
+        let refunded: f64 = report.outcomes.iter().map(|o| o.refunded_ms).sum();
+        t.row(
+            *name,
+            vec![
+                format!("{:.1}", report.makespan_ms),
+                format!("{refunded:.1}"),
+                format!("{}", m.slid_dispatches),
+                if i == 0 {
+                    "-".into()
+                } else {
+                    format!("{:+.1}%", 100.0 * (post_ms - report.makespan_ms) / post_ms)
+                },
+            ],
+        );
+    }
+    t
+}
+
+/// One model-only staged schedule of `shapes` on `gpus` with `k` host
+/// staging workers: (makespan ms, staging waits, total wait ms).
+fn staging_run(gpus: &[Gpu], shapes: &[JobShape], k: usize) -> (f64, u64, f64) {
+    let planner = Planner::new();
+    let mut pool = DevicePool::new(gpus.to_vec());
+    pool.set_staging_workers(k);
+    let recorder = Arc::new(Recorder::new());
+    pool.attach_observer(recorder.clone());
+    schedule_staged(
+        &mut pool,
+        &planner,
+        shapes,
+        DispatchPolicy::ShortestExpectedCompletion,
+        &MicrobatchConfig::off(),
+        &StageSchedConfig::overlap_only(),
+    );
+    let m = Metrics::from_events(&recorder.events());
+    (pool.makespan_ms(), m.staging_waits, m.staging_wait_ms)
+}
+
+/// Host-staging contention A/B (model): the refinement-heavy mix on 4
+/// pooled V100s with the pool-wide CPU staging model at `k` = N, 2 and
+/// 1 workers. Every prep interval books a worker slot *and* its
+/// device's prep lane; with `k` < N concurrent preps across devices
+/// queue on the workers and the waits (counted from
+/// [`mdls_obs::Event::StagingWait`]) stretch the makespan.
+pub fn staging_ab(jobs: usize) -> TextTable {
+    let shapes = refinement_mix(jobs);
+    let gpus = vec![Gpu::v100(); 4];
+    let mut t = TextTable::new(
+        format!(
+            "Host-staging contention A/B: {jobs}-job refinement-heavy mix on \
+             4x V100, stage-level SECT, k CPU staging workers"
+        ),
+        "workers",
+    );
+    t.col("makespan ms")
+        .col("staging waits")
+        .col("wait ms")
+        .col("vs k=N");
+    let (base_ms, _, _) = staging_run(&gpus, &shapes, gpus.len());
+    for k in [gpus.len(), 2, 1] {
+        let (ms, waits, wait_ms) = staging_run(&gpus, &shapes, k);
+        t.row(
+            if k == gpus.len() {
+                "k = N = 4".into()
+            } else {
+                format!("k = {k}")
+            },
+            vec![
+                format!("{ms:.1}"),
+                format!("{waits}"),
+                format!("{wait_ms:.1}"),
+                format!("{:+.1}%", 100.0 * (ms - base_ms) / base_ms),
+            ],
+        );
+    }
+    t
+}
+
+/// Escape a string for a JSON literal (the scenario names are ASCII
+/// identifiers, but stay correct regardless).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Machine-readable throughput results: per-scenario makespan and
+/// latency for the interval-timeline and host-staging A/Bs, as a JSON
+/// document (written to `target/bench-throughput.json` by
+/// `repro throughput` / `throughput-smoke` and validated with
+/// [`mdls_obs::json`]).
+pub fn bench_json(jobs: usize) -> String {
+    let mut scenarios = Vec::new();
+    let refund = refund_heavy_jobs(jobs, 0xeb00);
+    let mixed = vec![Gpu::v100(), Gpu::v100(), Gpu::p100(), Gpu::p100()];
+    for (name, sched) in timeline_arms() {
+        let (report, m) = staged_observed(&mixed, &refund, &sched);
+        scenarios.push(format!(
+            "{{\"name\":\"timeline_{}\",\"makespan_ms\":{:.6},\"solves_per_sec\":{:.6},\
+             \"p50_ms\":{:.6},\"p99_ms\":{:.6},\"slid_dispatches\":{}}}",
+            json_escape(name),
+            report.makespan_ms,
+            report.solves_per_sec,
+            report.latency.p50_ms,
+            report.latency.p99_ms,
+            m.slid_dispatches
+        ));
+    }
+    let shapes = refinement_mix(jobs.max(8) * 2);
+    let homog = vec![Gpu::v100(); 4];
+    for k in [homog.len(), 2, 1] {
+        let (ms, waits, wait_ms) = staging_run(&homog, &shapes, k);
+        scenarios.push(format!(
+            "{{\"name\":\"staging_k{k}\",\"makespan_ms\":{ms:.6},\
+             \"staging_waits\":{waits},\"staging_wait_ms\":{wait_ms:.6}}}"
+        ));
+    }
+    format!("{{\"scenarios\":[{}]}}", scenarios.join(","))
 }
 
 /// Bursty-arrival deadline misses (functional): tracker jobs arriving
@@ -542,6 +740,8 @@ mod tests {
         assert!(microbatch_ab().render().contains("speedup"));
         assert!(microbatch_queue_ab(64).render().contains("fused"));
         assert!(stage_overlap_ab(24).render().contains("overlap"));
+        assert!(timeline_ab(12).render().contains("compaction"));
+        assert!(staging_ab(16).render().contains("k = 1"));
         assert!(bursty_deadline_table(18).render().contains("misses"));
     }
 
@@ -578,10 +778,13 @@ mod tests {
 
     #[test]
     fn online_rebooking_wins_makespan() {
-        // re-booking hands refunded time to later dispatches: with the
-        // same worst-case bookings, the online schedule must finish
-        // strictly sooner than post-hoc refunds, and expected-pass
-        // booking at least as soon again
+        // re-booking hands refunded time to later dispatches. The batch
+        // engine books every group up front, so a tail-only re-book can
+        // only trim each device's final booking — it must never lose to
+        // post-hoc, but the schedule-level win is compaction's: queued
+        // dispatches slide into the mid-schedule holes and the makespan
+        // drops strictly. Expected-pass booking (which also compacts)
+        // must at least hold that line.
         let jobs = refund_heavy_jobs(12, 0xeb01);
         let gpus = vec![Gpu::v100(), Gpu::v100(), Gpu::p100(), Gpu::p100()];
         let run = |sched: &StageSchedConfig| {
@@ -596,23 +799,103 @@ mod tests {
             let refunded: f64 = report.outcomes.iter().map(|o| o.refunded_ms).sum();
             (report.makespan_ms, refunded)
         };
-        let (post_ms, post_refund) = run(&StageSchedConfig::overlap_only());
+        let [(_, post), (_, tail), (_, compact)] = timeline_arms();
+        let (post_ms, post_refund) = run(&post);
         assert!(
             post_refund > 0.0,
             "no refunds on the refund-heavy mix — the A/B is vacuous"
         );
-        let mut rebook = StageSchedConfig::overlap_only();
-        rebook.rebook = true;
-        let (re_ms, _) = run(&rebook);
+        let (tail_ms, _) = run(&tail);
         assert!(
-            re_ms < post_ms,
-            "re-booking {re_ms:.2} ms not under post-hoc {post_ms:.2} ms"
+            tail_ms <= post_ms + 1e-9,
+            "tail-only re-booking {tail_ms:.2} ms regressed post-hoc {post_ms:.2} ms"
+        );
+        let (compact_ms, _) = run(&compact);
+        assert!(
+            compact_ms < post_ms,
+            "compaction {compact_ms:.2} ms not strictly under post-hoc {post_ms:.2} ms"
         );
         let (exp_ms, _) = run(&StageSchedConfig::staged());
         assert!(
-            exp_ms <= re_ms + 1e-9,
-            "expected-pass booking {exp_ms:.2} ms worse than worst-case re-booking {re_ms:.2} ms"
+            exp_ms <= compact_ms + 1e-9,
+            "expected-pass booking {exp_ms:.2} ms worse than worst-case compaction {compact_ms:.2} ms"
         );
+    }
+
+    #[test]
+    fn compaction_never_loses_to_tail_only_rebooking() {
+        // across seeded refund-heavy runs, compaction's makespan is
+        // never above tail-only's, and wins strictly somewhere — the
+        // holes it fills are exactly the spans tail-only strands
+        let gpus = vec![Gpu::v100(), Gpu::v100(), Gpu::p100(), Gpu::p100()];
+        let [_, (_, tail), (_, compact)] = timeline_arms();
+        let mut strict_wins = 0;
+        for seed in [0xeb01u64, 0xeb02, 0xeb03] {
+            let jobs = refund_heavy_jobs(12, seed);
+            let run = |sched: &StageSchedConfig| {
+                let mut pool = DevicePool::new(gpus.clone());
+                solve_batch_staged(
+                    &mut pool,
+                    &jobs,
+                    DispatchPolicy::ShortestExpectedCompletion,
+                    &MicrobatchConfig::off(),
+                    sched,
+                )
+                .makespan_ms
+            };
+            let tail_ms = run(&tail);
+            let compact_ms = run(&compact);
+            assert!(
+                compact_ms <= tail_ms + 1e-9,
+                "seed {seed:#x}: compaction {compact_ms:.2} ms above tail-only {tail_ms:.2} ms"
+            );
+            if compact_ms < tail_ms - 1e-9 {
+                strict_wins += 1;
+            }
+        }
+        assert!(
+            strict_wins >= 1,
+            "compaction never beat tail-only strictly on any seed"
+        );
+    }
+
+    #[test]
+    fn staging_contention_costs_makespan() {
+        // k = N staging workers reproduce the per-device prep-lane
+        // model exactly (zero waits); starving the pool to one worker
+        // must generate waits and stretch the makespan
+        let shapes = refinement_mix(24);
+        let gpus = vec![Gpu::v100(); 4];
+        let (full_ms, full_waits, _) = staging_run(&gpus, &shapes, gpus.len());
+        assert_eq!(full_waits, 0, "k = N must not generate staging waits");
+        let (one_ms, one_waits, one_wait_ms) = staging_run(&gpus, &shapes, 1);
+        assert!(one_waits > 0, "k = 1 generated no staging contention");
+        assert!(one_wait_ms > 0.0);
+        assert!(
+            one_ms >= full_ms,
+            "k = 1 makespan {one_ms:.2} ms under k = N {full_ms:.2} ms"
+        );
+    }
+
+    #[test]
+    fn bench_json_is_valid_and_complete() {
+        let doc = mdls_obs::json::parse(&bench_json(8)).expect("bench json parses");
+        let scenarios = doc
+            .get("scenarios")
+            .and_then(mdls_obs::json::Json::as_arr)
+            .expect("scenarios array");
+        assert!(scenarios.len() >= 6);
+        for s in scenarios {
+            let name = s
+                .get("name")
+                .and_then(mdls_obs::json::Json::as_str)
+                .expect("scenario name");
+            let ms = s
+                .get("makespan_ms")
+                .and_then(mdls_obs::json::Json::as_f64)
+                .expect("scenario makespan");
+            assert!(ms > 0.0, "{name}: nonpositive makespan");
+        }
     }
 
     #[test]

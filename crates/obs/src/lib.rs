@@ -145,10 +145,10 @@ pub enum Event {
         start_ms: f64,
         end_ms: f64,
     },
-    /// `rebook_tail` rewound `device`'s lanes from plan stage
+    /// An online re-book freed `device`'s lanes from plan stage
     /// `from_stage`: `freed_ms` of booked wall clock came off the
-    /// compute-lane cursor (now at `at_ms`), `refunded_ms` off the
-    /// busy accounting.
+    /// timelines (the booking's executed work ends at `at_ms`),
+    /// `refunded_ms` off the busy accounting.
     Refund {
         device: usize,
         from_stage: usize,
@@ -158,6 +158,46 @@ pub enum Event {
     },
     /// A busy-time-only refund (no cursor rewind) on `device`.
     Reconciled { device: usize, refund_ms: f64 },
+    /// A booking landed (at least partly) in a mid-schedule timeline
+    /// gap on `device` instead of at the tail: its earliest gap part
+    /// starts at `start_ms`, `lead_ms` ahead of the pre-booking lane
+    /// cursor.
+    GapFilled {
+        device: usize,
+        start_ms: f64,
+        lead_ms: f64,
+    },
+    /// A compacting re-book on `device` slid `slid` queued, unexecuted
+    /// dispatches left into `freed_ms` of booked time freed at `at_ms`,
+    /// improving their completion times by `slid_ms` in total.
+    Compacted {
+        device: usize,
+        at_ms: f64,
+        freed_ms: f64,
+        slid: usize,
+        slid_ms: f64,
+    },
+    /// A host staging worker joined the observed pool (emitted once per
+    /// worker when an observer is attached). Names the staging trace
+    /// thread for `worker`.
+    StagingWorker { worker: usize },
+    /// One prep interval booked on host staging `worker` on behalf of
+    /// `device` — the pool-wide host resource view of a prep-lane span.
+    StagingBooked {
+        worker: usize,
+        device: usize,
+        start_ms: f64,
+        end_ms: f64,
+    },
+    /// A booking on `device` started `wait_ms` later than its own prep
+    /// lane allowed because every staging worker was busy; `worker` is
+    /// the slot it eventually got, `at_ms` where it started.
+    StagingWait {
+        device: usize,
+        worker: usize,
+        wait_ms: f64,
+        at_ms: f64,
+    },
     /// `device`'s lanes were held to `until_ms` for a not-yet-arrived
     /// release time.
     Held { device: usize, until_ms: f64 },

@@ -171,9 +171,21 @@ pub struct Metrics {
     pub deadline_misses: u64,
     /// Stream groups shrunk by a tight front-member deadline.
     pub deadline_caps: u64,
-    /// Online `rebook_tail` refunds, and the busy time they returned.
+    /// Online re-booking refunds, and the busy time they returned.
     pub refunds: u64,
     pub refunded_ms: f64,
+    /// Bookings that landed (at least partly) in a mid-schedule gap.
+    pub gap_fills: u64,
+    /// Compacting re-books that slid at least one queued dispatch.
+    pub compactions: u64,
+    /// Queued dispatches slid left by compaction.
+    pub slid_dispatches: u64,
+    /// Total completion-time improvement from compaction, ms.
+    pub compacted_ms: f64,
+    /// Bookings delayed by host staging-worker contention, and the
+    /// total delay.
+    pub staging_waits: u64,
+    pub staging_wait_ms: f64,
     /// Adaptive correction passes booked past their plan.
     pub extensions: u64,
     /// Release-time holds placed on device lanes.
@@ -238,6 +250,16 @@ impl Metrics {
                     m.refunds += 1;
                     m.refunded_ms += refund_ms;
                 }
+                Event::GapFilled { .. } => m.gap_fills += 1,
+                Event::Compacted { slid, slid_ms, .. } => {
+                    m.compactions += 1;
+                    m.slid_dispatches += slid as u64;
+                    m.compacted_ms += slid_ms;
+                }
+                Event::StagingWait { wait_ms, .. } => {
+                    m.staging_waits += 1;
+                    m.staging_wait_ms += wait_ms;
+                }
                 Event::PassExtended { .. } => m.extensions += 1,
                 Event::Held { .. } => m.holds += 1,
                 Event::PlanCacheHit { .. } => m.plan_cache_hits += 1,
@@ -263,7 +285,11 @@ impl Metrics {
                     slot.1 += predicted_ms;
                     slot.2 += settled_ms;
                 }
-                Event::Device { .. } | Event::StageBooked { .. } | Event::PlanSpan { .. } => {}
+                Event::Device { .. }
+                | Event::StageBooked { .. }
+                | Event::PlanSpan { .. }
+                | Event::StagingWorker { .. }
+                | Event::StagingBooked { .. } => {}
             }
         }
         m

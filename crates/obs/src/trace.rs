@@ -6,8 +6,11 @@
 //! for the host/prep lane and track `compute` (tid 1) for the device
 //! lane. Stage bookings render as duration slices on both lanes, plan
 //! spans as compute slices, and refunds / holds / extensions /
-//! deadline misses as instant markers, so a staged schedule's overlap
-//! and reclaimed holes are visually inspectable.
+//! deadline misses / gap fills / compactions as instant markers, so a
+//! staged schedule's overlap and reclaimed holes are visually
+//! inspectable. The pool-wide host staging workers render as one extra
+//! process ([`STAGING_PID`]) with a thread per worker, carrying every
+//! prep interval booked through the shared host resource.
 //!
 //! Timestamps: the pool's simulated milliseconds map to the trace's
 //! microseconds (×1000), preserving sub-millisecond stage structure.
@@ -19,6 +22,10 @@ use crate::{Event, StageKind};
 pub const TID_PREP: u64 = 0;
 /// Compute-lane (device) thread id within each device's process.
 pub const TID_COMPUTE: u64 = 1;
+/// Trace process id of the pool-wide host staging workers (one thread
+/// per worker). Far above any real device id so the processes never
+/// collide.
+pub const STAGING_PID: usize = 0xff00;
 
 fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -101,6 +108,30 @@ pub fn chrome_trace(events: &[Event]) -> String {
         lines.meta(device, Some(TID_PREP), "thread_name", "prep");
         lines.meta(device, Some(TID_COMPUTE), "thread_name", "compute");
     }
+    // the host staging pool is its own process, one thread per worker
+    let mut workers: Vec<usize> = Vec::new();
+    for ev in events {
+        let w = match ev {
+            Event::StagingWorker { worker } => *worker,
+            Event::StagingBooked { worker, .. } => *worker,
+            _ => continue,
+        };
+        if !workers.contains(&w) {
+            workers.push(w);
+        }
+    }
+    if !workers.is_empty() {
+        workers.sort_unstable();
+        lines.meta(STAGING_PID, None, "process_name", "host staging");
+        for &w in &workers {
+            lines.meta(
+                STAGING_PID,
+                Some(w as u64),
+                "thread_name",
+                &format!("worker{w}"),
+            );
+        }
+    }
     for ev in events {
         match *ev {
             Event::StageBooked {
@@ -168,6 +199,63 @@ pub fn chrome_trace(events: &[Event]) -> String {
             Event::Held { device, until_ms } => {
                 lines.instant(device, TID_PREP, "hold", until_ms, "");
             }
+            Event::GapFilled {
+                device,
+                start_ms,
+                lead_ms,
+            } => {
+                lines.instant(
+                    device,
+                    TID_COMPUTE,
+                    "gap fill",
+                    start_ms,
+                    &format!("\"lead_ms\":{lead_ms}"),
+                );
+            }
+            Event::Compacted {
+                device,
+                at_ms,
+                freed_ms,
+                slid,
+                slid_ms,
+            } => {
+                lines.instant(
+                    device,
+                    TID_COMPUTE,
+                    "compact",
+                    at_ms,
+                    &format!("\"freed_ms\":{freed_ms},\"slid\":{slid},\"slid_ms\":{slid_ms}"),
+                );
+            }
+            Event::StagingBooked {
+                worker,
+                device,
+                start_ms,
+                end_ms,
+            } => {
+                lines.slice(
+                    STAGING_PID,
+                    worker as u64,
+                    &format!("prep gpu{device}"),
+                    start_ms,
+                    end_ms,
+                    &format!("\"device\":{device}"),
+                );
+            }
+            Event::StagingWait {
+                device,
+                worker,
+                wait_ms,
+                at_ms,
+            } => {
+                lines.instant(
+                    STAGING_PID,
+                    worker as u64,
+                    "staging wait",
+                    at_ms,
+                    &format!("\"device\":{device},\"wait_ms\":{wait_ms}"),
+                );
+            }
             Event::PassExtended {
                 device,
                 job,
@@ -233,6 +321,12 @@ pub fn validate_trace(doc: &str, devices: usize) -> Result<usize, String> {
                     .and_then(|a| a.get("name"))
                     .and_then(Json::as_str)
                     .ok_or("thread_name without args.name")?;
+                if pid == STAGING_PID {
+                    if lane != format!("worker{tid}") {
+                        return Err(format!("unexpected staging thread {lane:?}"));
+                    }
+                    continue;
+                }
                 if pid >= devices {
                     return Err(format!("track for unknown device {pid}"));
                 }
@@ -323,6 +417,46 @@ mod tests {
         let doc = chrome_trace(&evs);
         assert!(validate_trace(&doc, 2).is_err());
         assert!(validate_trace(&doc, 1).is_ok());
+    }
+
+    #[test]
+    fn staging_workers_render_as_their_own_process() {
+        let doc = chrome_trace(&[
+            Event::Device {
+                device: 0,
+                name: "v100",
+            },
+            Event::StagingWorker { worker: 0 },
+            Event::StagingWorker { worker: 1 },
+            Event::StagingBooked {
+                worker: 1,
+                device: 0,
+                start_ms: 0.0,
+                end_ms: 4.0,
+            },
+            Event::StagingWait {
+                device: 0,
+                worker: 1,
+                wait_ms: 4.0,
+                at_ms: 4.0,
+            },
+            Event::GapFilled {
+                device: 0,
+                start_ms: 2.0,
+                lead_ms: 3.0,
+            },
+            Event::Compacted {
+                device: 0,
+                at_ms: 2.0,
+                freed_ms: 3.0,
+                slid: 1,
+                slid_ms: 3.0,
+            },
+        ]);
+        // 1 staging slice; instants don't count
+        assert_eq!(validate_trace(&doc, 1).unwrap(), 1);
+        assert!(doc.contains("host staging"));
+        assert!(doc.contains("worker1"));
     }
 
     #[test]

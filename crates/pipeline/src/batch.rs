@@ -47,7 +47,7 @@ use crate::microbatch::{
 };
 use crate::plan::ExecPlan;
 use crate::planner::{PlanCacheStats, Planner};
-use crate::pool::{DevicePool, DeviceStats};
+use crate::pool::{DevicePool, DeviceStats, RebookMode};
 use crate::scheduler::{schedule, DispatchPolicy, JobShape, StageSchedConfig};
 use mdls_obs::Event;
 
@@ -938,12 +938,18 @@ pub(crate) fn emit_settled(pool: &DevicePool, outcomes: &[JobOutcome]) {
 }
 
 /// Settle a staged dispatch against what execution actually ran:
-/// refund the booked tail when the group stopped early (rewinding the
-/// lane cursors under [`StageSchedConfig::rebook`], so later dispatches
-/// use the freed time), or book the extra passes an expected-pass
-/// booking under-estimated / a stalled job extended into. Updates the
-/// group's `end_ms` to the settled completion and returns the per-job
-/// `(refunded, extended)` shares, ms.
+/// refund the booked tail when the group stopped early (freeing the
+/// timeline spans under [`StageSchedConfig::rebook`], so later
+/// dispatches use the freed time — and, under
+/// [`StageSchedConfig::compact`], sliding queued dispatches left into
+/// the hole), or book the extra passes an expected-pass booking
+/// under-estimated / a stalled job extended into. Slide-left
+/// compaction may have *moved* this dispatch since it was booked, so
+/// settlement first refreshes the placement from the pool's
+/// live-booking registry; every settle path marks the booking settled,
+/// pinning it against any later compaction. Updates the group's
+/// `start_ms`/`end_ms` to the settled placement and returns the
+/// per-job `(refunded, extended)` shares, ms.
 pub(crate) fn settle_staged_dispatch(
     pool: &mut DevicePool,
     g: &mut GroupDispatch,
@@ -953,6 +959,11 @@ pub(crate) fn settle_staged_dispatch(
 ) -> (f64, f64) {
     let booked = g.booked_passes();
     let k = g.jobs.len().max(1) as f64;
+    if let Some(current) = g.booking.as_ref().and_then(|b| pool.live_booking(b.id)) {
+        g.start_ms = current.start_ms();
+        g.end_ms = current.end_ms();
+        g.booking = Some(current);
+    }
     let booking = g
         .booking
         .clone()
@@ -976,7 +987,12 @@ pub(crate) fn settle_staged_dispatch(
         let from = ExecPlan::booked_stages(passes_run);
         let executed_end = booking.stages[from - 1].end_ms();
         if sched.rebook {
-            let refund = pool.rebook_tail(&booking, from);
+            let mode = if sched.compact {
+                RebookMode::Compact
+            } else {
+                RebookMode::TailOnly
+            };
+            let refund = pool.rebook(&booking, from, mode);
             g.end_ms = executed_end;
             (refund.refunded_ms / k, 0.0)
         } else {
@@ -984,18 +1000,20 @@ pub(crate) fn settle_staged_dispatch(
             // schedule keeps the booked intervals (legacy refunds)
             let tail: f64 = booking.stages[from..].iter().map(|s| s.wall_ms()).sum();
             pool.reconcile(g.device, tail);
+            pool.mark_settled(booking.id);
             (tail / k, 0.0)
         }
     } else if passes_run > booked {
         // grow the booking pass by pass: each extra pass replays the
-        // plan's steady-state residual/correct pair at the lane
-        // cursors (the engine is sequential, so the extension lands
-        // right behind the original booking)
+        // plan's steady-state residual/correct pair at the earliest
+        // fit no sooner than the executed end of the booking so far
+        pool.mark_settled(booking.id);
         let pair = g.fused.extension_reqs();
         let mut extended = 0.0;
         let mut end = g.end_ms;
         for pass in booked..passes_run {
-            let ext = pool.commit_stages(g.device, &pair, 0.0, 0.0, 0, sched.overlap, 0.0);
+            let ext = pool.commit_stages(g.device, &pair, 0.0, 0.0, 0, sched.overlap, end);
+            pool.mark_settled(ext.id);
             pool.emit(|| Event::PassExtended {
                 device: g.device,
                 job: g.jobs[0] as u64,
@@ -1008,42 +1026,64 @@ pub(crate) fn settle_staged_dispatch(
         g.end_ms = end;
         (0.0, extended / k)
     } else {
+        pool.mark_settled(booking.id);
         (0.0, 0.0)
     }
 }
 
-/// The **stage-level online batch engine**: dispatch, execute and
-/// settle one fused group at a time, against stage-granular device
-/// timelines.
+/// The **stage-level online batch engine**: book every fused group on
+/// the interval timelines up front, execute per-device queues
+/// concurrently, then settle in booking order.
 ///
-/// Per group, in (for SECT: longest-first) placement order:
+/// 1. **Book** (main thread, in the shared — for SECT: longest-first —
+///    placement order): every group's stages land as lane-split
+///    intervals on the device the policy picks *from the stage
+///    timeline* ([`dispatch_group_staged`]) — under
+///    [`StageSchedConfig::overlap`] a group's factorization prep hides
+///    under whatever the device is still computing (and books a host
+///    staging worker); under [`StageSchedConfig::book_expected`] only
+///    the planner's expected pass count is booked.
+/// 2. **Execute** with per-device queues: one scoped host thread per
+///    device with work, each running its queue in booking order.
+///    Execution is purely functional (the same interpreter as every
+///    other path, against an immutable device model), so host
+///    parallelism cannot perturb placements, events or bits — it only
+///    shortens *our* wall clock. Up to
+///    [`StageSchedConfig::max_extra_passes`] extension passes run for
+///    jobs whose residual stalls above target.
+/// 3. **Settle** (main thread, global booking order — refund causality
+///    and the event stream stay deterministic): refund each group's
+///    unexecuted tail online ([`DevicePool::rebook`]; under
+///    [`StageSchedConfig::compact`] queued dispatches slide left into
+///    the hole and settlement reads their refreshed placements) or
+///    book the extra passes execution actually ran.
 ///
-/// 1. **Book** the group's stages as lane-split intervals on the
-///    device the policy picks *from the stage timeline*
-///    ([`dispatch_group_staged`]) — under [`StageSchedConfig::overlap`]
-///    the group's factorization prep hides under whatever the device
-///    is still computing; under [`StageSchedConfig::book_expected`]
-///    only the planner's expected pass count is booked.
-/// 2. **Execute** the group functionally (the same interpreter as
-///    every other path — booking mode never changes arithmetic), with
-///    up to [`StageSchedConfig::max_extra_passes`] extension passes
-///    for jobs whose residual stalls above target.
-/// 3. **Settle**: refund the unexecuted tail online
-///    ([`DevicePool::rebook_tail`] — later groups book into the freed
-///    time) or book the extra passes execution actually ran.
-///
-/// The loop is deliberately sequential: a group's settlement must land
-/// before the next dispatch for the re-booking to be causal. Outcomes
-/// are bit-identical to [`solve_batch`] whenever `max_extra_passes`
-/// matches (extension is the one knob that adds arithmetic, and it
-/// only fires on jobs the legacy path would have returned *under
-/// target*).
+/// Outcomes are bit-identical to [`solve_batch`] whenever
+/// `max_extra_passes` matches (extension is the one knob that adds
+/// arithmetic, and it only fires on jobs the legacy path would have
+/// returned *under target*).
 pub fn solve_batch_staged(
     pool: &mut DevicePool,
     jobs: &[Job],
     policy: DispatchPolicy,
     micro: &MicrobatchConfig,
     sched: &StageSchedConfig,
+) -> BatchReport {
+    solve_batch_staged_with(pool, jobs, policy, micro, sched, true)
+}
+
+/// [`solve_batch_staged`] with an explicit host-parallelism switch:
+/// `host_parallel = false` executes every device queue on the calling
+/// thread, in the same booking order — the serial reference the
+/// per-device-queue executor is asserted bit-identical (and
+/// timing-identical) against.
+pub fn solve_batch_staged_with(
+    pool: &mut DevicePool,
+    jobs: &[Job],
+    policy: DispatchPolicy,
+    micro: &MicrobatchConfig,
+    sched: &StageSchedConfig,
+    host_parallel: bool,
 ) -> BatchReport {
     let mut planner = Planner::new();
     if let Some(obs) = pool.observer() {
@@ -1057,10 +1097,13 @@ pub fn solve_batch_staged(
     };
     let order = crate::microbatch::placement_order(pool, &planner, &shapes, &groups_idx, policy);
 
-    let mut outcomes: Vec<Option<JobOutcome>> = Vec::new();
-    outcomes.resize_with(jobs.len(), || None);
-    let mut makespan_ms = 0.0f64;
-    let mut fused_groups = 0;
+    // phase 1: book everything, in placement order, on the main thread
+    struct Slot {
+        gi: usize,
+        shape: JobShape,
+        g: GroupDispatch,
+    }
+    let mut slots: Vec<Slot> = Vec::with_capacity(order.len());
     for &gi in &order {
         let idxs = &groups_idx[gi];
         let shape = shapes[idxs[0]];
@@ -1068,29 +1111,80 @@ pub fn solve_batch_staged(
             .iter()
             .map(|&j| jobs[j].release())
             .fold(0.0f64, f64::max);
-        let mut g =
-            dispatch_group_staged(pool, &planner, idxs.clone(), &shape, policy, sched, release);
-        let members: Vec<&Job> = idxs.iter().map(|&j| &jobs[j]).collect();
-        let solved: Vec<PlannedSolve> = if members.len() == 1 {
-            vec![solve_planned_traced_with(
-                pool.gpu(g.device),
-                members[0],
-                &g.plan,
-                sched.max_extra_passes,
-            )]
-        } else {
-            fused_groups += 1;
-            solve_planned_fused_with(
-                pool.gpu(g.device),
-                &members,
-                &g.plan,
-                sched.max_extra_passes,
-            )
+        let g = dispatch_group_staged(pool, &planner, idxs.clone(), &shape, policy, sched, release);
+        slots.push(Slot { gi, shape, g });
+    }
+
+    // phase 2: execute — per-device queues, one scoped thread each
+    let mut solved: Vec<Option<Vec<PlannedSolve>>> = Vec::new();
+    solved.resize_with(slots.len(), || None);
+    {
+        let pool_ref: &DevicePool = pool;
+        let exec = |slot: &Slot| -> Vec<PlannedSolve> {
+            let members: Vec<&Job> = groups_idx[slot.gi].iter().map(|&j| &jobs[j]).collect();
+            if members.len() == 1 {
+                vec![solve_planned_traced_with(
+                    pool_ref.gpu(slot.g.device),
+                    members[0],
+                    &slot.g.plan,
+                    sched.max_extra_passes,
+                )]
+            } else {
+                solve_planned_fused_with(
+                    pool_ref.gpu(slot.g.device),
+                    &members,
+                    &slot.g.plan,
+                    sched.max_extra_passes,
+                )
+            }
         };
+        if host_parallel && pool_ref.len() > 1 && slots.len() > 1 {
+            let mut queues: Vec<Vec<usize>> = vec![Vec::new(); pool_ref.len()];
+            for (i, slot) in slots.iter().enumerate() {
+                queues[slot.g.device].push(i);
+            }
+            let results: Mutex<Vec<(usize, Vec<PlannedSolve>)>> =
+                Mutex::new(Vec::with_capacity(slots.len()));
+            let slots_ref = &slots;
+            let exec_ref = &exec;
+            let results_ref = &results;
+            std::thread::scope(|scope| {
+                for queue in queues.into_iter().filter(|q| !q.is_empty()) {
+                    scope.spawn(move || {
+                        for i in queue {
+                            let r = exec_ref(&slots_ref[i]);
+                            results_ref.lock().unwrap().push((i, r));
+                        }
+                    });
+                }
+            });
+            for (i, r) in results.into_inner().unwrap() {
+                solved[i] = Some(r);
+            }
+        } else {
+            for (i, slot) in slots.iter().enumerate() {
+                solved[i] = Some(exec(slot));
+            }
+        }
+    }
+
+    // phase 3: settle in global booking order, on the main thread
+    let mut outcomes: Vec<Option<JobOutcome>> = Vec::new();
+    outcomes.resize_with(jobs.len(), || None);
+    let mut makespan_ms = 0.0f64;
+    let mut fused_groups = 0;
+    for (slot, solved) in slots.iter_mut().zip(solved) {
+        let solved = solved.expect("every group executed");
+        let idxs = &groups_idx[slot.gi];
+        let members: Vec<&Job> = idxs.iter().map(|&j| &jobs[j]).collect();
+        if members.len() > 1 {
+            fused_groups += 1;
+        }
         let passes_run = solved.iter().map(|s| s.corrections_run).max().unwrap_or(0);
-        let (refunded, extended) = settle_staged_dispatch(pool, &mut g, &shape, passes_run, sched);
-        makespan_ms = makespan_ms.max(g.end_ms);
-        let mut assembled = JobOutcome::assemble_group(&members, &g, solved);
+        let (refunded, extended) =
+            settle_staged_dispatch(pool, &mut slot.g, &slot.shape, passes_run, sched);
+        makespan_ms = makespan_ms.max(slot.g.end_ms);
+        let mut assembled = JobOutcome::assemble_group(&members, &slot.g, solved);
         for o in &mut assembled {
             o.refunded_ms = refunded;
             o.extended_ms = extended;

@@ -52,8 +52,13 @@
 //!    residual/correct passes (40%+ makespan cuts on refinement-heavy
 //!    mixes), SECT costs completion by previewing the booking on each
 //!    device's timeline, and adaptive early stops are **re-booked
-//!    online** ([`DevicePool::rebook_tail`]) so queued dispatches use
-//!    the freed time. The planner books its *expected* pass count and
+//!    online** ([`DevicePool::rebook`]) so queued dispatches use the
+//!    freed time — under [`RebookMode::Compact`] they *slide left*
+//!    into mid-schedule holes. Each lane is a real interval list
+//!    ([`Timeline`]): placement searches gaps, not just the tail, and
+//!    host prep is a pool-wide resource ([`HostStagingPool`] — `k`
+//!    CPU staging workers feed all devices). The planner books its
+//!    *expected* pass count and
 //!    the engine extends stalled jobs pass by pass until the measured
 //!    residual certifies the target ([`Job::release_ms`] models bursty
 //!    arrivals along the way). Booking modes move work through
@@ -103,9 +108,9 @@ pub mod workload;
 pub use batch::{
     digits_from_residual, latency_summary, promoted_cache_stats, promoted_cache_warm_insert,
     solve_batch, solve_batch_fused, solve_batch_fused_with, solve_batch_policy, solve_batch_staged,
-    solve_batch_with, solve_planned, solve_planned_fused, solve_planned_fused_with,
-    solve_planned_traced, solve_planned_traced_with, BatchReport, JobOutcome, LatencySummary,
-    PlannedSolve,
+    solve_batch_staged_with, solve_batch_with, solve_planned, solve_planned_fused,
+    solve_planned_fused_with, solve_planned_traced, solve_planned_traced_with, BatchReport,
+    JobOutcome, LatencySummary, PlannedSolve,
 };
 pub use job::{Job, Precision, Solution};
 pub use microbatch::{
@@ -115,7 +120,8 @@ pub use microbatch::{
 pub use plan::{ExecPlan, FusedProfile, PlannedStage, Stage};
 pub use planner::{plan_cache_stats, PlanCacheStats, Planner};
 pub use pool::{
-    DevicePool, DeviceStats, PoolDevice, StageBooking, StageInterval, StageRefund, StageReq,
+    DevicePool, DeviceStats, HostStagingPool, PoolDevice, RebookMode, StageBooking, StageInterval,
+    StageRefund, StageReq, Timeline,
 };
 pub use scheduler::{dispatch_one, schedule, Dispatch, DispatchPolicy, JobShape, StageSchedConfig};
 pub use stream::{

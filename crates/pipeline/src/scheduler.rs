@@ -76,11 +76,16 @@ pub struct StageSchedConfig {
     /// gaps) on independent per-device lanes, letting the next job's
     /// factorization prep hide under the current job's device work.
     pub overlap: bool,
-    /// Re-book online: when adaptive refinement certifies early, rewind
-    /// the unexecuted tail off the lane cursors
-    /// ([`DevicePool::rebook_tail`]) so queued dispatches book into the
+    /// Re-book online: when adaptive refinement certifies early, remove
+    /// the unexecuted tail from the timelines
+    /// ([`DevicePool::rebook`]) so queued dispatches book into the
     /// freed time, instead of only writing the tail off the busy books.
     pub rebook: bool,
+    /// With `rebook`, use [`crate::pool::RebookMode::Compact`]: free
+    /// skipped spans even mid-schedule and slide later queued,
+    /// unexecuted dispatches left into the hole. Off = the tail-only
+    /// baseline (mid-schedule holes strand).
+    pub compact: bool,
     /// Book the planner's *expected* pass count instead of the
     /// structural worst case; execution divergence is absorbed by
     /// re-booking (shrink) or extension (grow).
@@ -98,6 +103,7 @@ impl StageSchedConfig {
         StageSchedConfig {
             overlap: true,
             rebook: true,
+            compact: true,
             book_expected: true,
             max_extra_passes: 4,
         }
@@ -110,6 +116,7 @@ impl StageSchedConfig {
         StageSchedConfig {
             overlap: true,
             rebook: false,
+            compact: false,
             book_expected: false,
             max_extra_passes: 0,
         }
@@ -122,6 +129,7 @@ impl StageSchedConfig {
         StageSchedConfig {
             overlap: false,
             rebook: false,
+            compact: false,
             book_expected: false,
             max_extra_passes: 0,
         }
@@ -215,7 +223,9 @@ pub(crate) fn place_release<T>(
                 .iter()
                 .map(|d| {
                     let (payload, cost_ms) = price(&d.gpu);
-                    let end_ms = d.clock_ms().max(release_ms) + cost_ms;
+                    // gap-aware: a composed booking may fit into a
+                    // mid-schedule hole, and the commit will take it
+                    let (_, end_ms) = pool.preview_wall(d.id, cost_ms, release_ms);
                     pool.emit(|| mdls_obs::Event::SectPreview {
                         device: d.id,
                         end_ms,

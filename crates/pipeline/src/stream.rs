@@ -340,8 +340,11 @@ where
         };
         let mut assembled = match self.sched {
             Some(sched) => {
-                // settle the stage booking online: refunds rewind the
-                // lane cursors before the next dispatch ever looks
+                // settle the stage booking online: refunds free the
+                // timeline spans before the next dispatch ever looks
+                // (the stream pull contract keeps dispatch → execute →
+                // settle sequential per group, so later groups also
+                // gap-fill into compacted holes)
                 let passes_run = solved.iter().map(|s| s.corrections_run).max().unwrap_or(0);
                 let (refunded, extended) =
                     settle_staged_dispatch(self.pool, &mut g, &shape, passes_run, &sched);

@@ -186,3 +186,272 @@ fn model_monotone_in_dimension() {
         assert!(b.total_flops_paper() > a.total_flops_paper(), "tiles {k}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Interval-timeline and staged-engine properties (stage-level scheduling)
+// ---------------------------------------------------------------------------
+
+mod timeline_props {
+    use super::*;
+    use multidouble_ls::pipeline::{
+        power_flow_jobs, solve_batch_staged_with, DevicePool, DispatchPolicy, MicrobatchConfig,
+        RebookMode, StageBooking, StageReq, StageSchedConfig, Timeline,
+    };
+
+    /// Every lane invariant the pool promises: intervals are non-empty,
+    /// sorted by start, pairwise disjoint, and the cursor sits exactly
+    /// at the last interval's end.
+    fn assert_lane_invariants(label: &str, tl: &Timeline) {
+        let ivs = tl.intervals();
+        for (i, iv) in ivs.iter().enumerate() {
+            assert!(iv.1 > iv.0, "{label}: interval {i} {iv:?} has no width");
+            if i > 0 {
+                assert!(
+                    ivs[i - 1].1 <= iv.0,
+                    "{label}: intervals {:?} and {iv:?} out of order or overlapping",
+                    ivs[i - 1]
+                );
+            }
+        }
+        let tail = ivs.last().map(|iv| iv.1).unwrap_or(0.0);
+        assert_eq!(
+            tl.cursor_ms().to_bits(),
+            tail.to_bits(),
+            "{label}: cursor {} is not the last interval end {}",
+            tl.cursor_ms(),
+            tail
+        );
+    }
+
+    fn random_reqs(rng: &mut StdRng) -> Vec<StageReq> {
+        let n_stages = 1 + rng.random_range(0.0..4.0) as usize;
+        (0..n_stages)
+            .map(|s| StageReq {
+                host_ms: if s == 0 {
+                    rng.random_range(0.0..3.0)
+                } else {
+                    0.0
+                },
+                device_ms: 0.5 + rng.random_range(0.0..6.0),
+            })
+            .collect()
+    }
+
+    /// Random booking / re-booking sequences never break a lane: the
+    /// interval lists stay sorted and disjoint and the cursor tracks the
+    /// tail, on both device lanes and every staging worker, after every
+    /// single operation.
+    #[test]
+    fn timelines_stay_sorted_disjoint_with_cursor_at_tail() {
+        let mut rng = StdRng::seed_from_u64(0x11_f0);
+        for round in 0..6usize {
+            let workers = 1 + round % 3;
+            let mut pool = DevicePool::homogeneous(&Gpu::v100(), 2);
+            pool.set_staging_workers(workers);
+            let mut live: Vec<StageBooking> = Vec::new();
+            for op in 0..32 {
+                let dev = rng.random_range(0.0..2.0) as usize;
+                let reqs = random_reqs(&mut rng);
+                let overlap = rng.random_range(0.0..1.0) < 0.7;
+                let nb_ms = rng.random_range(0.0..25.0);
+                let kernel_ms: f64 = reqs.iter().map(|r| r.device_ms).sum();
+                live.push(pool.commit_stages(dev, &reqs, kernel_ms, 0.0, 1, overlap, nb_ms));
+                if rng.random_range(0.0..1.0) < 0.4 {
+                    let pick = rng.random_range(0.0..live.len() as f64) as usize;
+                    let victim = live.swap_remove(pick);
+                    let from = rng.random_range(0.0..(victim.stages.len() + 1) as f64) as usize;
+                    let mode = if rng.random_range(0.0..1.0) < 0.5 {
+                        RebookMode::Compact
+                    } else {
+                        RebookMode::TailOnly
+                    };
+                    pool.rebook(&victim, from, mode);
+                }
+                for d in pool.devices() {
+                    let id = d.id;
+                    assert_lane_invariants(
+                        &format!("round {round} op {op}: device {id} prep lane"),
+                        d.host_timeline(),
+                    );
+                    assert_lane_invariants(
+                        &format!("round {round} op {op}: device {id} compute lane"),
+                        d.device_timeline(),
+                    );
+                }
+                for w in 0..workers {
+                    assert_lane_invariants(
+                        &format!("round {round} op {op}: staging worker {w}"),
+                        pool.staging().worker(w),
+                    );
+                }
+            }
+        }
+    }
+
+    /// A booking that fits a mid-schedule hole lands inside it, and the
+    /// bookings already on the timeline (the "executing" work) keep the
+    /// exact spans they had — gap-filling never overlaps or moves them.
+    #[test]
+    fn gap_fill_never_overlaps_an_executing_booking() {
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+        let stage = |device_ms: f64| StageReq {
+            host_ms: 0.0,
+            device_ms,
+        };
+        let head = pool.commit_stages(0, &[stage(10.0)], 10.0, 0.0, 1, false, 0.0);
+        let tail = pool.commit_stages(0, &[stage(10.0)], 10.0, 0.0, 1, false, 20.0);
+        // hole is [10, 20): a 5 ms booking must gap-fill at 10
+        let filler = pool.commit_stages(0, &[stage(5.0)], 5.0, 0.0, 1, false, 0.0);
+        assert_eq!(
+            filler.stages[0].device.0.to_bits(),
+            10f64.to_bits(),
+            "filler did not gap-fill: starts at {}",
+            filler.stages[0].device.0
+        );
+        for (name, old) in [("head", &head), ("tail", &tail)] {
+            let now = pool.live_booking(old.id).expect("booking still live");
+            for (so, sn) in old.stages.iter().zip(&now.stages) {
+                assert_eq!(
+                    so.device.0.to_bits(),
+                    sn.device.0.to_bits(),
+                    "{name} booking moved"
+                );
+                assert_eq!(
+                    so.device.1.to_bits(),
+                    sn.device.1.to_bits(),
+                    "{name} booking resized"
+                );
+                // and the filler stays clear of it
+                for f in &filler.stages {
+                    assert!(
+                        f.device.1 <= sn.device.0 || sn.device.1 <= f.device.0,
+                        "filler {:?} overlaps {name} {:?}",
+                        f.device,
+                        sn.device
+                    );
+                }
+            }
+        }
+    }
+
+    /// Compacting re-books only ever move *unstarted* intervals, and
+    /// never move any queued dispatch later: every interval that began
+    /// before the refund point keeps its exact span, and every queued
+    /// booking's completion is `<=` what it was before the compaction.
+    #[test]
+    fn compaction_never_moves_a_started_interval_or_delays_anyone() {
+        let mut rng = StdRng::seed_from_u64(0xc0_4a);
+        for case in 0..12 {
+            let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+            pool.set_staging_workers(1);
+            let refunder_reqs: Vec<StageReq> = (0..4)
+                .map(|s| StageReq {
+                    host_ms: if s == 0 { 2.0 } else { 0.0 },
+                    device_ms: 4.0 + rng.random_range(0.0..4.0),
+                })
+                .collect();
+            let kernel_ms: f64 = refunder_reqs.iter().map(|r| r.device_ms).sum();
+            let refunder = pool.commit_stages(0, &refunder_reqs, kernel_ms, 0.0, 1, true, 0.0);
+            let mut queued = Vec::new();
+            for _ in 0..5 {
+                let reqs = random_reqs(&mut rng);
+                let wall_ms: f64 = reqs.iter().map(|r| r.device_ms).sum();
+                let nb_ms = rng.random_range(0.0..8.0);
+                queued.push(pool.commit_stages(0, &reqs, wall_ms, 0.0, 1, true, nb_ms));
+            }
+            // the refunder "executed" only stage 0; everything after is refunded
+            let placed = pool.live_booking(refunder.id).expect("refunder live");
+            let at_ms = placed.stages[0].end_ms();
+            let before: Vec<StageBooking> = queued
+                .iter()
+                .map(|b| pool.live_booking(b.id).expect("queued booking live"))
+                .collect();
+            pool.rebook(&refunder, 1, RebookMode::Compact);
+            for old in &before {
+                let new = pool
+                    .live_booking(old.id)
+                    .expect("still live after compaction");
+                assert!(
+                    new.end_ms() <= old.end_ms(),
+                    "case {case}: compaction delayed booking {}: {} -> {}",
+                    old.id,
+                    old.end_ms(),
+                    new.end_ms()
+                );
+                for (i, (so, sn)) in old.stages.iter().zip(&new.stages).enumerate() {
+                    if so.device.1 > so.device.0 && so.device.0 < at_ms {
+                        assert_eq!(
+                            so.device.0.to_bits(),
+                            sn.device.0.to_bits(),
+                            "case {case}: started device interval moved (booking {} stage {i})",
+                            old.id
+                        );
+                        assert_eq!(so.device.1.to_bits(), sn.device.1.to_bits());
+                    }
+                    if so.host.1 > so.host.0 && so.host.0 < at_ms {
+                        assert_eq!(
+                            so.host.0.to_bits(),
+                            sn.host.0.to_bits(),
+                            "case {case}: started prep interval moved (booking {} stage {i})",
+                            old.id
+                        );
+                        assert_eq!(so.host.1.to_bits(), sn.host.1.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    /// The per-device-queue executor (scoped threads, one queue per
+    /// device) is bit- and schedule-identical to the serial executor:
+    /// same solution bits, same device placements, same simulated
+    /// `start_ms`/`end_ms` on every outcome.
+    #[test]
+    fn staged_parallel_executor_matches_serial_bits_and_schedule() {
+        let mut rng = StdRng::seed_from_u64(0x5e_91);
+        let jobs = power_flow_jobs(24, &mut rng);
+        let sched = StageSchedConfig::staged();
+        let micro = MicrobatchConfig::default();
+        let run = |host_parallel: bool| {
+            let mut pool = DevicePool::new(vec![Gpu::v100(), Gpu::p100()]);
+            pool.set_staging_workers(1);
+            solve_batch_staged_with(
+                &mut pool,
+                &jobs,
+                DispatchPolicy::ShortestExpectedCompletion,
+                &micro,
+                &sched,
+                host_parallel,
+            )
+        };
+        let serial = run(false);
+        let parallel = run(true);
+        assert_eq!(serial.outcomes.len(), parallel.outcomes.len());
+        for (s, p) in serial.outcomes.iter().zip(&parallel.outcomes) {
+            assert_eq!(s.job_id, p.job_id, "settlement order diverged");
+            assert_eq!(s.device, p.device, "job {}: placement diverged", s.job_id);
+            assert_eq!(
+                s.x, p.x,
+                "job {}: parallel executor changed the bits",
+                s.job_id
+            );
+            assert_eq!(
+                s.start_ms.to_bits(),
+                p.start_ms.to_bits(),
+                "job {}: start {} vs {}",
+                s.job_id,
+                s.start_ms,
+                p.start_ms
+            );
+            assert_eq!(
+                s.end_ms.to_bits(),
+                p.end_ms.to_bits(),
+                "job {}: end {} vs {}",
+                s.job_id,
+                s.end_ms,
+                p.end_ms
+            );
+        }
+        assert_eq!(serial.makespan_ms.to_bits(), parallel.makespan_ms.to_bits());
+    }
+}
