@@ -17,7 +17,9 @@
 //! * every `unsafe` block/impl documents its contract
 //!   ([`lints::UNDOCUMENTED_UNSAFE`]);
 //! * floats are never compared exactly outside the error-free-
-//!   transform crates ([`lints::FLOAT_EQ_OUTSIDE_CORE`]).
+//!   transform crates ([`lints::FLOAT_EQ_OUTSIDE_CORE`]);
+//! * fault/chaos/recovery code draws only from seeded sources
+//!   ([`lints::NONDETERMINISTIC_FAULT_SOURCE`]).
 //!
 //! The analyzer is a hand-rolled lexer ([`lexer`]) plus token-scope
 //! passes ([`lints`]) — no external dependencies, because the

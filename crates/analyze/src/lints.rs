@@ -21,6 +21,11 @@
 //!   carry the pool's sorted/disjoint/cursor-at-tail invariants;
 //!   touching `.intervals` with a container mutator anywhere but
 //!   `pool.rs`'s own `Timeline` API bypasses the invariant checks.
+//! * [`NONDETERMINISTIC_FAULT_SOURCE`] — chaotic runs are reproducible
+//!   only while every fault schedule and recovery decision replays
+//!   from a seed; one `thread_rng()` or `Instant::now()` in
+//!   fault/chaos/recovery code and the same chaos run never happens
+//!   twice.
 //!
 //! Suppression grammar: `// analyze::allow(lint-id): reason`. The
 //! reason is mandatory — a bare allow is itself a finding — and an
@@ -38,6 +43,7 @@ pub const LOCK_ACROSS_EMIT: &str = "lock-across-emit";
 pub const UNDOCUMENTED_UNSAFE: &str = "undocumented-unsafe";
 pub const FLOAT_EQ_OUTSIDE_CORE: &str = "float-eq-outside-core";
 pub const TIMELINE_MUTATION_OUTSIDE_POOL: &str = "timeline-mutation-outside-pool";
+pub const NONDETERMINISTIC_FAULT_SOURCE: &str = "nondeterministic-fault-source";
 pub const BARE_ALLOW: &str = "bare-allow";
 pub const UNKNOWN_LINT: &str = "unknown-lint";
 pub const UNUSED_ALLOW: &str = "unused-allow";
@@ -110,6 +116,12 @@ pub const LINTS: &[LintDef] = &[
         skip_tests: false,
         summary: "lane interval lists mutate only through pool.rs's Timeline API",
     },
+    LintDef {
+        id: NONDETERMINISTIC_FAULT_SOURCE,
+        scope: Scope::All,
+        skip_tests: false,
+        summary: "fault/chaos/recovery code draws only from seeded sources — no ambient RNG, no host clocks",
+    },
 ];
 
 /// Look a lint up by id.
@@ -137,6 +149,18 @@ pub fn crate_of(rel: &str) -> Option<&str> {
 /// Whether a path is test-only by location.
 fn is_test_path(rel: &str) -> bool {
     rel.split('/').any(|c| c == "tests" || c == "benches")
+}
+
+/// Fault-tolerance code by file name — the files whose nondeterminism
+/// the [`NONDETERMINISTIC_FAULT_SOURCE`] lint polices. Path-scoped
+/// rather than crate-scoped: chaos harnesses live in `bench` (where the
+/// wall-clock lint is off) and recovery code in `pipeline`, but both
+/// must replay from seeds.
+fn is_fault_path(rel: &str) -> bool {
+    let file = rel.rsplit('/').next().unwrap_or(rel);
+    ["fault", "chaos", "resilient", "recovery"]
+        .iter()
+        .any(|k| file.contains(k))
 }
 
 // ---------------------------------------------------------------------
@@ -382,6 +406,15 @@ pub fn analyze_source(
         && rel.trim_start_matches("./") != "crates/pipeline/src/pool.rs"
     {
         lint_timeline_mutation(rel, toks, &mut raw);
+    }
+    // fault.rs *is* the seeded FaultPlan source — the one file allowed
+    // to wrap an entropy primitive behind a recorded seed, so (as with
+    // pool.rs above) the exemption is exact-path
+    if enabled(NONDETERMINISTIC_FAULT_SOURCE)
+        && is_fault_path(rel)
+        && rel.trim_start_matches("./") != "crates/gpusim/src/fault.rs"
+    {
+        lint_nondeterministic_fault(rel, toks, &mut raw);
     }
 
     // drop findings of skip_tests lints that landed in test code
@@ -677,6 +710,38 @@ fn lint_wall_clock(rel: &str, toks: &[Token], out: &mut Vec<Finding>) {
                 ),
             ));
         }
+    }
+}
+
+/// Entropy and host-clock reads that make a chaos run unrepeatable.
+/// Seeded constructors (`seed_from_u64`, `StdRng::from_seed`,
+/// `FaultPlan::seeded`) are fine — only the ambient sources trip.
+fn lint_nondeterministic_fault(rel: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let double = |a: &str| i + 2 < toks.len() && is(&toks[i + 1], "::") && is(&toks[i + 2], a);
+        let what = match t.text.as_str() {
+            "thread_rng" | "from_entropy" | "seed_from_entropy" | "OsRng" => {
+                format!("`{}` draws from ambient process entropy", t.text)
+            }
+            "rand" if double("random") => "`rand::random` draws from the thread RNG".to_string(),
+            "Instant" | "SystemTime" if double("now") => {
+                format!("`{}::now` reads the host clock", t.text)
+            }
+            _ => continue,
+        };
+        out.push(Finding::new(
+            rel,
+            t.line,
+            NONDETERMINISTIC_FAULT_SOURCE,
+            format!(
+                "{what} — fault schedules and recovery decisions must replay from recorded \
+                 seeds (FaultPlan::seeded / seed_from_u64) so chaotic runs stay reproducible"
+            ),
+        ));
     }
 }
 

@@ -69,6 +69,8 @@ const SUPPRESS_GOOD: &str = include_str!("fixtures/suppression_good.rs");
 const SUPPRESS_BAD: &str = include_str!("fixtures/suppression_bad.rs");
 const TIMELINE_TRIP: &str = include_str!("fixtures/timeline_trip.rs");
 const TIMELINE_CLEAN: &str = include_str!("fixtures/timeline_clean.rs");
+const NONDET_TRIP: &str = include_str!("fixtures/nondeterministic_fault_trip.rs");
+const NONDET_CLEAN: &str = include_str!("fixtures/nondeterministic_fault_clean.rs");
 
 #[test]
 fn map_iteration_trips_and_cleans() {
@@ -152,6 +154,40 @@ fn timeline_mutation_exempts_pool_and_other_crates() {
     assert!(got.is_empty(), "pool.rs should be exempt: {got:?}");
     // and the lint is pipeline-only policy
     check_clean("timeline_trip.rs", "gpusim", TIMELINE_TRIP);
+}
+
+#[test]
+fn nondeterministic_fault_trips_and_cleans() {
+    // analyzed as `bench` — where the wall-clock lint is off — to prove
+    // the fault lint fires on path, not crate
+    check("nondeterministic_fault_trip.rs", "bench", NONDET_TRIP);
+    assert_eq!(expected(NONDET_TRIP).len(), 6, "marker count drifted");
+    check_clean("nondeterministic_fault_clean.rs", "bench", NONDET_CLEAN);
+}
+
+#[test]
+fn nondeterministic_fault_is_path_scoped() {
+    // the same entropy reads under a file name that does not denote
+    // fault/chaos/recovery code are this lint's non-problem (the
+    // wall-clock lint owns the general case)
+    let got = analyze_str("crates/bench/src/throughput.rs", "bench", NONDET_TRIP);
+    assert!(
+        got.iter()
+            .all(|f| f.lint != "nondeterministic-fault-source"),
+        "non-fault path should be out of scope: {got:?}"
+    );
+}
+
+#[test]
+fn nondeterministic_fault_exempts_fault_rs() {
+    // fault.rs *is* the seeded FaultPlan source — the exact path is
+    // exempt (other lints, e.g. wall-clock in gpusim, still apply)
+    let got = analyze_str("crates/gpusim/src/fault.rs", "gpusim", NONDET_TRIP);
+    assert!(
+        got.iter()
+            .all(|f| f.lint != "nondeterministic-fault-source"),
+        "fault.rs should be exempt from the fault-source lint: {got:?}"
+    );
 }
 
 #[test]

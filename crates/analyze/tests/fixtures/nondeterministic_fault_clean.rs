@@ -1,0 +1,17 @@
+// Clean fixture for `nondeterministic-fault-source`: fault-path code
+// that replays entirely from recorded seeds. Never compiled — lexed
+// only.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TRANSIENT_SEED: u64 = 0xc4a05;
+
+pub fn seeded_fault_schedule(horizon_ms: f64) -> Vec<f64> {
+    // seeded constructors are the sanctioned source
+    let mut rng = StdRng::seed_from_u64(TRANSIENT_SEED);
+    let plan = FaultPlan::seeded(TRANSIENT_SEED, horizon_ms, 4.0).with_device_lost(40.0);
+    let jitter: f64 = multidouble::random::rand_real(&mut rng);
+    let mut out = plan.transients().to_vec();
+    out.push(jitter);
+    out
+}

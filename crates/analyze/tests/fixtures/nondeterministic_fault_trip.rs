@@ -1,0 +1,16 @@
+// Tripping fixture for `nondeterministic-fault-source` (analyzed as
+// crate `bench`, where the wall-clock lint is off — this lint still
+// fires because the *path* names fault code; the same source under a
+// non-fault file name is clean — scope test). Never compiled — lexed
+// only.
+use rand::rngs::OsRng; // FINDING: nondeterministic-fault-source
+use std::time::{Instant, SystemTime};
+
+pub fn roll_an_unrepeatable_fault_schedule() -> f64 {
+    let mut rng = rand::thread_rng(); // FINDING: nondeterministic-fault-source
+    let gap: f64 = rand::random(); // FINDING: nondeterministic-fault-source
+    let seeded_badly = StdRng::from_entropy(); // FINDING: nondeterministic-fault-source
+    let t0 = Instant::now(); // FINDING: nondeterministic-fault-source
+    let _wall = SystemTime::now(); // FINDING: nondeterministic-fault-source
+    gap + t0.elapsed().as_secs_f64()
+}

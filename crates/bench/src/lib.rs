@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablate;
+pub mod chaos;
 pub mod experiments;
 pub mod figures;
 pub mod tables;

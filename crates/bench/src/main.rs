@@ -23,10 +23,17 @@
 //!                       and print latency / counter / calibration tables
 //!   trace-smoke         record a small stream and validate the exported
 //!                       trace: one prep + one compute track per device (CI)
+//!   chaos               seeded device-fault A/B on 4 V100s: fault-free vs
+//!                       fail-the-batch vs retry/re-dispatch (completion
+//!                       rate, disposition taxonomy, makespan overhead);
+//!                       writes target/bench-chaos.json
+//!   chaos-smoke         small chaos A/B asserting recovery strictly beats
+//!                       fail-all on completion rate + bench-chaos.json
+//!                       validation (CI)
 //!   all                 everything, in paper order
 //! ```
 
-use mdls_bench::{ablate, experiments as ex, figures, throughput, trace, verify};
+use mdls_bench::{ablate, chaos, experiments as ex, figures, throughput, trace, verify};
 
 fn print_tables(ts: &[mdls_bench::TextTable]) {
     for t in ts {
@@ -44,6 +51,25 @@ fn write_bench_json(jobs: usize) {
         std::process::exit(1);
     }
     let path = std::path::Path::new("target").join("bench-throughput.json");
+    match std::fs::create_dir_all("target").and_then(|()| std::fs::write(&path, &doc)) {
+        Ok(()) => println!("machine-readable results written to {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Write the machine-readable chaos A/B results to
+/// `target/bench-chaos.json`, validating the document round-trips
+/// through the JSON reader first (the smoke contract).
+fn write_chaos_json(jobs: usize) {
+    let doc = chaos::chaos_json(jobs);
+    if let Err(e) = mdls_obs::json::parse(&doc) {
+        eprintln!("bench-chaos.json does not parse: {e}");
+        std::process::exit(1);
+    }
+    let path = std::path::Path::new("target").join("bench-chaos.json");
     match std::fs::create_dir_all("target").and_then(|()| std::fs::write(&path, &doc)) {
         Ok(()) => println!("machine-readable results written to {}", path.display()),
         Err(e) => {
@@ -100,6 +126,20 @@ fn run(cmd: &str) -> bool {
             println!("{}", throughput::staging_ab(24).render());
             write_bench_json(8);
         }
+        "chaos" => {
+            println!("{}", chaos::chaos_table(48).render());
+            write_chaos_json(24);
+        }
+        "chaos-smoke" => {
+            match chaos::chaos_smoke() {
+                Ok(msg) => println!("{msg}"),
+                Err(e) => {
+                    eprintln!("chaos-smoke failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            write_chaos_json(12);
+        }
         "trace" => {
             let r = trace::trace_report(48);
             print_tables(&r.tables);
@@ -145,6 +185,7 @@ fn run(cmd: &str) -> bool {
                 "ablate-smem",
                 "ablate-invert",
                 "throughput",
+                "chaos",
                 "verify",
             ] {
                 run(c);
@@ -158,7 +199,7 @@ fn run(cmd: &str) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <table1..table11 | fig1..fig5 | verify | ablate-smem | ablate-invert | throughput | throughput-smoke | trace | trace-smoke | all>");
+        eprintln!("usage: repro <table1..table11 | fig1..fig5 | verify | ablate-smem | ablate-invert | throughput | throughput-smoke | trace | trace-smoke | chaos | chaos-smoke | all>");
         std::process::exit(2);
     }
     for a in &args {

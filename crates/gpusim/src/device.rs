@@ -65,12 +65,24 @@ pub struct Gpu {
     pub ilp_slope: f64,
     /// Fixed host-side wall overhead per solver invocation, ms.
     pub host_overhead_ms: f64,
+    /// Seeded fault schedule for this device — quiet by default; see
+    /// [`crate::fault::FaultPlan`]. The schedule is data, not behavior:
+    /// the simulator never consults a clock or an entropy source, a
+    /// driver (e.g. a pool's recovery loop) reads the plan and reacts.
+    pub fault: crate::fault::FaultPlan,
 }
 
 impl Gpu {
     /// Total CUDA cores.
     pub fn cores(&self) -> usize {
         self.multiprocessors * self.cores_per_mp
+    }
+
+    /// This device with a fault schedule attached (builder style):
+    /// `Gpu::v100().with_fault_plan(FaultPlan::seeded(7, 1e4, 2e3))`.
+    pub fn with_fault_plan(mut self, plan: crate::fault::FaultPlan) -> Gpu {
+        self.fault = plan;
+        self
     }
 
     /// The roofline ridge point in flops/byte
@@ -100,6 +112,7 @@ impl Gpu {
             ilp_base: 0.175,
             ilp_slope: 0.004,
             host_overhead_ms: 40.0,
+            fault: crate::fault::FaultPlan::none(),
         }
     }
 
@@ -126,6 +139,7 @@ impl Gpu {
             ilp_base: 0.095,
             ilp_slope: 0.004,
             host_overhead_ms: 40.0,
+            fault: crate::fault::FaultPlan::none(),
         }
     }
 
@@ -150,6 +164,7 @@ impl Gpu {
             ilp_base: 0.155,
             ilp_slope: 0.0045,
             host_overhead_ms: 30.0,
+            fault: crate::fault::FaultPlan::none(),
         }
     }
 
@@ -175,6 +190,7 @@ impl Gpu {
             ilp_base: 0.145,
             ilp_slope: 0.0045,
             host_overhead_ms: 12.0,
+            fault: crate::fault::FaultPlan::none(),
         }
     }
 
@@ -206,6 +222,7 @@ impl Gpu {
             ilp_base: 0.19,
             ilp_slope: 0.012,
             host_overhead_ms: 80.0,
+            fault: crate::fault::FaultPlan::none(),
         }
     }
 
@@ -234,6 +251,7 @@ impl Gpu {
             ilp_base: 0.145,
             ilp_slope: 0.0045,
             host_overhead_ms: 10.0,
+            fault: crate::fault::FaultPlan::none(),
         }
     }
 

@@ -29,6 +29,7 @@
 pub mod buffer;
 pub mod device;
 pub mod exec;
+pub mod fault;
 pub mod launch;
 pub mod model;
 pub mod profile;
@@ -37,5 +38,6 @@ pub mod roofline;
 pub use buffer::{DeviceBuf, DeviceMat};
 pub use device::Gpu;
 pub use exec::{ExecMode, Sim};
+pub use fault::FaultPlan;
 pub use launch::{BlockCtx, KernelCost};
 pub use profile::{Profile, StageStats};

@@ -241,6 +241,47 @@ pub enum Event {
         predicted_ms: f64,
         settled_ms: f64,
     },
+    /// A seeded transient kernel fault struck `job`'s executed work on
+    /// `device` at `at_ms`; `retry` is the 1-based replay this fault
+    /// triggers (bounded by the recovery policy).
+    FaultInjected {
+        device: usize,
+        job: u64,
+        at_ms: f64,
+        retry: usize,
+    },
+    /// `device` died stickily at `at_ms`: `interrupted` live bookings
+    /// lost unexecuted work and `refund_ms` of booked-but-never-run
+    /// wall clock was written off its busy accounting.
+    DeviceLost {
+        device: usize,
+        at_ms: f64,
+        interrupted: usize,
+        refund_ms: f64,
+    },
+    /// Recovery booked a retry of `job` on `device` ending at `end_ms`
+    /// after `backoff_ms` of modeled backoff (transient replay or
+    /// post-loss re-dispatch).
+    RetryBooked {
+        device: usize,
+        job: u64,
+        end_ms: f64,
+        backoff_ms: f64,
+    },
+    /// Admission shed `job`: no rung could meet `deadline_ms`; the best
+    /// previewed completion was `predicted_end_ms`.
+    JobShed {
+        job: u64,
+        deadline_ms: f64,
+        predicted_end_ms: f64,
+    },
+    /// Admission down-laddered `job` from `from_digits` requested
+    /// digits to a cheaper `to_digits` rung that fits its deadline.
+    JobDegraded {
+        job: u64,
+        from_digits: u32,
+        to_digits: u32,
+    },
 }
 
 /// A sink for pipeline [`Event`]s.

@@ -199,6 +199,19 @@ pub struct Metrics {
     pub candidates: u64,
     /// Device completion previews taken by the SECT policy.
     pub sect_previews: u64,
+    /// Seeded transient kernel faults injected into executed work.
+    pub transient_faults: u64,
+    /// Retry bookings placed by recovery (transient replays plus
+    /// post-loss re-dispatches).
+    pub retries_booked: u64,
+    /// Devices lost stickily mid-run.
+    pub devices_lost: u64,
+    /// Booked-but-never-executed wall clock written off lost devices.
+    pub lost_refund_ms: f64,
+    /// Jobs shed at admission (no rung could meet the deadline).
+    pub jobs_shed: u64,
+    /// Jobs down-laddered to a cheaper rung at admission.
+    pub jobs_degraded: u64,
     calibration: BTreeMap<CalKey, (u64, f64, f64)>,
 }
 
@@ -268,6 +281,14 @@ impl Metrics {
                 Event::FusedMemoMiss { .. } => m.fused_memo_misses += 1,
                 Event::PlanCandidates { candidates, .. } => m.candidates += candidates as u64,
                 Event::SectPreview { .. } => m.sect_previews += 1,
+                Event::FaultInjected { .. } => m.transient_faults += 1,
+                Event::DeviceLost { refund_ms, .. } => {
+                    m.devices_lost += 1;
+                    m.lost_refund_ms += refund_ms;
+                }
+                Event::RetryBooked { .. } => m.retries_booked += 1,
+                Event::JobShed { .. } => m.jobs_shed += 1,
+                Event::JobDegraded { .. } => m.jobs_degraded += 1,
                 Event::StageTime {
                     device,
                     rows,
@@ -343,6 +364,53 @@ mod tests {
         assert_eq!(h.quantile(0.25), 0.0, "clamped to the observed min");
         assert_eq!(h.quantile(1.0), 1.0e9, "clamped to the observed max");
         assert_eq!(Histogram::new().p50(), 0.0);
+    }
+
+    #[test]
+    fn metrics_fold_fault_counters() {
+        let events = vec![
+            Event::FaultInjected {
+                device: 1,
+                job: 3,
+                at_ms: 2.0,
+                retry: 1,
+            },
+            Event::DeviceLost {
+                device: 1,
+                at_ms: 5.0,
+                interrupted: 2,
+                refund_ms: 7.5,
+            },
+            Event::RetryBooked {
+                device: 0,
+                job: 3,
+                end_ms: 9.0,
+                backoff_ms: 0.1,
+            },
+            Event::RetryBooked {
+                device: 2,
+                job: 4,
+                end_ms: 9.5,
+                backoff_ms: 0.2,
+            },
+            Event::JobShed {
+                job: 5,
+                deadline_ms: 1.0,
+                predicted_end_ms: 4.0,
+            },
+            Event::JobDegraded {
+                job: 6,
+                from_digits: 90,
+                to_digits: 60,
+            },
+        ];
+        let m = Metrics::from_events(&events);
+        assert_eq!(m.transient_faults, 1);
+        assert_eq!(m.devices_lost, 1);
+        assert_eq!(m.lost_refund_ms, 7.5);
+        assert_eq!(m.retries_booked, 2);
+        assert_eq!(m.jobs_shed, 1);
+        assert_eq!(m.jobs_degraded, 1);
     }
 
     #[test]

@@ -270,6 +270,48 @@ pub fn chrome_trace(events: &[Event]) -> String {
                     &format!("\"job\":{job},\"pass\":{pass}"),
                 );
             }
+            Event::FaultInjected {
+                device,
+                job,
+                at_ms,
+                retry,
+            } => {
+                lines.instant(
+                    device,
+                    TID_COMPUTE,
+                    "fault",
+                    at_ms,
+                    &format!("\"job\":{job},\"retry\":{retry}"),
+                );
+            }
+            Event::DeviceLost {
+                device,
+                at_ms,
+                interrupted,
+                refund_ms,
+            } => {
+                lines.instant(
+                    device,
+                    TID_COMPUTE,
+                    "device lost",
+                    at_ms,
+                    &format!("\"interrupted\":{interrupted},\"refund_ms\":{refund_ms}"),
+                );
+            }
+            Event::RetryBooked {
+                device,
+                job,
+                end_ms,
+                backoff_ms,
+            } => {
+                lines.instant(
+                    device,
+                    TID_COMPUTE,
+                    "retry",
+                    end_ms,
+                    &format!("\"job\":{job},\"backoff_ms\":{backoff_ms}"),
+                );
+            }
             Event::JobSettled {
                 job,
                 device,

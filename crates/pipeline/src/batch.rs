@@ -51,6 +51,51 @@ use crate::pool::{DevicePool, DeviceStats, RebookMode};
 use crate::scheduler::{schedule, DispatchPolicy, JobShape, StageSchedConfig};
 use mdls_obs::Event;
 
+/// How one job's service terminated. Every [`JobOutcome`] carries
+/// exactly one of these — the overloaded "did it miss its deadline?"
+/// signaling is gone; a shed job is not a deadline miss, it never ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Disposition {
+    /// Solved as requested, first try.
+    Ok,
+    /// Solved to the requested digits, but only after fault recovery
+    /// re-ran work (a transient kernel replay or a post-loss
+    /// re-dispatch). Bits are identical to a fault-free run.
+    Retried,
+    /// Solved, but admission down-laddered the accuracy target to a
+    /// cheaper rung to fit the deadline: `achieved_digits` certifies
+    /// the degraded rung, `requested_digits` records what was asked.
+    Degraded,
+    /// Never ran: admission previewed every rung and none could meet
+    /// the deadline, so the job was rejected at ingress. The outcome
+    /// carries an empty solution.
+    Shed,
+    /// Started but never completed (its device was lost and recovery
+    /// was disabled). The outcome carries an empty solution.
+    Failed,
+}
+
+impl Disposition {
+    /// Short label for tables and logs.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Disposition::Ok => "ok",
+            Disposition::Retried => "retried",
+            Disposition::Degraded => "degraded",
+            Disposition::Shed => "shed",
+            Disposition::Failed => "failed",
+        }
+    }
+
+    /// True when the job produced a solution (possibly degraded).
+    pub fn completed(self) -> bool {
+        matches!(
+            self,
+            Disposition::Ok | Disposition::Retried | Disposition::Degraded
+        )
+    }
+}
+
 /// Outcome of one job.
 #[derive(Clone, Debug)]
 pub struct JobOutcome {
@@ -101,6 +146,16 @@ pub struct JobOutcome {
     pub release_ms: f64,
     /// The job's completion deadline, if it had one.
     pub deadline_ms: Option<f64>,
+    /// How the job's service terminated (see [`Disposition`]). The
+    /// fault-free engines always report [`Disposition::Ok`]; the
+    /// resilient engine patches in the terminal state recovery and
+    /// admission actually reached.
+    pub disposition: Disposition,
+    /// The digits the caller originally asked for. Equal to
+    /// `plan.target_digits` unless admission down-laddered the job
+    /// ([`Disposition::Degraded`]), where the plan carries the cheaper
+    /// rung and this remembers the request.
+    pub requested_digits: u32,
 }
 
 /// Result of interpreting one job's plan: the solution, its measured
@@ -152,6 +207,8 @@ impl JobOutcome {
                 priority: job.priority,
                 release_ms: job.release(),
                 deadline_ms: job.deadline_ms,
+                disposition: Disposition::Ok,
+                requested_digits: job.target_digits,
             })
             .collect()
     }
@@ -161,9 +218,11 @@ impl JobOutcome {
         self.end_ms - self.release_ms
     }
 
-    /// True when the job carried a deadline and completed past it.
+    /// True when the job *completed* past a deadline it carried. A
+    /// shed or failed job never completed — it is counted under its
+    /// own disposition, not as a deadline miss.
     pub fn missed_deadline(&self) -> bool {
-        self.deadline_ms.is_some_and(|d| self.end_ms > d)
+        self.disposition.completed() && self.deadline_ms.is_some_and(|d| self.end_ms > d)
     }
 }
 
@@ -181,20 +240,32 @@ pub fn digits_from_residual(residual: f64) -> f64 {
 /// benches all summarize through here instead of re-deriving it).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct LatencySummary {
-    /// Median turnaround (`end_ms − release_ms`), ms.
+    /// Median turnaround (`end_ms − release_ms`), ms, over *completed*
+    /// jobs only — shed and failed jobs have no completion to time.
     pub p50_ms: f64,
     /// 99th-percentile turnaround, ms.
     pub p99_ms: f64,
     /// 99.9th-percentile turnaround, ms.
     pub p999_ms: f64,
-    /// Jobs that carried a deadline and completed past it.
+    /// Jobs that carried a deadline and completed past it. Shed jobs
+    /// are counted separately below, not conflated into this.
     pub deadline_misses: usize,
+    /// Jobs admission rejected at ingress ([`Disposition::Shed`]).
+    pub shed: usize,
+    /// Jobs that started but never completed ([`Disposition::Failed`]).
+    pub failed: usize,
 }
 
 /// Summarize turnaround latency and deadline misses over `outcomes`
 /// (nearest-rank percentiles; all zeros for an empty slice).
+/// Percentiles and misses cover completed jobs only; shed and failed
+/// jobs are tallied in their own counters.
 pub fn latency_summary(outcomes: &[JobOutcome]) -> LatencySummary {
-    let mut turnaround: Vec<f64> = outcomes.iter().map(JobOutcome::turnaround_ms).collect();
+    let mut turnaround: Vec<f64> = outcomes
+        .iter()
+        .filter(|o| o.disposition.completed())
+        .map(JobOutcome::turnaround_ms)
+        .collect();
     turnaround.sort_by(f64::total_cmp);
     let pct = |q: f64| -> f64 {
         if turnaround.is_empty() {
@@ -208,6 +279,14 @@ pub fn latency_summary(outcomes: &[JobOutcome]) -> LatencySummary {
         p99_ms: pct(0.99),
         p999_ms: pct(0.999),
         deadline_misses: outcomes.iter().filter(|o| o.missed_deadline()).count(),
+        shed: outcomes
+            .iter()
+            .filter(|o| o.disposition == Disposition::Shed)
+            .count(),
+        failed: outcomes
+            .iter()
+            .filter(|o| o.disposition == Disposition::Failed)
+            .count(),
     }
 }
 

@@ -63,6 +63,17 @@
 //!    residual certifies the target ([`Job::release_ms`] models bursty
 //!    arrivals along the way). Booking modes move work through
 //!    simulated time only — bits stay identical across all of them.
+//! 6. **Fault tolerance & admission** ([`resilient`]) — each pooled
+//!    device may carry a seeded [`gpusim::FaultPlan`] (transient
+//!    kernel faults and a sticky `DeviceLost` threshold; pure data, no
+//!    clocks or entropy). [`solve_batch_resilient`] previews every
+//!    deadlined job at ingress and sheds or down-ladders unmeetable
+//!    requests, re-plans work interrupted by a device loss onto the
+//!    survivors ([`DevicePool::fail_device`] turns the dead device's
+//!    unexecuted spans into refunds), and books bounded, backed-off
+//!    replays for transient faults. Every job ends in an explicit
+//!    [`Disposition`]; completed jobs are bit-identical to the
+//!    fault-free run.
 //!
 //! Policies and priorities move jobs across devices and through time;
 //! they never change numerics — every outcome stays bit-identical to
@@ -101,6 +112,7 @@ pub mod microbatch;
 pub mod plan;
 pub mod planner;
 pub mod pool;
+pub mod resilient;
 pub mod scheduler;
 pub mod stream;
 pub mod workload;
@@ -110,7 +122,7 @@ pub use batch::{
     solve_batch, solve_batch_fused, solve_batch_fused_with, solve_batch_policy, solve_batch_staged,
     solve_batch_staged_with, solve_batch_with, solve_planned, solve_planned_fused,
     solve_planned_fused_with, solve_planned_traced, solve_planned_traced_with, BatchReport,
-    JobOutcome, LatencySummary, PlannedSolve,
+    Disposition, JobOutcome, LatencySummary, PlannedSolve,
 };
 pub use job::{Job, Precision, Solution};
 pub use microbatch::{
@@ -120,12 +132,14 @@ pub use microbatch::{
 pub use plan::{ExecPlan, FusedProfile, PlannedStage, Stage};
 pub use planner::{plan_cache_stats, PlanCacheStats, Planner};
 pub use pool::{
-    DevicePool, DeviceStats, HostStagingPool, PoolDevice, RebookMode, StageBooking, StageInterval,
-    StageRefund, StageReq, Timeline,
+    DeviceLossReport, DevicePool, DeviceStats, HostStagingPool, PoolDevice, RebookMode,
+    StageBooking, StageInterval, StageRefund, StageReq, Timeline,
 };
+pub use resilient::{solve_batch_resilient, AdmissionConfig, RecoveryPolicy, ResilienceConfig};
 pub use scheduler::{dispatch_one, schedule, Dispatch, DispatchPolicy, JobShape, StageSchedConfig};
 pub use stream::{
-    solve_stream, solve_stream_fused, solve_stream_staged, solve_stream_with, BatchStream,
+    solve_stream, solve_stream_admitted, solve_stream_fused, solve_stream_staged,
+    solve_stream_with, BatchStream,
 };
 pub use workload::{
     bursty_tracker_jobs, jobs_for_shapes, power_flow_jobs, refinement_mix, tracker_jobs,

@@ -362,6 +362,25 @@ pub struct StageRefund {
     pub slid_ms: f64,
 }
 
+/// What a sticky device loss took down: which live bookings were
+/// interrupted mid-flight and how much booked-but-never-executed wall
+/// clock came off the books. Returned by [`DevicePool::fail_device`];
+/// the recovery layer re-dispatches the interrupted bookings' jobs
+/// onto surviving devices.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceLossReport {
+    /// Pool id of the lost device.
+    pub device: usize,
+    /// The loss instant, ms.
+    pub at_ms: f64,
+    /// Ids of the live bookings interrupted (still unexecuted or
+    /// mid-execution at the loss instant), in booking order.
+    pub interrupted: Vec<u64>,
+    /// Booked wall clock past the loss instant written off the busy
+    /// aggregate, ms — work that was scheduled but never ran.
+    pub lost_refund_ms: f64,
+}
+
 /// One pooled device and its running aggregates.
 #[derive(Clone, Debug)]
 pub struct PoolDevice {
@@ -384,6 +403,10 @@ pub struct PoolDevice {
     /// Booked time later handed back by [`DevicePool::reconcile`]
     /// (adaptive refinement finishing under its booked pass count).
     refunded_ms: f64,
+    /// Sticky loss instant: once set (via [`DevicePool::fail_device`])
+    /// the device executes nothing past this time and placement skips
+    /// it entirely.
+    lost_at_ms: Option<f64>,
     solves: u64,
     kernel_ms: f64,
     flops_paper: f64,
@@ -424,6 +447,17 @@ impl PoolDevice {
     /// Number of solves dispatched to this device.
     pub fn solves(&self) -> u64 {
         self.solves
+    }
+
+    /// True once the device has been failed stickily
+    /// ([`DevicePool::fail_device`]): placement must skip it.
+    pub fn is_lost(&self) -> bool {
+        self.lost_at_ms.is_some()
+    }
+
+    /// The sticky loss instant, ms, if the device has been failed.
+    pub fn lost_at_ms(&self) -> Option<f64> {
+        self.lost_at_ms
     }
 }
 
@@ -466,6 +500,12 @@ struct LiveBooking {
     /// Staging worker per stage (None for stages with no prep).
     workers: Vec<Option<usize>>,
     settled: bool,
+    /// Aggregate contributions folded in at commit, unwound if the
+    /// booking is interrupted by a device loss (the member solves then
+    /// complete elsewhere, or not at all).
+    solves: u64,
+    kernel_ms: f64,
+    flops_paper: f64,
 }
 
 /// A planned (not yet committed) stage layout: where each stage's
@@ -529,6 +569,7 @@ impl DevicePool {
                     floor_ms: 0.0,
                     busy_ms: 0.0,
                     refunded_ms: 0.0,
+                    lost_at_ms: None,
                     solves: 0,
                     kernel_ms: 0.0,
                     flops_paper: 0.0,
@@ -613,15 +654,30 @@ impl DevicePool {
         &self.devices[id].gpu
     }
 
-    /// Id of the least-loaded device: the earliest-idle clock, ties to
-    /// the lowest id (deterministic dispatch).
+    /// Attach a seeded fault schedule to device `id` (see
+    /// [`gpusim::FaultPlan`]). The schedule is inert data on the device
+    /// model; a resilience driver reads it back via
+    /// [`DevicePool::gpu`] and turns it into [`DevicePool::fail_device`]
+    /// calls and retry bookings.
+    pub fn set_fault_plan(&mut self, id: usize, plan: gpusim::FaultPlan) {
+        self.devices[id].gpu.fault = plan;
+    }
+
+    /// Id of the least-loaded *surviving* device: the earliest-idle
+    /// clock, ties to the lowest id (deterministic dispatch). Lost
+    /// devices never take new work.
     pub fn least_loaded(&self) -> usize {
-        assert!(!self.devices.is_empty(), "empty device pool");
         self.devices
             .iter()
+            .filter(|d| !d.is_lost())
             .min_by(|a, b| a.clock_ms().total_cmp(&b.clock_ms()).then(a.id.cmp(&b.id)))
-            .unwrap()
+            .expect("no surviving device in the pool")
             .id
+    }
+
+    /// Number of devices still alive (never failed).
+    pub fn alive_count(&self) -> usize {
+        self.devices.iter().filter(|d| !d.is_lost()).count()
     }
 
     /// Earliest clock over the pool, ms — the soonest any device could
@@ -917,6 +973,9 @@ impl DevicePool {
             stages: plan.stages.clone(),
             workers: plan.workers,
             settled: false,
+            solves,
+            kernel_ms,
+            flops_paper,
         });
         StageBooking {
             id: booking_id,
@@ -1231,6 +1290,85 @@ impl DevicePool {
         }
     }
 
+    /// Fail device `id` stickily at simulated time `at_ms`: the device
+    /// executes nothing past that instant for the rest of the run.
+    /// Placement ([`DevicePool::least_loaded`] and the scheduler's SECT
+    /// arms) skips lost devices from here on.
+    ///
+    /// Bookings on the device that complete at or before `at_ms` are
+    /// untouched — they ran before the loss. Every later live booking
+    /// is **interrupted**: all of its spans come off both lanes (and
+    /// their staging workers), the portion booked past `at_ms` is
+    /// written off the busy aggregate as a refund (work before the
+    /// loss genuinely burned device time, so it stays busy), and its
+    /// solve/kernel/flop contributions are unwound — the member solves
+    /// complete on a surviving device or not at all. Interrupted
+    /// bookings leave the live registry; the returned report names
+    /// them so recovery can re-dispatch their jobs.
+    ///
+    /// Idempotent: failing an already-lost device is a no-op report.
+    pub fn fail_device(&mut self, id: usize, at_ms: f64) -> DeviceLossReport {
+        if self.devices[id].is_lost() {
+            return DeviceLossReport {
+                device: id,
+                at_ms: self.devices[id].lost_at_ms.unwrap(),
+                ..DeviceLossReport::default()
+            };
+        }
+        self.devices[id].lost_at_ms = Some(at_ms);
+        let interrupted: Vec<u64> = self
+            .live
+            .iter()
+            .filter(|b| {
+                b.device == id && !b.settled && b.stages.last().is_some_and(|s| s.end_ms() > at_ms)
+            })
+            .map(|b| b.id)
+            .collect();
+        let mut report = DeviceLossReport {
+            device: id,
+            at_ms,
+            interrupted: interrupted.clone(),
+            lost_refund_ms: 0.0,
+        };
+        for bid in &interrupted {
+            let b = self
+                .live
+                .iter()
+                .position(|x| x.id == *bid)
+                .map(|at| self.live.remove(at).unwrap())
+                .expect("interrupted booking is live");
+            let d = &mut self.devices[id];
+            let mut refund = 0.0;
+            for (s, w) in b.stages.iter().zip(&b.workers) {
+                // the post-loss portion of each span never ran;
+                // pre-loss work stays busy (it really burned device
+                // time before the loss, even though it is now wasted)
+                refund += (s.device.1 - s.device.0.max(at_ms)).max(0.0);
+                refund += (s.host.1 - s.host.0.max(at_ms)).max(0.0);
+                d.device.free(s.device);
+                if d.host.free(s.host) {
+                    if let Some(w) = *w {
+                        self.staging.workers[w].free(s.host);
+                    }
+                }
+            }
+            let r = refund.min(d.busy_ms);
+            d.busy_ms -= r;
+            d.refunded_ms += r;
+            report.lost_refund_ms += r;
+            d.solves = d.solves.saturating_sub(b.solves);
+            d.kernel_ms = (d.kernel_ms - b.kernel_ms).max(0.0);
+            d.flops_paper = (d.flops_paper - b.flops_paper).max(0.0);
+        }
+        self.emit(|| Event::DeviceLost {
+            device: id,
+            at_ms,
+            interrupted: report.interrupted.len(),
+            refund_ms: report.lost_refund_ms,
+        });
+        report
+    }
+
     /// Hold device `id` idle until simulated time `until_ms` (no-op if
     /// its clock is already past): raises the device's idle floor, so
     /// no later booking starts below it. Advances the clock without
@@ -1280,6 +1418,7 @@ impl DevicePool {
             d.floor_ms = 0.0;
             d.busy_ms = 0.0;
             d.refunded_ms = 0.0;
+            d.lost_at_ms = None;
             d.solves = 0;
             d.kernel_ms = 0.0;
             d.flops_paper = 0.0;
@@ -1412,6 +1551,53 @@ mod tests {
         assert_eq!(pool.stats()[0].busy_ms, 0.0);
         pool.reset();
         assert_eq!(pool.devices()[0].refunded_ms(), 0.0);
+    }
+
+    #[test]
+    fn fail_device_interrupts_live_bookings_and_refunds_the_future() {
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 2);
+        // one booking ends before the loss, one straddles it, one is
+        // entirely after; a fourth sits on the surviving device
+        let done = pool.commit_stages(0, &[req(1.0, 4.0)], 0.0, 0.0, 1, true, 0.0);
+        let mid = pool.commit_stages(0, &[req(0.0, 10.0)], 0.0, 0.0, 1, true, 0.0);
+        let queued = pool.commit_stages(0, &[req(0.0, 6.0)], 0.0, 0.0, 1, true, 0.0);
+        let other = pool.commit_stages(1, &[req(0.0, 8.0)], 0.0, 0.0, 1, true, 0.0);
+        assert_eq!(done.end_ms(), 5.0);
+        assert_eq!(mid.end_ms(), 15.0);
+        assert_eq!(queued.end_ms(), 21.0);
+        let before = pool.devices()[1].device_timeline().intervals().to_vec();
+
+        let report = pool.fail_device(0, 8.0);
+        assert_eq!(report.device, 0);
+        assert_eq!(report.interrupted, vec![mid.id, queued.id]);
+        // mid straddles: 15 - 8 = 7 ms never ran; queued is all future
+        assert!((report.lost_refund_ms - (7.0 + 6.0)).abs() < 1e-12);
+        assert!(pool.devices()[0].is_lost());
+        assert_eq!(pool.alive_count(), 1);
+        assert_eq!(pool.least_loaded(), 1);
+        // the completed booking's spans survive; the interrupted ones
+        // are gone from the dead device's lanes
+        assert_eq!(
+            pool.devices()[0].device_timeline().intervals(),
+            &[(1.0, 5.0)]
+        );
+        // the surviving device is untouched
+        assert_eq!(pool.devices()[1].device_timeline().intervals(), &before[..]);
+        assert!(pool.live_booking(other.id).is_some());
+        assert!(pool.live_booking(mid.id).is_none());
+        // only the device's own completed solve remains on its books
+        assert_eq!(pool.devices()[0].solves(), 1);
+
+        // idempotent: a second failure reports nothing new
+        let again = pool.fail_device(0, 9.0);
+        assert!(again.interrupted.is_empty());
+        assert_eq!(again.at_ms, 8.0);
+        assert_eq!(pool.devices()[0].lost_at_ms(), Some(8.0));
+
+        // reset revives the device
+        pool.reset();
+        assert!(!pool.devices()[0].is_lost());
+        assert_eq!(pool.alive_count(), 2);
     }
 
     #[test]

@@ -1,0 +1,686 @@
+//! Fault-tolerant batch execution: deadline-driven admission at
+//! ingress, seeded device-fault injection, and retry/re-dispatch
+//! recovery.
+//!
+//! The driver here wraps the staged batch engine with three concerns
+//! the happy-path engines deliberately do not carry:
+//!
+//! * **Admission** — before anything is booked, every deadlined job is
+//!   previewed against the surviving pool
+//!   ([`DevicePool::preview_stages`]). A job whose requested digits
+//!   cannot meet its deadline on *any* surviving device is down-laddered
+//!   to the cheapest precision rung that can
+//!   ([`Disposition::Degraded`], with the original request kept on
+//!   [`JobOutcome::requested_digits`]) or, when no rung fits, shed at
+//!   the door ([`Disposition::Shed`]) instead of burning device time on
+//!   a guaranteed miss.
+//! * **Sticky device loss** — each device model may carry a seeded
+//!   [`FaultPlan`](gpusim::FaultPlan). When a plan says the device dies
+//!   at `t`, the pool marks it lost ([`DevicePool::fail_device`]):
+//!   unexecuted booked spans become refunds and every interrupted or
+//!   queued group is re-planned and re-dispatched onto the survivors
+//!   ([`Disposition::Retried`]) — a started-but-lost stage re-runs from
+//!   its factorization, reusing the promoted-matrix cache, so recovery
+//!   costs time but never changes arithmetic. With
+//!   [`RecoveryPolicy::redispatch`] off (the fail-the-batch A/B
+//!   baseline) interrupted jobs end [`Disposition::Failed`].
+//! * **Transient kernel faults** — à la ECC replay: each transient in
+//!   the device's seeded schedule that lands inside a group's executed
+//!   interval books one bounded, exponentially backed-off replay of the
+//!   group's steady-state pass. Retries only extend *simulated time*;
+//!   the solution bits are exactly the fault-free solve's.
+//!
+//! Faults are **data, not entropy**: the schedule is fixed by
+//! [`FaultPlan::seeded`](gpusim::FaultPlan::seeded) before the batch
+//! starts, no wall clock or global RNG is consulted anywhere, and the
+//! whole run — losses, retries, down-ladders, sheds — replays
+//! bit-identically from the same seeds.
+
+use std::collections::HashSet;
+
+use crate::batch::{
+    emit_settled, latency_summary, settle_staged_dispatch, solve_planned_fused_with,
+    solve_planned_traced_with, BatchReport, Disposition, JobOutcome, PlannedSolve,
+};
+use crate::job::{Job, Precision, Solution};
+use crate::microbatch::{dispatch_group_staged, plan_groups, GroupDispatch, MicrobatchConfig};
+use crate::plan::ExecPlan;
+use crate::planner::Planner;
+use crate::pool::DevicePool;
+use crate::scheduler::{DispatchPolicy, JobShape, StageSchedConfig};
+use mdls_obs::Event;
+
+/// Ingress admission control for deadlined jobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Master switch: when false, every job is admitted as requested.
+    pub enabled: bool,
+    /// Allow down-laddering an unmeetable request to a cheaper
+    /// precision rung that fits the deadline.
+    pub degrade: bool,
+    /// Allow shedding a job no rung can finish in time. When false such
+    /// a job runs anyway and is counted as an honest deadline miss.
+    pub shed: bool,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            enabled: true,
+            degrade: true,
+            shed: true,
+        }
+    }
+}
+
+/// What to do about faults once they happen.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Re-plan and re-dispatch groups interrupted by a sticky device
+    /// loss onto the survivors. False = the fail-the-batch baseline:
+    /// interrupted jobs end [`Disposition::Failed`].
+    pub redispatch: bool,
+    /// Cap on transient-fault replays per group (ECC-replay style).
+    pub max_transient_retries: usize,
+    /// Base of the exponential retry backoff, simulated ms: retry `r`
+    /// books no earlier than `backoff_ms · 2^r` after the failed end.
+    pub backoff_ms: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            redispatch: true,
+            max_transient_retries: 3,
+            backoff_ms: 0.05,
+        }
+    }
+}
+
+/// The full resilience configuration of a batch run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ResilienceConfig {
+    /// Ingress admission.
+    pub admission: AdmissionConfig,
+    /// Fault recovery.
+    pub recovery: RecoveryPolicy,
+}
+
+impl ResilienceConfig {
+    /// The chaos-benchmark baseline: admission still runs, but a device
+    /// loss fails every interrupted job instead of re-dispatching.
+    pub fn fail_all() -> Self {
+        ResilienceConfig {
+            recovery: RecoveryPolicy {
+                redispatch: false,
+                ..RecoveryPolicy::default()
+            },
+            ..ResilienceConfig::default()
+        }
+    }
+}
+
+/// Outcome of previewing one job against the surviving pool.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum AdmissionDecision {
+    /// Run as requested.
+    Admit,
+    /// Run down-laddered to this many target digits.
+    Degrade(u32),
+    /// No rung fits the deadline; the payload is the predicted
+    /// completion at the *requested* digits (the miss magnitude).
+    Shed(f64),
+}
+
+/// Earliest predicted completion of a singleton solve of
+/// `rows×cols` at `digits` over the surviving devices, no earlier than
+/// `release` — the admission controller's crystal ball, the same
+/// [`DevicePool::preview_stages`] the staged dispatcher books by.
+fn earliest_end(
+    pool: &DevicePool,
+    planner: &Planner,
+    rows: usize,
+    cols: usize,
+    digits: u32,
+    overlap: bool,
+    release: f64,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for d in pool.devices().iter().filter(|d| !d.is_lost()) {
+        let (plan, fused) = planner.plan_fused(&d.gpu, rows, cols, digits, 1);
+        let reqs = fused.stage_reqs(ExecPlan::booked_stages(plan.corrections()));
+        best = best.min(pool.preview_stages(d.id, &reqs, overlap, release));
+    }
+    best
+}
+
+/// Decide one job's fate at ingress. Deadline-free jobs always admit;
+/// a deadlined job admits at the cheapest acceptable digits — the
+/// requested digits when they fit, else (under
+/// [`AdmissionConfig::degrade`]) the highest cheaper rung that fits,
+/// else [`AdmissionDecision::Shed`] (under [`AdmissionConfig::shed`]).
+pub(crate) fn admit_job(
+    pool: &DevicePool,
+    planner: &Planner,
+    job: &Job,
+    overlap: bool,
+    release: f64,
+    cfg: &AdmissionConfig,
+) -> AdmissionDecision {
+    let Some(deadline) = job.deadline_ms else {
+        return AdmissionDecision::Admit;
+    };
+    if !cfg.enabled || pool.alive_count() == 0 {
+        return AdmissionDecision::Admit;
+    }
+    let requested_end = earliest_end(
+        pool,
+        planner,
+        job.rows(),
+        job.cols(),
+        job.target_digits,
+        overlap,
+        release,
+    );
+    if requested_end <= deadline {
+        return AdmissionDecision::Admit;
+    }
+    if cfg.degrade {
+        // walk the ladder downward: the nearest cheaper rung that fits
+        // loses the fewest digits
+        let requested_rung = Precision::for_digits(job.target_digits);
+        for rung in Precision::LADDER
+            .into_iter()
+            .rev()
+            .filter(|r| *r < requested_rung)
+        {
+            let end = earliest_end(
+                pool,
+                planner,
+                job.rows(),
+                job.cols(),
+                rung.digits(),
+                overlap,
+                release,
+            );
+            if end <= deadline {
+                return AdmissionDecision::Degrade(rung.digits());
+            }
+        }
+    }
+    if cfg.shed {
+        AdmissionDecision::Shed(requested_end)
+    } else {
+        AdmissionDecision::Admit
+    }
+}
+
+/// A terminal outcome for a job that never ran (shed at ingress) or
+/// never finished (lost with recovery off). `end_ms` is the moment the
+/// verdict fell: the release for a shed job, the loss time for a
+/// failed one.
+pub(crate) fn tombstone_outcome(
+    job: &Job,
+    plan: ExecPlan,
+    device: usize,
+    disposition: Disposition,
+    end_ms: f64,
+) -> JobOutcome {
+    JobOutcome {
+        job_id: job.id,
+        device,
+        plan,
+        x: Solution::D1(Vec::new()),
+        residual: f64::INFINITY,
+        achieved_digits: 0.0,
+        start_ms: end_ms,
+        end_ms,
+        fused_group: 1,
+        corrections_run: 0,
+        refunded_ms: 0.0,
+        extended_ms: 0.0,
+        priority: job.priority,
+        release_ms: job.release(),
+        deadline_ms: job.deadline_ms,
+        disposition,
+        requested_digits: job.target_digits,
+    }
+}
+
+/// Solve `jobs` on `pool` with admission, fault injection and recovery
+/// — the staged batch engine ([`crate::batch::solve_batch_staged`])
+/// wrapped in the resilience loop described in the module docs. Fault
+/// schedules are read from each pooled device's
+/// [`Gpu::fault`](gpusim::Gpu) plan (attach one with
+/// [`DevicePool::set_fault_plan`]); with every plan quiet and no
+/// deadlines this degenerates to the plain staged solve.
+///
+/// Every job ends in an explicit [`Disposition`] on its outcome, and
+/// every *completed* job's solution is bit-identical to the fault-free
+/// run's — recovery and retries move simulated time, never arithmetic.
+pub fn solve_batch_resilient(
+    pool: &mut DevicePool,
+    jobs: &[Job],
+    policy: DispatchPolicy,
+    micro: &MicrobatchConfig,
+    sched: &StageSchedConfig,
+    cfg: &ResilienceConfig,
+) -> BatchReport {
+    let mut planner = Planner::new();
+    if let Some(obs) = pool.observer() {
+        planner.attach_observer(obs.clone());
+    }
+
+    // ---- phase 0: admission at the door ------------------------------
+    let mut outcomes: Vec<Option<JobOutcome>> = Vec::new();
+    outcomes.resize_with(jobs.len(), || None);
+    let mut active: Vec<usize> = Vec::new(); // original index per admitted job
+    let mut ajobs: Vec<Job> = Vec::new(); // admitted jobs, digits possibly lowered
+    let mut dispo: Vec<Disposition> = Vec::new(); // per admitted job
+    for (i, job) in jobs.iter().enumerate() {
+        let release = job.release();
+        match admit_job(pool, &planner, job, sched.overlap, release, &cfg.admission) {
+            AdmissionDecision::Admit => {
+                active.push(i);
+                ajobs.push(job.clone());
+                dispo.push(Disposition::Ok);
+            }
+            AdmissionDecision::Degrade(digits) => {
+                pool.emit(|| Event::JobDegraded {
+                    job: job.id,
+                    from_digits: job.target_digits,
+                    to_digits: digits,
+                });
+                let mut degraded = job.clone();
+                degraded.target_digits = digits;
+                active.push(i);
+                ajobs.push(degraded);
+                dispo.push(Disposition::Degraded);
+            }
+            AdmissionDecision::Shed(predicted_end) => {
+                pool.emit(|| Event::JobShed {
+                    job: job.id,
+                    deadline_ms: job.deadline_ms.unwrap_or(0.0),
+                    predicted_end_ms: predicted_end,
+                });
+                let device = pool
+                    .devices()
+                    .iter()
+                    .find(|d| !d.is_lost())
+                    .map(|d| d.id)
+                    .unwrap_or(0);
+                let (plan, _) = planner.plan_fused(
+                    pool.gpu(device),
+                    job.rows(),
+                    job.cols(),
+                    job.target_digits,
+                    1,
+                );
+                outcomes[i] = Some(tombstone_outcome(
+                    job,
+                    plan,
+                    device,
+                    Disposition::Shed,
+                    release,
+                ));
+            }
+        }
+    }
+
+    // ---- phase 1: book the admitted work in placement order ----------
+    let shapes: Vec<JobShape> = ajobs.iter().map(JobShape::from).collect();
+    let groups_idx: Vec<Vec<usize>> = if micro.is_off() {
+        (0..ajobs.len()).map(|i| vec![i]).collect()
+    } else {
+        plan_groups(&planner, &shapes, micro)
+    };
+    let order = crate::microbatch::placement_order(pool, &planner, &shapes, &groups_idx, policy);
+    struct Slot {
+        gi: usize,
+        shape: JobShape,
+        g: GroupDispatch,
+        /// Set when a loss killed this group and recovery is off: the
+        /// loss time, which becomes the members' terminal `end_ms`.
+        dead: Option<f64>,
+    }
+    let mut slots: Vec<Slot> = Vec::with_capacity(order.len());
+    for &gi in &order {
+        let idxs = &groups_idx[gi];
+        let shape = shapes[idxs[0]];
+        let release = idxs
+            .iter()
+            .map(|&j| ajobs[j].release())
+            .fold(0.0f64, f64::max);
+        let g = dispatch_group_staged(pool, &planner, idxs.clone(), &shape, policy, sched, release);
+        slots.push(Slot {
+            gi,
+            shape,
+            g,
+            dead: None,
+        });
+    }
+
+    // ---- phase 1.5: sticky losses, oldest first ----------------------
+    // Each loss interrupts the unfinished bookings on the dying device;
+    // re-dispatch immediately so a *later* loss can interrupt the
+    // re-booked work too (it is live again). Recovery only books onto
+    // survivors — their existing spans are never moved or re-run.
+    let mut losses: Vec<(usize, f64)> = pool
+        .devices()
+        .iter()
+        .filter_map(|d| d.gpu.fault.lost_at_ms().map(|t| (d.id, t)))
+        .collect();
+    losses.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    for (id, t) in losses {
+        let report = pool.fail_device(id, t);
+        let hit: HashSet<u64> = report.interrupted.iter().copied().collect();
+        if hit.is_empty() {
+            continue;
+        }
+        for slot in slots.iter_mut() {
+            let Some(bid) = slot.g.booking.as_ref().map(|b| b.id) else {
+                continue;
+            };
+            if !hit.contains(&bid) {
+                continue;
+            }
+            let idxs = groups_idx[slot.gi].clone();
+            if cfg.recovery.redispatch && pool.alive_count() > 0 {
+                let release = idxs.iter().map(|&j| ajobs[j].release()).fold(t, f64::max);
+                slot.g = dispatch_group_staged(
+                    pool,
+                    &planner,
+                    idxs.clone(),
+                    &slot.shape,
+                    policy,
+                    sched,
+                    release,
+                );
+                for &j in &idxs {
+                    if dispo[j] == Disposition::Ok {
+                        dispo[j] = Disposition::Retried;
+                    }
+                }
+            } else {
+                slot.dead = Some(t);
+                for &j in &idxs {
+                    dispo[j] = Disposition::Failed;
+                }
+            }
+        }
+    }
+
+    // ---- phase 2: execute (sequentially; numerics are device-free) ---
+    let mut solved: Vec<Option<Vec<PlannedSolve>>> = Vec::new();
+    solved.resize_with(slots.len(), || None);
+    for (i, slot) in slots.iter().enumerate() {
+        if slot.dead.is_some() {
+            continue;
+        }
+        let members: Vec<&Job> = groups_idx[slot.gi].iter().map(|&j| &ajobs[j]).collect();
+        solved[i] = Some(if members.len() == 1 {
+            vec![solve_planned_traced_with(
+                pool.gpu(slot.g.device),
+                members[0],
+                &slot.g.plan,
+                sched.max_extra_passes,
+            )]
+        } else {
+            solve_planned_fused_with(
+                pool.gpu(slot.g.device),
+                &members,
+                &slot.g.plan,
+                sched.max_extra_passes,
+            )
+        });
+    }
+
+    // ---- phase 3: settle, then replay transient faults ---------------
+    let mut makespan_ms = 0.0f64;
+    let mut fused_groups = 0;
+    for (slot, solved) in slots.iter_mut().zip(solved) {
+        let idxs = &groups_idx[slot.gi];
+        let members: Vec<&Job> = idxs.iter().map(|&j| &ajobs[j]).collect();
+        if let Some(t) = slot.dead {
+            for (&j, &job) in idxs.iter().zip(&members) {
+                let mut o = tombstone_outcome(
+                    job,
+                    slot.g.plan.clone(),
+                    slot.g.device,
+                    Disposition::Failed,
+                    t,
+                );
+                o.start_ms = slot.g.start_ms.min(t);
+                o.fused_group = idxs.len();
+                outcomes[active[j]] = Some(o);
+            }
+            continue;
+        }
+        let solved = solved.expect("every surviving group executed");
+        if members.len() > 1 {
+            fused_groups += 1;
+        }
+        let passes_run = solved.iter().map(|s| s.corrections_run).max().unwrap_or(0);
+        let (refunded, extended) =
+            settle_staged_dispatch(pool, &mut slot.g, &slot.shape, passes_run, sched);
+
+        // transient kernel faults: every scheduled transient inside the
+        // executed interval costs one backed-off replay of the group's
+        // steady-state pass (or, for direct plans, the whole booking) —
+        // time moves, bits do not
+        let device = slot.g.device;
+        let fplan = pool.gpu(device).fault.clone();
+        let hits: Vec<f64> = fplan
+            .transients()
+            .iter()
+            .copied()
+            .filter(|t| *t >= slot.g.start_ms && *t < slot.g.end_ms)
+            .take(cfg.recovery.max_transient_retries)
+            .collect();
+        let mut end = slot.g.end_ms;
+        let front = members[0].id;
+        for (r, at) in hits.iter().enumerate() {
+            pool.emit(|| Event::FaultInjected {
+                device,
+                job: front,
+                at_ms: *at,
+                retry: r,
+            });
+            let mut reqs = slot.g.fused.extension_reqs();
+            if reqs.is_empty() {
+                reqs = slot.g.fused.stage_reqs(usize::MAX);
+            }
+            let backoff = cfg.recovery.backoff_ms * (1u64 << r) as f64;
+            let b = pool.commit_stages(device, &reqs, 0.0, 0.0, 0, sched.overlap, end + backoff);
+            pool.mark_settled(b.id);
+            pool.emit(|| Event::RetryBooked {
+                device,
+                job: front,
+                end_ms: b.end_ms(),
+                backoff_ms: backoff,
+            });
+            end = b.end_ms();
+            for &j in idxs {
+                if dispo[j] == Disposition::Ok {
+                    dispo[j] = Disposition::Retried;
+                }
+            }
+        }
+        slot.g.end_ms = end;
+
+        makespan_ms = makespan_ms.max(slot.g.end_ms);
+        let mut assembled = JobOutcome::assemble_group(&members, &slot.g, solved);
+        for (o, &j) in assembled.iter_mut().zip(idxs.iter()) {
+            o.refunded_ms = refunded;
+            o.extended_ms = extended;
+            o.disposition = dispo[j];
+            o.requested_digits = jobs[active[j]].target_digits;
+        }
+        for (&j, o) in idxs.iter().zip(assembled) {
+            outcomes[active[j]] = Some(o);
+        }
+    }
+
+    let outcomes: Vec<JobOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every job has a terminal disposition"))
+        .collect();
+    emit_settled(pool, &outcomes);
+    let completed = outcomes
+        .iter()
+        .filter(|o| o.disposition.completed())
+        .count();
+    let solves_per_sec = if makespan_ms > 0.0 {
+        completed as f64 / (makespan_ms * 1.0e-3)
+    } else {
+        0.0
+    };
+    BatchReport {
+        makespan_ms,
+        solves_per_sec,
+        device_stats: pool.stats(),
+        distinct_plans: planner.cached_plans(),
+        plan_cache: planner.cache_stats(),
+        fused_groups,
+        latency: latency_summary(&outcomes),
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::{FaultPlan, Gpu};
+    use mdls_matrix::HostMat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn diag_jobs(count: usize, n: usize, digits: u32, seed: u64) -> Vec<Job> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count as u64)
+            .map(|id| {
+                let a = HostMat::<f64>::from_fn(n, n, |r, c| {
+                    let u: f64 = multidouble::random::rand_real(&mut rng);
+                    u + if r == c { 4.0 } else { 0.0 }
+                });
+                let b: Vec<f64> = (0..n)
+                    .map(|_| multidouble::random::rand_real(&mut rng))
+                    .collect();
+                Job::new(id, a, b, digits)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quiet_plans_and_no_deadlines_match_the_staged_engine() {
+        let jobs = diag_jobs(8, 8, 25, 0xfa01);
+        let micro = MicrobatchConfig::default();
+        let sched = StageSchedConfig::staged();
+        let mut pool_a = DevicePool::homogeneous(&Gpu::v100(), 2);
+        let a = crate::batch::solve_batch_staged_with(
+            &mut pool_a,
+            &jobs,
+            DispatchPolicy::LeastLoaded,
+            &micro,
+            &sched,
+            false,
+        );
+        let mut pool_b = DevicePool::homogeneous(&Gpu::v100(), 2);
+        let b = solve_batch_resilient(
+            &mut pool_b,
+            &jobs,
+            DispatchPolicy::LeastLoaded,
+            &micro,
+            &sched,
+            &ResilienceConfig::default(),
+        );
+        assert_eq!(a.outcomes.len(), b.outcomes.len());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.job_id, y.job_id);
+            assert_eq!(
+                x.x, y.x,
+                "job {}: resilience wrapper changed bits",
+                x.job_id
+            );
+            assert_eq!(x.end_ms, y.end_ms);
+            assert_eq!(y.disposition, Disposition::Ok);
+        }
+        assert_eq!(a.makespan_ms, b.makespan_ms);
+    }
+
+    #[test]
+    fn transient_faults_retry_and_extend_time_not_bits() {
+        let jobs = diag_jobs(4, 8, 25, 0xfa02);
+        let micro = MicrobatchConfig::off();
+        let sched = StageSchedConfig::staged();
+        let mut quiet = DevicePool::homogeneous(&Gpu::v100(), 1);
+        let base = solve_batch_resilient(
+            &mut quiet,
+            &jobs,
+            DispatchPolicy::LeastLoaded,
+            &micro,
+            &sched,
+            &ResilienceConfig::default(),
+        );
+        let mut noisy = DevicePool::homogeneous(&Gpu::v100(), 1);
+        // a dense transient schedule: mean gap well under the batch span
+        noisy.set_fault_plan(0, FaultPlan::seeded(11, 1.0e4, 50.0));
+        let hit = solve_batch_resilient(
+            &mut noisy,
+            &jobs,
+            DispatchPolicy::LeastLoaded,
+            &micro,
+            &sched,
+            &ResilienceConfig::default(),
+        );
+        assert!(
+            hit.outcomes
+                .iter()
+                .any(|o| o.disposition == Disposition::Retried),
+            "no transient landed inside the batch window"
+        );
+        for (b, h) in base.outcomes.iter().zip(&hit.outcomes) {
+            assert_eq!(b.x, h.x, "job {}: a retry changed the bits", b.job_id);
+            assert!(h.end_ms >= b.end_ms);
+            // a replay books strictly after the settled end, so every
+            // retried job finishes later than its fault-free twin
+            if h.disposition == Disposition::Retried {
+                assert!(h.end_ms > b.end_ms, "job {}: free retry", h.job_id);
+            }
+        }
+        assert!(hit.makespan_ms >= base.makespan_ms);
+    }
+
+    #[test]
+    fn unmeetable_deadline_sheds_and_is_not_a_miss() {
+        let mut jobs = diag_jobs(3, 8, 25, 0xfa03);
+        jobs[1].deadline_ms = Some(1.0e-6); // nothing finishes this fast
+        let micro = MicrobatchConfig::off();
+        let sched = StageSchedConfig::staged();
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+        let report = solve_batch_resilient(
+            &mut pool,
+            &jobs,
+            DispatchPolicy::LeastLoaded,
+            &micro,
+            &sched,
+            &ResilienceConfig::default(),
+        );
+        let shed = &report.outcomes[1];
+        assert_eq!(shed.disposition, Disposition::Shed);
+        assert!(!shed.missed_deadline(), "a shed job is not a miss");
+        assert_eq!(report.latency.shed, 1);
+        assert_eq!(report.latency.deadline_misses, 0);
+        // the other two ran normally
+        assert_eq!(report.outcomes[0].disposition, Disposition::Ok);
+        assert_eq!(report.outcomes[2].disposition, Disposition::Ok);
+        assert_eq!(
+            report
+                .outcomes
+                .iter()
+                .filter(|o| o.disposition.completed())
+                .count(),
+            2
+        );
+    }
+}

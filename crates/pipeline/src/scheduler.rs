@@ -221,6 +221,7 @@ pub(crate) fn place_release<T>(
             assert!(!pool.is_empty(), "empty device pool");
             pool.devices()
                 .iter()
+                .filter(|d| !d.is_lost())
                 .map(|d| {
                     let (payload, cost_ms) = price(&d.gpu);
                     // gap-aware: a composed booking may fit into a
@@ -234,7 +235,7 @@ pub(crate) fn place_release<T>(
                 })
                 .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
                 .map(|(_, id, payload)| (id, payload))
-                .unwrap()
+                .expect("no surviving device in the pool")
         }
     }
 }
@@ -260,6 +261,7 @@ pub(crate) fn place_by_end<T>(
         DispatchPolicy::ShortestExpectedCompletion => pool
             .devices()
             .iter()
+            .filter(|d| !d.is_lost())
             .map(|d| {
                 let (payload, end_ms) = end(d);
                 pool.emit(|| mdls_obs::Event::SectPreview {
@@ -270,7 +272,7 @@ pub(crate) fn place_by_end<T>(
             })
             .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
             .map(|(_, id, payload)| (id, payload))
-            .unwrap(),
+            .expect("no surviving device in the pool"),
     }
 }
 

@@ -24,12 +24,13 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use crate::batch::{
     emit_settled, settle_staged_dispatch, solve_planned_fused_with, solve_planned_traced_with,
-    JobOutcome,
+    Disposition, JobOutcome,
 };
 use crate::job::Job;
 use crate::microbatch::{dispatch_group_at, dispatch_group_staged, MicrobatchConfig};
 use crate::planner::Planner;
 use crate::pool::DevicePool;
+use crate::resilient::{admit_job, tombstone_outcome, AdmissionConfig, AdmissionDecision};
 use crate::scheduler::{DispatchPolicy, JobShape, StageSchedConfig};
 use mdls_obs::Event;
 
@@ -99,6 +100,11 @@ pub struct BatchStream<'p, I> {
     /// already a sequential dispatch→execute loop, so every refund is
     /// causal for the next dispatch by construction.
     sched: Option<StageSchedConfig>,
+    /// Ingress admission: when set, each deadlined job is previewed
+    /// against the surviving pool as it is popped and may be
+    /// down-laddered or shed before any booking — see
+    /// [`solve_stream_admitted`] and [`crate::resilient`].
+    admission: Option<AdmissionConfig>,
     /// Outcomes of the current fused group not yet yielded.
     ready: VecDeque<JobOutcome>,
     admitted: usize,
@@ -150,6 +156,7 @@ where
         buffer: BinaryHeap::new(),
         micro: Some(MicrobatchConfig::default()),
         sched: None,
+        admission: None,
         ready: VecDeque::new(),
         admitted: 0,
         dispatched: 0,
@@ -213,6 +220,35 @@ where
     }
 }
 
+/// [`solve_stream_staged`] with **ingress admission**: every deadlined
+/// job popped from the reorder buffer is previewed against the
+/// surviving pool before anything is booked, and an unmeetable request
+/// is down-laddered to the cheapest precision rung that fits its
+/// deadline ([`Disposition::Degraded`], original request preserved on
+/// [`JobOutcome::requested_digits`]) or shed at the door
+/// ([`Disposition::Shed`] — the outcome is yielded immediately, with
+/// nothing booked and nothing solved). Deadline-free jobs pass through
+/// untouched, as does everything when `admission.enabled` is false.
+pub fn solve_stream_admitted<'p, I>(
+    pool: &'p mut DevicePool,
+    jobs: I,
+    policy: DispatchPolicy,
+    window: usize,
+    cfg: MicrobatchConfig,
+    sched: StageSchedConfig,
+    admission: AdmissionConfig,
+) -> BatchStream<'p, I::IntoIter>
+where
+    I: IntoIterator<Item = Job>,
+{
+    BatchStream {
+        micro: Some(cfg),
+        sched: Some(sched),
+        admission: Some(admission),
+        ..solve_stream_with(pool, jobs, policy, window)
+    }
+}
+
 impl<I> BatchStream<'_, I>
 where
     I: Iterator<Item = Job>,
@@ -247,7 +283,55 @@ where
         }
         // admit, then reorder → dispatch the most urgent admitted job...
         self.admit();
-        let job = self.buffer.pop()?.job;
+        let mut job = self.buffer.pop()?.job;
+        // ingress admission: preview the deadlined job against the
+        // surviving pool and shed or down-ladder before anything books
+        let mut requested_digits = None;
+        if let Some(adm) = self.admission {
+            let floor = job.release().max(self.pool.min_clock_ms());
+            let overlap = self.sched.as_ref().map(|s| s.overlap).unwrap_or(false);
+            match admit_job(self.pool, &self.planner, &job, overlap, floor, &adm) {
+                AdmissionDecision::Admit => {}
+                AdmissionDecision::Degrade(digits) => {
+                    self.pool.emit(|| Event::JobDegraded {
+                        job: job.id,
+                        from_digits: job.target_digits,
+                        to_digits: digits,
+                    });
+                    requested_digits = Some(job.target_digits);
+                    job.target_digits = digits;
+                }
+                AdmissionDecision::Shed(predicted_end) => {
+                    self.pool.emit(|| Event::JobShed {
+                        job: job.id,
+                        deadline_ms: job.deadline_ms.unwrap_or(0.0),
+                        predicted_end_ms: predicted_end,
+                    });
+                    let device = self
+                        .pool
+                        .devices()
+                        .iter()
+                        .find(|d| !d.is_lost())
+                        .map(|d| d.id)
+                        .unwrap_or(0);
+                    let (plan, _) = self.planner.plan_fused(
+                        self.pool.gpu(device),
+                        job.rows(),
+                        job.cols(),
+                        job.target_digits,
+                        1,
+                    );
+                    self.dispatched += 1;
+                    return Some(tombstone_outcome(
+                        &job,
+                        plan,
+                        device,
+                        Disposition::Shed,
+                        job.release(),
+                    ));
+                }
+            }
+        }
         let shape = JobShape::from(&job);
         // the earliest the group could possibly start: the front job's
         // arrival, or the soonest any device frees up — the reference
@@ -365,6 +449,13 @@ where
                 assembled
             }
         };
+        if let Some(req) = requested_digits {
+            // the down-laddered job is the group's front member
+            if let Some(o) = assembled.first_mut() {
+                o.disposition = Disposition::Degraded;
+                o.requested_digits = req;
+            }
+        }
         emit_settled(self.pool, &assembled);
         self.ready.extend(assembled.drain(..));
         self.ready.pop_front()

@@ -1,0 +1,280 @@
+//! Fault-tolerance property and integration tests: recovery re-plans
+//! only what a fault touched, retried work is bit-identical to the
+//! fault-free run, admission down-ladders exactly to the rung it
+//! promised, and a sticky mid-batch device loss on a 4×V100 pool is
+//! survived with a 100% completion rate where the fail-the-batch
+//! baseline loses jobs.
+
+use gpusim::{FaultPlan, Gpu};
+use mdls_matrix::HostMat;
+use mdls_pipeline::batch::Disposition;
+use mdls_pipeline::{
+    dispatch_group_staged, solve_batch_resilient, DevicePool, DispatchPolicy, ExecPlan, Job,
+    JobShape, MicrobatchConfig, Planner, ResilienceConfig, StageSchedConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn diag_jobs(count: usize, n: usize, digits: u32, seed: u64) -> Vec<Job> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count as u64)
+        .map(|id| {
+            let a = HostMat::<f64>::from_fn(n, n, |r, c| {
+                let u: f64 = multidouble::random::rand_real(&mut rng);
+                u + if r == c { 4.0 } else { 0.0 }
+            });
+            let b: Vec<f64> = (0..n)
+                .map(|_| multidouble::random::rand_real(&mut rng))
+                .collect();
+            Job::new(id, a, b, digits)
+        })
+        .collect()
+}
+
+/// Property (i): recovery never moves or re-runs a span on an
+/// unaffected device. Book groups across two devices, kill device 0
+/// mid-schedule, re-dispatch the interrupted group — device 1's
+/// previously booked intervals must survive verbatim (new work may
+/// only gap-fill or append around them).
+#[test]
+fn recovery_leaves_surviving_device_spans_untouched() {
+    let jobs = diag_jobs(6, 8, 25, 0x5afe);
+    let shapes: Vec<JobShape> = jobs.iter().map(JobShape::from).collect();
+    let planner = Planner::new();
+    let sched = StageSchedConfig::staged();
+    let mut pool = DevicePool::homogeneous(&Gpu::v100(), 2);
+    let mut bookings = Vec::new();
+    for (i, shape) in shapes.iter().enumerate() {
+        let g = dispatch_group_staged(
+            &mut pool,
+            &planner,
+            vec![i],
+            shape,
+            DispatchPolicy::LeastLoaded,
+            &sched,
+            0.0,
+        );
+        bookings.push(g);
+    }
+    let before_host = pool.devices()[1].host_timeline().intervals().to_vec();
+    let before_dev = pool.devices()[1].device_timeline().intervals().to_vec();
+    assert!(!before_dev.is_empty(), "device 1 never booked; vacuous");
+
+    // kill device 0 in the middle of its schedule and re-dispatch
+    // everything the loss interrupted
+    let t = pool.devices()[0].clock_ms() / 2.0;
+    let report = pool.fail_device(0, t);
+    assert!(!report.interrupted.is_empty(), "loss interrupted nothing");
+    assert!(report.lost_refund_ms > 0.0);
+    for g in &bookings {
+        let hit = g
+            .booking
+            .as_ref()
+            .is_some_and(|b| report.interrupted.contains(&b.id));
+        if hit {
+            let idxs = g.jobs.clone();
+            let shape = shapes[idxs[0]];
+            let re = dispatch_group_staged(
+                &mut pool,
+                &planner,
+                idxs,
+                &shape,
+                DispatchPolicy::LeastLoaded,
+                &sched,
+                t,
+            );
+            assert_eq!(re.device, 1, "re-dispatch must pick the survivor");
+            assert!(re.start_ms >= t, "recovered work cannot start in the past");
+        }
+    }
+    // every pre-loss interval on the surviving device is still booked,
+    // bit for bit — recovery appended, never moved
+    let contains =
+        |now: &[(f64, f64)], old: &(f64, f64)| now.iter().any(|iv| iv.0 == old.0 && iv.1 == old.1);
+    let after_host = pool.devices()[1].host_timeline().intervals().to_vec();
+    let after_dev = pool.devices()[1].device_timeline().intervals().to_vec();
+    for iv in &before_host {
+        assert!(contains(&after_host, iv), "host span {iv:?} moved");
+    }
+    for iv in &before_dev {
+        assert!(contains(&after_dev, iv), "device span {iv:?} moved");
+    }
+}
+
+/// Property (iii): a down-laddered job lands exactly on the rung
+/// admission chose — the plan targets the degraded digits, the outcome
+/// still records the original request, and the measured residual
+/// certifies the degraded target.
+#[test]
+fn down_laddered_job_achieves_its_degraded_rung() {
+    let n = 8usize;
+    let planner = Planner::new();
+    let probe = DevicePool::homogeneous(&Gpu::v100(), 1);
+    let end_at = |digits: u32| {
+        let (plan, fused) = planner.plan_fused(probe.gpu(0), n, n, digits, 1);
+        let reqs = fused.stage_reqs(ExecPlan::booked_stages(plan.corrections()));
+        probe.preview_stages(0, &reqs, true, 0.0)
+    };
+    // a deadline strictly between the cheaper rung's completion and the
+    // requested rung's: the request cannot fit, the cheaper rung can
+    let (e_low, e_req) = (end_at(60), end_at(123));
+    assert!(e_low < e_req, "rung costs are not ordered; test is vacuous");
+    let deadline = (e_low + e_req) / 2.0;
+
+    let mut jobs = diag_jobs(1, n, 123, 0xdead);
+    jobs[0].deadline_ms = Some(deadline);
+    let mut pool = DevicePool::homogeneous(&Gpu::v100(), 1);
+    let report = solve_batch_resilient(
+        &mut pool,
+        &jobs,
+        DispatchPolicy::LeastLoaded,
+        &MicrobatchConfig::off(),
+        &StageSchedConfig::staged(),
+        &ResilienceConfig::default(),
+    );
+    let o = &report.outcomes[0];
+    assert_eq!(o.disposition, Disposition::Degraded);
+    assert_eq!(o.requested_digits, 123, "original request lost");
+    assert_eq!(
+        o.plan.target_digits, 60,
+        "admission promised the qd rung, the plan targets {}",
+        o.plan.target_digits
+    );
+    assert!(
+        o.achieved_digits >= o.plan.target_digits as f64,
+        "degraded rung not certified: achieved {:.1} of {}",
+        o.achieved_digits,
+        o.plan.target_digits
+    );
+    assert!(!o.missed_deadline(), "the down-laddered job still missed");
+    assert_eq!(report.latency.deadline_misses, 0);
+}
+
+/// Property (ii) + the 4×V100 integration: a sticky loss of one of
+/// four devices mid-batch. Under retry/re-dispatch every job completes
+/// (rate 1.0) bit-identical to the fault-free run, jobs untouched by
+/// the loss keep their exact fault-free placement, and the
+/// fail-the-batch baseline demonstrably loses work.
+#[test]
+fn sticky_loss_mid_batch_recovers_every_job_bit_identically() {
+    let jobs = diag_jobs(24, 10, 25, 0x4100);
+    let micro = MicrobatchConfig::default();
+    let sched = StageSchedConfig::staged();
+    let policy = DispatchPolicy::LeastLoaded;
+
+    // fault-free reference
+    let mut quiet = DevicePool::homogeneous(&Gpu::v100(), 4);
+    let base = solve_batch_resilient(
+        &mut quiet,
+        &jobs,
+        policy,
+        &micro,
+        &sched,
+        &ResilienceConfig::default(),
+    );
+    assert!(base
+        .outcomes
+        .iter()
+        .all(|o| o.disposition == Disposition::Ok));
+
+    // device 0 dies a third of the way into the fault-free makespan
+    let t = base.makespan_ms / 3.0;
+    let mut chaotic = DevicePool::homogeneous(&Gpu::v100(), 4);
+    chaotic.set_fault_plan(0, FaultPlan::none().with_device_lost(t));
+    let recovered = solve_batch_resilient(
+        &mut chaotic,
+        &jobs,
+        policy,
+        &micro,
+        &sched,
+        &ResilienceConfig::default(),
+    );
+    assert_eq!(chaotic.alive_count(), 3);
+    let retried = recovered
+        .outcomes
+        .iter()
+        .filter(|o| o.disposition == Disposition::Retried)
+        .count();
+    assert!(retried > 0, "the loss at {t:.1} ms interrupted nothing");
+    // completion rate 1.0: every job ends in a completed disposition
+    assert!(
+        recovered.outcomes.iter().all(|o| o.disposition.completed()),
+        "recovery lost a job"
+    );
+    for (b, r) in base.outcomes.iter().zip(&recovered.outcomes) {
+        assert_eq!(b.job_id, r.job_id);
+        // bit-identity: recovery moves time, never arithmetic
+        assert_eq!(b.x, r.x, "job {}: recovery changed the bits", b.job_id);
+        assert_eq!(b.residual, r.residual);
+        // tail-only: a job the loss never touched keeps its exact
+        // fault-free placement — recovery never delays survivors' spans
+        if r.disposition == Disposition::Ok && b.device == r.device {
+            assert_eq!(b.start_ms, r.start_ms, "job {} moved", b.job_id);
+            assert_eq!(b.end_ms, r.end_ms, "job {} delayed", b.job_id);
+        }
+    }
+    // the lost device's unexecuted time came back as refunds
+    assert!(recovered.device_stats[0].refunded_ms > base.device_stats[0].refunded_ms);
+
+    // the fail-the-batch baseline on the same fault schedule loses jobs
+    let mut doomed = DevicePool::homogeneous(&Gpu::v100(), 4);
+    doomed.set_fault_plan(0, FaultPlan::none().with_device_lost(t));
+    let failed = solve_batch_resilient(
+        &mut doomed,
+        &jobs,
+        policy,
+        &micro,
+        &sched,
+        &ResilienceConfig::fail_all(),
+    );
+    let lost = failed
+        .outcomes
+        .iter()
+        .filter(|o| o.disposition == Disposition::Failed)
+        .count();
+    assert!(lost > 0, "fail-all lost nothing; the A/B is vacuous");
+    assert_eq!(failed.latency.failed, lost);
+    let rate = |r: &mdls_pipeline::BatchReport| {
+        r.outcomes
+            .iter()
+            .filter(|o| o.disposition.completed())
+            .count() as f64
+            / r.outcomes.len() as f64
+    };
+    assert!(
+        rate(&recovered) > rate(&failed),
+        "recovery did not beat fail-all"
+    );
+    assert_eq!(rate(&recovered), 1.0);
+}
+
+/// Seeded fault schedules make whole chaotic runs reproducible:
+/// same seeds, same losses, same retries, same bits, same timings.
+#[test]
+fn chaos_is_deterministic_end_to_end() {
+    let run = || {
+        let jobs = diag_jobs(12, 8, 25, 0x0b5);
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 2);
+        pool.set_fault_plan(
+            0,
+            FaultPlan::seeded(21, 5.0e3, 100.0).with_device_lost(40.0),
+        );
+        solve_batch_resilient(
+            &mut pool,
+            &jobs,
+            DispatchPolicy::LeastLoaded,
+            &MicrobatchConfig::default(),
+            &StageSchedConfig::staged(),
+            &ResilienceConfig::default(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.makespan_ms, b.makespan_ms);
+    assert_eq!(a.outcomes.len(), b.outcomes.len());
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(x.x, y.x);
+        assert_eq!(x.end_ms, y.end_ms);
+        assert_eq!(x.disposition, y.disposition);
+    }
+}
