@@ -26,6 +26,11 @@
 //!   from a seed; one `thread_rng()` or `Instant::now()` in
 //!   fault/chaos/recovery code and the same chaos run never happens
 //!   twice.
+//! * [`UNBOUNDED_SERVICE_QUEUE`] — the service shell's overload story
+//!   (reject / shed-oldest / block) only holds while every ingress and
+//!   backlog queue is bounded; one unguarded `push_back` in service
+//!   code and a bursty tenant grows memory without ever tripping
+//!   backpressure.
 //!
 //! Suppression grammar: `// analyze::allow(lint-id): reason`. The
 //! reason is mandatory — a bare allow is itself a finding — and an
@@ -44,6 +49,7 @@ pub const UNDOCUMENTED_UNSAFE: &str = "undocumented-unsafe";
 pub const FLOAT_EQ_OUTSIDE_CORE: &str = "float-eq-outside-core";
 pub const TIMELINE_MUTATION_OUTSIDE_POOL: &str = "timeline-mutation-outside-pool";
 pub const NONDETERMINISTIC_FAULT_SOURCE: &str = "nondeterministic-fault-source";
+pub const UNBOUNDED_SERVICE_QUEUE: &str = "unbounded-service-queue";
 pub const BARE_ALLOW: &str = "bare-allow";
 pub const UNKNOWN_LINT: &str = "unknown-lint";
 pub const UNUSED_ALLOW: &str = "unused-allow";
@@ -122,6 +128,12 @@ pub const LINTS: &[LintDef] = &[
         skip_tests: false,
         summary: "fault/chaos/recovery code draws only from seeded sources — no ambient RNG, no host clocks",
     },
+    LintDef {
+        id: UNBOUNDED_SERVICE_QUEUE,
+        scope: Scope::Only(&["pipeline"]),
+        skip_tests: true,
+        summary: "service-shell queues grow only behind a len/capacity/is_full guard (bounded ingress)",
+    },
 ];
 
 /// Look a lint up by id.
@@ -161,6 +173,14 @@ fn is_fault_path(rel: &str) -> bool {
     ["fault", "chaos", "resilient", "recovery"]
         .iter()
         .any(|k| file.contains(k))
+}
+
+/// Service-shell code by file name — the files whose queue growth the
+/// [`UNBOUNDED_SERVICE_QUEUE`] lint polices. Path-scoped like
+/// [`is_fault_path`]: the bounded-ingress contract belongs to the
+/// multi-tenant shell, not to every `VecDeque` in the pipeline.
+fn is_service_path(rel: &str) -> bool {
+    rel.rsplit('/').next().unwrap_or(rel).contains("service")
 }
 
 // ---------------------------------------------------------------------
@@ -415,6 +435,12 @@ pub fn analyze_source(
         && rel.trim_start_matches("./") != "crates/gpusim/src/fault.rs"
     {
         lint_nondeterministic_fault(rel, toks, &mut raw);
+    }
+    // the service shell's overload ladder assumes every ingress and
+    // backlog queue is bounded — growth in service files must sit
+    // behind a capacity check
+    if enabled(UNBOUNDED_SERVICE_QUEUE) && is_service_path(rel) {
+        lint_unbounded_service_queue(rel, toks, &mut raw);
     }
 
     // drop findings of skip_tests lints that landed in test code
@@ -740,6 +766,130 @@ fn lint_nondeterministic_fault(rel: &str, toks: &[Token], out: &mut Vec<Finding>
             format!(
                 "{what} — fault schedules and recovery decisions must replay from recorded \
                  seeds (FaultPlan::seeded / seed_from_u64) so chaotic runs stay reproducible"
+            ),
+        ));
+    }
+}
+
+/// Words a guard header must mention for queue growth to count as
+/// bounded. `len`/`capacity` cover the direct comparison forms
+/// (`q.len() < cap`); `is_full` covers a named predicate.
+const CAPACITY_WORDS: &[&str] = &["len", "capacity", "is_full"];
+
+/// Receiver names that denote an ingress/backlog queue for the
+/// `.push(..)` rule. `.push_back(..)` needs no name filter: in service
+/// code a `VecDeque` *is* a queue, whatever it is called.
+const QUEUE_WORDS: &[&str] = &["queue", "pending", "backlog", "inbox"];
+
+/// Token range of the header introducing the block opening at `open`:
+/// everything back to the previous statement boundary, exclusive of
+/// the brace itself.
+fn block_header(toks: &[Token], open: usize) -> (usize, usize) {
+    let mut s = open;
+    while s > 0 {
+        match toks[s - 1].text.as_str() {
+            ";" | "{" | "}" => break,
+            _ => s -= 1,
+        }
+    }
+    (s, open)
+}
+
+/// Does the block opening at `open` sit behind a capacity check — an
+/// `if`/`while` (or `else` branch of one) whose header names one of
+/// [`CAPACITY_WORDS`]? A bare `else` inherits its `if`'s header: in
+/// `if q.len() >= cap { .. } else { q.push_back(v) }` the else arm is
+/// exactly the under-capacity branch.
+fn header_guards(toks: &[Token], open: usize) -> bool {
+    let (mut s, mut o) = block_header(toks, open);
+    if s + 1 == o && is(&toks[s], "else") {
+        if s == 0 || !is(&toks[s - 1], "}") {
+            return false;
+        }
+        let if_open = matching_back(toks, s - 1);
+        (s, o) = block_header(toks, if_open);
+    }
+    if s >= o {
+        return false;
+    }
+    let head = toks[s].text.as_str();
+    if !(head == "if" || head == "while" || head == "else") {
+        return false;
+    }
+    toks[s..o]
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && CAPACITY_WORDS.contains(&t.text.as_str()))
+}
+
+/// Walk outward through the blocks enclosing token `i` until one of
+/// their headers is a capacity guard. Outward (not nearest-only)
+/// because the guard legitimately sits above intervening structure:
+/// `if q.len() + batch.len() <= cap { for v in batch { q.push_back(v) } }`.
+fn is_capacity_guarded(toks: &[Token], mut i: usize) -> bool {
+    loop {
+        let mut depth = 0i32;
+        let mut open = None;
+        for b in (0..i).rev() {
+            match toks[b].text.as_str() {
+                "}" => depth += 1,
+                "{" => {
+                    if depth == 0 {
+                        open = Some(b);
+                        break;
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        let Some(open) = open else { return false };
+        if header_guards(toks, open) {
+            return true;
+        }
+        if open == 0 {
+            return false;
+        }
+        i = open;
+    }
+}
+
+/// Unguarded growth of a service-shell queue. `.push_back(..)` on any
+/// receiver and `.push(..)` on a queue-named one must sit inside a
+/// capacity-checked block — the bounded-ingress contract the overload
+/// ladder (reject / shed-oldest / block) depends on.
+fn lint_unbounded_service_queue(rel: &str, toks: &[Token], out: &mut Vec<Finding>) {
+    for i in 0..toks.len() {
+        if !(toks[i].text == "."
+            && i + 2 < toks.len()
+            && toks[i + 1].kind == TokKind::Ident
+            && is(&toks[i + 2], "("))
+        {
+            continue;
+        }
+        let method = toks[i + 1].text.as_str();
+        let receiver = chain_receiver(toks, i);
+        let queue_named = receiver
+            .as_deref()
+            .map(|r| QUEUE_WORDS.iter().any(|q| r.contains(q)))
+            .unwrap_or(false);
+        let hit = match method {
+            "push_back" => true,
+            "push" => queue_named,
+            _ => false,
+        };
+        if !hit || is_capacity_guarded(toks, i) {
+            continue;
+        }
+        out.push(Finding::new(
+            rel,
+            toks[i + 1].line,
+            UNBOUNDED_SERVICE_QUEUE,
+            format!(
+                "`.{}(..)` grows `{}` without a capacity check — service ingress/backlog \
+                 queues are bounded by contract; guard the push with len/capacity/is_full \
+                 (see `push_bounded` in service.rs)",
+                method,
+                receiver.as_deref().unwrap_or("a service queue"),
             ),
         ));
     }

@@ -71,6 +71,8 @@ const TIMELINE_TRIP: &str = include_str!("fixtures/timeline_trip.rs");
 const TIMELINE_CLEAN: &str = include_str!("fixtures/timeline_clean.rs");
 const NONDET_TRIP: &str = include_str!("fixtures/nondeterministic_fault_trip.rs");
 const NONDET_CLEAN: &str = include_str!("fixtures/nondeterministic_fault_clean.rs");
+const SERVICE_TRIP: &str = include_str!("fixtures/service_queue_trip.rs");
+const SERVICE_CLEAN: &str = include_str!("fixtures/service_queue_clean.rs");
 
 #[test]
 fn map_iteration_trips_and_cleans() {
@@ -188,6 +190,35 @@ fn nondeterministic_fault_exempts_fault_rs() {
             .all(|f| f.lint != "nondeterministic-fault-source"),
         "fault.rs should be exempt from the fault-source lint: {got:?}"
     );
+}
+
+#[test]
+fn unbounded_service_queue_trips_and_cleans() {
+    check("service_queue_trip.rs", "pipeline", SERVICE_TRIP);
+    assert_eq!(expected(SERVICE_TRIP).len(), 4, "marker count drifted");
+    check_clean("service_queue_clean.rs", "pipeline", SERVICE_CLEAN);
+}
+
+#[test]
+fn unbounded_service_queue_is_path_scoped() {
+    // the same pushes under a file name that does not denote service
+    // code are out of scope — bounded ingress is the shell's contract,
+    // not every VecDeque's
+    let got = analyze_str("crates/pipeline/src/stream.rs", "pipeline", SERVICE_TRIP);
+    assert!(
+        got.is_empty(),
+        "non-service path should be out of scope: {got:?}"
+    );
+    // and the lint is pipeline-only policy: the bench crate's own
+    // service.rs (the harness) is exempt
+    check_clean("service_queue_trip.rs", "bench", SERVICE_TRIP);
+}
+
+#[test]
+fn unbounded_service_queue_skips_test_files_by_path() {
+    // skip_tests: a service test may build scenario queues freely
+    let got = analyze_str("crates/pipeline/tests/service.rs", "pipeline", SERVICE_TRIP);
+    assert!(got.is_empty(), "tests/ path should be exempt: {got:?}");
 }
 
 #[test]

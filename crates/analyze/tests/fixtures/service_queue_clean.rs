@@ -1,0 +1,68 @@
+// Clean fixture for `unbounded-service-queue`: every queue push sits
+// behind a capacity check — the direct comparison form, a named
+// predicate, an else branch of an at-capacity test, and a guard one
+// block above the push. Never compiled — lexed only.
+use std::collections::VecDeque;
+
+pub struct Ingress {
+    queue: VecDeque<u64>,
+    pending: Vec<u64>,
+    cap: usize,
+}
+
+fn push_bounded(q: &mut VecDeque<u64>, cap: usize, v: u64) -> bool {
+    if q.len() < cap {
+        q.push_back(v);
+        true
+    } else {
+        false
+    }
+}
+
+impl Ingress {
+    fn is_full(&self) -> bool {
+        self.queue.len() >= self.cap
+    }
+
+    pub fn enqueue(&mut self, job: u64) -> bool {
+        push_bounded(&mut self.queue, self.cap, job)
+    }
+
+    pub fn defer(&mut self, job: u64) {
+        if self.pending.len() < self.pending.capacity() {
+            self.pending.push(job);
+        }
+    }
+
+    pub fn admit(&mut self, job: u64) {
+        if !self.is_full() {
+            self.queue.push_back(job);
+        }
+    }
+
+    pub fn admit_or_drop(&mut self, job: u64) {
+        if self.queue.len() >= self.cap {
+            drop(job);
+        } else {
+            // the else arm of an at-capacity test is exactly the
+            // under-capacity branch
+            self.queue.push_back(job);
+        }
+    }
+
+    pub fn absorb(&mut self, wave: Vec<u64>) {
+        // the guard sits one block above the push — outward walk
+        if self.queue.len() + wave.len() <= self.cap {
+            for job in wave {
+                self.queue.push_back(job);
+            }
+        }
+    }
+
+    pub fn refill(&mut self, src: &mut Vec<u64>) {
+        while self.queue.len() < self.cap {
+            let Some(v) = src.pop() else { break };
+            self.queue.push_back(v);
+        }
+    }
+}

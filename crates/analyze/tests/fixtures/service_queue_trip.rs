@@ -1,0 +1,40 @@
+// Tripping fixture for `unbounded-service-queue` (analyzed as crate
+// `pipeline` under a file name containing `service`; the same source
+// under a non-service file name — or a non-pipeline crate — is clean:
+// scope tests). Never compiled — lexed only.
+use std::collections::VecDeque;
+
+pub struct Ingress {
+    queue: VecDeque<u64>,
+    backlog: Vec<u64>,
+    done: Vec<u64>,
+}
+
+impl Ingress {
+    pub fn enqueue(&mut self, job: u64) {
+        self.queue.push_back(job); // FINDING: unbounded-service-queue
+    }
+
+    pub fn defer(&mut self, job: u64) {
+        self.backlog.push(job); // FINDING: unbounded-service-queue
+    }
+
+    pub fn accept_wave(&mut self, wave: Vec<u64>) {
+        for job in wave {
+            // guarded, but by priority — not by capacity
+            if job > 0 {
+                self.queue.push_back(job); // FINDING: unbounded-service-queue
+            }
+        }
+    }
+
+    pub fn stash(pending: &mut Vec<u64>, job: u64) {
+        pending.push(job); // FINDING: unbounded-service-queue
+    }
+
+    pub fn record(&mut self, job: u64) {
+        // not a queue by name: plain `.push(..)` on a results list is
+        // out of scope (only `.push_back` is flagged on any receiver)
+        self.done.push(job);
+    }
+}

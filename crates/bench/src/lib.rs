@@ -11,6 +11,7 @@ pub mod ablate;
 pub mod chaos;
 pub mod experiments;
 pub mod figures;
+pub mod service;
 pub mod tables;
 pub mod throughput;
 pub mod trace;

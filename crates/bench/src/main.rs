@@ -30,10 +30,19 @@
 //!   chaos-smoke         small chaos A/B asserting recovery strictly beats
 //!                       fail-all on completion rate + bench-chaos.json
 //!                       validation (CI)
+//!   service             sustained-load multi-tenant shell: 10^5 jobs,
+//!                       6 tenants (one adversarial burster) on 4 V100s,
+//!                       weighted-fair vs FIFO A/B with per-tenant tails,
+//!                       shed/degrade taxonomy and breaker trips;
+//!                       writes target/bench-service.json
+//!   service-smoke       small service A/B asserting weighted fair strictly
+//!                       beats FIFO on the premium tenant's p99, the burster
+//!                       is shed at its bounded queue, the breaker cycles and
+//!                       bench-service.json validates (CI)
 //!   all                 everything, in paper order
 //! ```
 
-use mdls_bench::{ablate, chaos, experiments as ex, figures, throughput, trace, verify};
+use mdls_bench::{ablate, chaos, experiments as ex, figures, service, throughput, trace, verify};
 
 fn print_tables(ts: &[mdls_bench::TextTable]) {
     for t in ts {
@@ -70,6 +79,25 @@ fn write_chaos_json(jobs: usize) {
         std::process::exit(1);
     }
     let path = std::path::Path::new("target").join("bench-chaos.json");
+    match std::fs::create_dir_all("target").and_then(|()| std::fs::write(&path, &doc)) {
+        Ok(()) => println!("machine-readable results written to {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Write the machine-readable service A/B results to
+/// `target/bench-service.json`, validating the document round-trips
+/// through the JSON reader first (the smoke contract).
+fn write_service_json(jobs: usize) {
+    let doc = service::service_json(jobs);
+    if let Err(e) = mdls_obs::json::parse(&doc) {
+        eprintln!("bench-service.json does not parse: {e}");
+        std::process::exit(1);
+    }
+    let path = std::path::Path::new("target").join("bench-service.json");
     match std::fs::create_dir_all("target").and_then(|()| std::fs::write(&path, &doc)) {
         Ok(()) => println!("machine-readable results written to {}", path.display()),
         Err(e) => {
@@ -140,6 +168,20 @@ fn run(cmd: &str) -> bool {
             }
             write_chaos_json(12);
         }
+        "service" => {
+            println!("{}", service::service_table(100_000).render());
+            write_service_json(20_000);
+        }
+        "service-smoke" => {
+            match service::service_smoke() {
+                Ok(msg) => println!("{msg}"),
+                Err(e) => {
+                    eprintln!("service-smoke failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            write_service_json(2_000);
+        }
         "trace" => {
             let r = trace::trace_report(48);
             print_tables(&r.tables);
@@ -186,6 +228,7 @@ fn run(cmd: &str) -> bool {
                 "ablate-invert",
                 "throughput",
                 "chaos",
+                "service",
                 "verify",
             ] {
                 run(c);
@@ -199,7 +242,7 @@ fn run(cmd: &str) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: repro <table1..table11 | fig1..fig5 | verify | ablate-smem | ablate-invert | throughput | throughput-smoke | trace | trace-smoke | chaos | chaos-smoke | all>");
+        eprintln!("usage: repro <table1..table11 | fig1..fig5 | verify | ablate-smem | ablate-invert | throughput | throughput-smoke | trace | trace-smoke | chaos | chaos-smoke | service | service-smoke | all>");
         std::process::exit(2);
     }
     for a in &args {

@@ -212,10 +212,12 @@ pub enum Event {
     },
     /// A job finished and its booking settled. `release_ms` is its
     /// arrival (0 for always-ready jobs); `deadline_ms` is only
-    /// meaningful when `has_deadline`. `fused` is its group size.
+    /// meaningful when `has_deadline`. `fused` is its group size;
+    /// `tenant` is the submitting tenant (0 for single-tenant paths).
     JobSettled {
         job: u64,
         device: usize,
+        tenant: u32,
         priority: i32,
         start_ms: f64,
         end_ms: f64,
@@ -282,6 +284,47 @@ pub enum Event {
         from_digits: u32,
         to_digits: u32,
     },
+    /// `job` entered `tenant`'s bounded ingress queue; `queued` is the
+    /// queue depth after the enqueue.
+    TenantEnqueued {
+        tenant: u32,
+        job: u64,
+        queued: usize,
+    },
+    /// A tenant-queue decision dropped `job` at `at_ms`; `reason` names
+    /// the policy arm that fired (`"reject"` for a full queue under
+    /// `Backpressure::Reject`, `"evict"` for the oldest job displaced
+    /// under `ShedOldest`, `"overload"` for the degradation ladder).
+    TenantShed {
+        tenant: u32,
+        job: u64,
+        at_ms: f64,
+        reason: &'static str,
+    },
+    /// `tenant`'s device-ms token bucket could not cover its next job:
+    /// `needed_ms` predicted against `available_ms` of credit. Emitted
+    /// once per dry spell, not per blocked dispatch attempt.
+    QuotaExhausted {
+        tenant: u32,
+        at_ms: f64,
+        needed_ms: f64,
+        available_ms: f64,
+    },
+    /// `device`'s circuit breaker opened at `at_ms` after `faults`
+    /// transient faults inside its sliding window: the device is
+    /// quarantined (spans freed, no new dispatches) until a probe
+    /// succeeds.
+    CircuitOpen {
+        device: usize,
+        at_ms: f64,
+        faults: usize,
+    },
+    /// The breaker's backoff elapsed and one probe job (`job`) was
+    /// dispatched onto quarantined `device` at `at_ms`.
+    CircuitProbe { device: usize, job: u64, at_ms: f64 },
+    /// `device`'s probe ran clean at `at_ms`: the breaker closed and
+    /// the device rejoined the dispatch candidate set.
+    CircuitClose { device: usize, at_ms: f64 },
 }
 
 /// A sink for pipeline [`Event`]s.

@@ -159,6 +159,9 @@ type CalKey = (usize, usize, usize, StageKind, &'static str);
 pub struct Metrics {
     /// Turnaround histograms keyed by priority class.
     pub latency: BTreeMap<i32, Histogram>,
+    /// Turnaround histograms keyed by tenant id (single-tenant paths
+    /// put everything under tenant 0).
+    pub tenant_latency: BTreeMap<u32, Histogram>,
     /// Jobs settled.
     pub jobs: u64,
     /// Jobs settled inside fused groups of size > 1.
@@ -212,6 +215,19 @@ pub struct Metrics {
     pub jobs_shed: u64,
     /// Jobs down-laddered to a cheaper rung at admission.
     pub jobs_degraded: u64,
+    /// Jobs accepted into a tenant's bounded ingress queue.
+    pub tenant_enqueues: u64,
+    /// Jobs dropped by a tenant-queue decision (backpressure reject,
+    /// shed-oldest eviction, or the overload ladder).
+    pub tenant_sheds: u64,
+    /// Dry spells where a tenant's device-ms token bucket could not
+    /// cover its next job.
+    pub quota_exhaustions: u64,
+    /// Device circuit-breaker transitions: open (quarantine), probe
+    /// dispatches onto a quarantined device, and clean-probe closes.
+    pub circuit_opens: u64,
+    pub circuit_probes: u64,
+    pub circuit_closes: u64,
     calibration: BTreeMap<CalKey, (u64, f64, f64)>,
 }
 
@@ -222,6 +238,7 @@ impl Metrics {
         for ev in events {
             match *ev {
                 Event::JobSettled {
+                    tenant,
                     priority,
                     end_ms,
                     release_ms,
@@ -233,6 +250,10 @@ impl Metrics {
                     m.jobs += 1;
                     m.latency
                         .entry(priority)
+                        .or_default()
+                        .record(end_ms - release_ms);
+                    m.tenant_latency
+                        .entry(tenant)
                         .or_default()
                         .record(end_ms - release_ms);
                     if fused > 1 {
@@ -289,6 +310,12 @@ impl Metrics {
                 Event::RetryBooked { .. } => m.retries_booked += 1,
                 Event::JobShed { .. } => m.jobs_shed += 1,
                 Event::JobDegraded { .. } => m.jobs_degraded += 1,
+                Event::TenantEnqueued { .. } => m.tenant_enqueues += 1,
+                Event::TenantShed { .. } => m.tenant_sheds += 1,
+                Event::QuotaExhausted { .. } => m.quota_exhaustions += 1,
+                Event::CircuitOpen { .. } => m.circuit_opens += 1,
+                Event::CircuitProbe { .. } => m.circuit_probes += 1,
+                Event::CircuitClose { .. } => m.circuit_closes += 1,
                 Event::StageTime {
                     device,
                     rows,
@@ -414,11 +441,62 @@ mod tests {
     }
 
     #[test]
+    fn metrics_fold_service_counters() {
+        let events = vec![
+            Event::TenantEnqueued {
+                tenant: 1,
+                job: 10,
+                queued: 3,
+            },
+            Event::TenantShed {
+                tenant: 1,
+                job: 11,
+                at_ms: 2.0,
+                reason: "reject",
+            },
+            Event::TenantShed {
+                tenant: 2,
+                job: 12,
+                at_ms: 3.0,
+                reason: "overload",
+            },
+            Event::QuotaExhausted {
+                tenant: 1,
+                at_ms: 4.0,
+                needed_ms: 2.5,
+                available_ms: 0.25,
+            },
+            Event::CircuitOpen {
+                device: 1,
+                at_ms: 5.0,
+                faults: 4,
+            },
+            Event::CircuitProbe {
+                device: 1,
+                job: 13,
+                at_ms: 9.0,
+            },
+            Event::CircuitClose {
+                device: 1,
+                at_ms: 10.0,
+            },
+        ];
+        let m = Metrics::from_events(&events);
+        assert_eq!(m.tenant_enqueues, 1);
+        assert_eq!(m.tenant_sheds, 2);
+        assert_eq!(m.quota_exhaustions, 1);
+        assert_eq!(m.circuit_opens, 1);
+        assert_eq!(m.circuit_probes, 1);
+        assert_eq!(m.circuit_closes, 1);
+    }
+
+    #[test]
     fn metrics_fold_counts_and_calibration() {
         let events = vec![
             Event::JobSettled {
                 job: 0,
                 device: 0,
+                tenant: 3,
                 priority: 1,
                 start_ms: 0.0,
                 end_ms: 4.0,
@@ -434,6 +512,7 @@ mod tests {
             Event::JobSettled {
                 job: 1,
                 device: 0,
+                tenant: 3,
                 priority: 0,
                 start_ms: 0.0,
                 end_ms: 2.0,
@@ -508,6 +587,9 @@ mod tests {
         assert_eq!(m.latency.len(), 2);
         assert_eq!(m.latency[&1].count(), 1);
         assert!((m.latency[&1].p50() - 3.0).abs() < 0.2);
+        // both settles share tenant 3, so one tenant histogram holds both
+        assert_eq!(m.tenant_latency.len(), 1);
+        assert_eq!(m.tenant_latency[&3].count(), 2);
         // calibration: one bucket, two samples, means of both columns
         let cal = m.calibration();
         assert_eq!(cal.len(), 1);

@@ -312,6 +312,31 @@ pub fn chrome_trace(events: &[Event]) -> String {
                     &format!("\"job\":{job},\"backoff_ms\":{backoff_ms}"),
                 );
             }
+            Event::CircuitOpen {
+                device,
+                at_ms,
+                faults,
+            } => {
+                lines.instant(
+                    device,
+                    TID_COMPUTE,
+                    "circuit open",
+                    at_ms,
+                    &format!("\"faults\":{faults}"),
+                );
+            }
+            Event::CircuitProbe { device, job, at_ms } => {
+                lines.instant(
+                    device,
+                    TID_COMPUTE,
+                    "circuit probe",
+                    at_ms,
+                    &format!("\"job\":{job}"),
+                );
+            }
+            Event::CircuitClose { device, at_ms } => {
+                lines.instant(device, TID_COMPUTE, "circuit close", at_ms, "");
+            }
             Event::JobSettled {
                 job,
                 device,

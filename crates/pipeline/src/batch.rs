@@ -41,7 +41,7 @@ use mdls_core::{lstsq_factor, lstsq_factor_batched, residual_kernel};
 use mdls_matrix::{vec_norm2, HostMat};
 use multidouble::{convert_real, Dd, MdReal, Od, Qd};
 
-use crate::job::{Job, Precision, Solution};
+use crate::job::{Job, Precision, Solution, TenantId};
 use crate::microbatch::{
     dispatch_group_staged, plan_groups, schedule_groups, GroupDispatch, MicrobatchConfig,
 };
@@ -156,6 +156,10 @@ pub struct JobOutcome {
     /// ([`Disposition::Degraded`]), where the plan carries the cheaper
     /// rung and this remembers the request.
     pub requested_digits: u32,
+    /// The submitting tenant, carried through from [`Job`] so service
+    /// reports and per-tenant histograms can slice by caller
+    /// ([`crate::job::TenantId`] 0 on the single-tenant paths).
+    pub tenant: TenantId,
 }
 
 /// Result of interpreting one job's plan: the solution, its measured
@@ -209,6 +213,7 @@ impl JobOutcome {
                 deadline_ms: job.deadline_ms,
                 disposition: Disposition::Ok,
                 requested_digits: job.target_digits,
+                tenant: job.tenant,
             })
             .collect()
     }
@@ -1001,6 +1006,7 @@ pub(crate) fn emit_settled(pool: &DevicePool, outcomes: &[JobOutcome]) {
         pool.emit(|| Event::JobSettled {
             job: o.job_id,
             device: o.device,
+            tenant: o.tenant.0,
             priority: o.priority,
             start_ms: o.start_ms,
             end_ms: o.end_ms,

@@ -70,6 +70,52 @@ impl Precision {
     }
 }
 
+/// Identifies the tenant (caller) a job belongs to in the multi-tenant
+/// service shell ([`crate::service`]). Tenant 0 is the implicit
+/// single-caller default every other entry point runs under; ids only
+/// affect queueing, fairness and quota accounting — never numerics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Service-level objective class of a job, ordered cheapest-promise
+/// first: under overload the service's degradation ladder acts on the
+/// *lowest* class present ([`SloClass::BestEffort`] degrades, then
+/// sheds, before [`SloClass::Standard`] is touched;
+/// [`SloClass::Premium`] is never down-laddered by the load detector).
+/// Like priority, the class moves jobs through simulated time only.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SloClass {
+    /// Sacrificial under overload: degraded first, shed first.
+    BestEffort,
+    /// The default: degraded only past the shed threshold.
+    #[default]
+    Standard,
+    /// Protected from the overload ladder (admission deadlines still
+    /// apply — an unmeetable premium deadline is still shed honestly).
+    Premium,
+}
+
+impl SloClass {
+    /// All classes, cheapest promise first (the ladder's shed order).
+    pub const LADDER: [SloClass; 3] = [SloClass::BestEffort, SloClass::Standard, SloClass::Premium];
+
+    /// Short lowercase label used in tables, traces and bench JSON.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SloClass::BestEffort => "best-effort",
+            SloClass::Standard => "standard",
+            SloClass::Premium => "premium",
+        }
+    }
+}
+
+
 /// One least squares solve request: minimize `‖b − A x‖₂` to at least
 /// `target_digits` decimal digits.
 #[derive(Clone, Debug)]
@@ -105,6 +151,16 @@ pub struct Job {
     /// over whole at t = 0 and ignore arrivals — stream jobs that
     /// trickle in belong on the stream.
     pub release_ms: Option<f64>,
+    /// Submitting tenant, for the multi-tenant service shell
+    /// ([`crate::service`]): selects the bounded ingress queue, the
+    /// fair-share weight and the device-ms quota the job is accounted
+    /// against. Default [`TenantId`] 0 — the single-caller paths ignore
+    /// it entirely.
+    pub tenant: TenantId,
+    /// Service-level objective class: which rung of the overload
+    /// degradation ladder may sacrifice this job. Default
+    /// [`SloClass::Standard`].
+    pub slo: SloClass,
 }
 
 impl Job {
@@ -118,6 +174,8 @@ impl Job {
             priority: 0,
             deadline_ms: None,
             release_ms: None,
+            tenant: TenantId::default(),
+            slo: SloClass::default(),
         }
     }
 
@@ -136,6 +194,18 @@ impl Job {
     /// Set a simulated arrival (release) time in ms.
     pub fn with_release_ms(mut self, release_ms: f64) -> Job {
         self.release_ms = Some(release_ms);
+        self
+    }
+
+    /// Assign the job to a tenant (multi-tenant service shell).
+    pub fn with_tenant(mut self, tenant: TenantId) -> Job {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Set the service-level objective class.
+    pub fn with_slo(mut self, slo: SloClass) -> Job {
+        self.slo = slo;
         self
     }
 
@@ -219,6 +289,18 @@ mod tests {
         assert_eq!(Precision::for_digits(61), Precision::D8);
         // beyond the ladder: saturate at octo double
         assert_eq!(Precision::for_digits(500), Precision::D8);
+    }
+
+    #[test]
+    fn slo_ladder_orders_cheapest_promise_first() {
+        // the overload ladder sheds in ascending order, so the derive
+        // order is load-bearing: best-effort < standard < premium
+        assert!(SloClass::BestEffort < SloClass::Standard);
+        assert!(SloClass::Standard < SloClass::Premium);
+        assert_eq!(SloClass::LADDER[0], SloClass::BestEffort);
+        assert_eq!(SloClass::default(), SloClass::Standard);
+        assert_eq!(TenantId::default(), TenantId(0));
+        assert_eq!(TenantId(7).to_string(), "t7");
     }
 
     #[test]

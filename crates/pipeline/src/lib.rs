@@ -74,6 +74,17 @@
 //!    replays for transient faults. Every job ends in an explicit
 //!    [`Disposition`]; completed jobs are bit-identical to the
 //!    fault-free run.
+//! 7. **Multi-tenant service shell** ([`service`]) — [`serve`] fronts
+//!    the staged engines for many callers at once: per-tenant
+//!    *bounded* ingress queues with a [`Backpressure`] policy,
+//!    deficit-round-robin weighted-fair dispatch with token-bucket
+//!    quotas in predicted device-ms (settle-time refunds credit the
+//!    bucket back), an overload ladder that sheds or down-ladders the
+//!    cheapest [`SloClass`] first, and per-device circuit breakers
+//!    keyed off each device's transient-fault rate (quarantine via
+//!    [`DevicePool::fail_device`], probe-based re-admission after a
+//!    seeded backoff). Entirely simulated time; bit- and
+//!    schedule-deterministic across runs and host worker counts.
 //!
 //! Policies and priorities move jobs across devices and through time;
 //! they never change numerics — every outcome stays bit-identical to
@@ -114,6 +125,7 @@ pub mod planner;
 pub mod pool;
 pub mod resilient;
 pub mod scheduler;
+pub mod service;
 pub mod stream;
 pub mod workload;
 
@@ -124,7 +136,7 @@ pub use batch::{
     solve_planned_fused_with, solve_planned_traced, solve_planned_traced_with, BatchReport,
     Disposition, JobOutcome, LatencySummary, PlannedSolve,
 };
-pub use job::{Job, Precision, Solution};
+pub use job::{Job, Precision, SloClass, Solution, TenantId};
 pub use microbatch::{
     dispatch_group, dispatch_group_at, dispatch_group_staged, plan_groups, schedule_groups,
     schedule_staged, GroupDispatch, MicrobatchConfig,
@@ -137,6 +149,11 @@ pub use pool::{
 };
 pub use resilient::{solve_batch_resilient, AdmissionConfig, RecoveryPolicy, ResilienceConfig};
 pub use scheduler::{dispatch_one, schedule, Dispatch, DispatchPolicy, JobShape, StageSchedConfig};
+pub use service::{
+    serve, Backpressure, BreakerConfig, BreakerSummary, ClassSummary, ExecutionMode,
+    OverloadConfig, QuotaSpec, ServiceConfig, ServicePolicy, ServiceReport, TenantSpec,
+    TenantSummary,
+};
 pub use stream::{
     solve_stream, solve_stream_admitted, solve_stream_fused, solve_stream_staged,
     solve_stream_with, BatchStream,

@@ -113,6 +113,15 @@ impl Timeline {
         if dur_ms <= 0.0 {
             return not_before;
         }
+        // Tail fast path: intervals are disjoint and start-sorted, so
+        // ends are monotone — when the last end is at or before
+        // `not_before`, nothing can conflict and the fit is immediate.
+        // Keeps sustained append-only workloads (the service shell's
+        // free-device dispatch always books at the live edge) linear
+        // instead of rescanning the whole history per booking.
+        if self.intervals.last().is_none_or(|iv| iv.1 <= not_before) {
+            return not_before;
+        }
         let mut t = not_before;
         for &(s, e) in &self.intervals {
             if e <= t {
@@ -1307,6 +1316,13 @@ impl DevicePool {
     /// them so recovery can re-dispatch their jobs.
     ///
     /// Idempotent: failing an already-lost device is a no-op report.
+    ///
+    /// "Stickily" is from the pool's point of view: nothing here ever
+    /// brings the device back on its own. A *quarantine* — the service
+    /// shell's circuit breaker pulling a flapping device out of
+    /// rotation — is a `fail_device` (same span frees, same refunds)
+    /// followed by an explicit [`DevicePool::restore_device`] once a
+    /// probe earns re-admission.
     pub fn fail_device(&mut self, id: usize, at_ms: f64) -> DeviceLossReport {
         if self.devices[id].is_lost() {
             return DeviceLossReport {
@@ -1367,6 +1383,22 @@ impl DevicePool {
             refund_ms: report.lost_refund_ms,
         });
         report
+    }
+
+    /// Re-admit a failed (quarantined) device at simulated time
+    /// `at_ms`: clears the lost mark and raises the device's idle
+    /// floor to `at_ms`, so nothing books into the quarantine window
+    /// it just sat out — the re-admission half of a circuit breaker
+    /// (see [`DevicePool::fail_device`]). The quarantine gap is idle,
+    /// not busy, exactly like a release-time hold. No-op on a device
+    /// that is not lost.
+    pub fn restore_device(&mut self, id: usize, at_ms: f64) {
+        if self.devices[id].lost_at_ms.is_none() {
+            return;
+        }
+        self.devices[id].lost_at_ms = None;
+        let d = &mut self.devices[id];
+        d.floor_ms = d.floor_ms.max(at_ms);
     }
 
     /// Hold device `id` idle until simulated time `until_ms` (no-op if

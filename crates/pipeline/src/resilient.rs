@@ -244,6 +244,7 @@ pub(crate) fn tombstone_outcome(
         deadline_ms: job.deadline_ms,
         disposition,
         requested_digits: job.target_digits,
+        tenant: job.tenant,
     }
 }
 

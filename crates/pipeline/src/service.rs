@@ -1,0 +1,1399 @@
+//! Multi-tenant service shell over the staged engines.
+//!
+//! The batch and stream entry points model a *single* caller handing
+//! the pool a workload. A shared accelerator service has many callers:
+//! each tenant submits its own arrival stream, expects a fair share of
+//! the pool, and must not be starved — or have its latency wrecked —
+//! by a misbehaving neighbor. [`serve`] is that front end, entirely in
+//! simulated time and bit-deterministic:
+//!
+//! * **Bounded ingress queues.** Every tenant owns one FIFO queue with
+//!   a hard capacity; an arrival into a full queue resolves by the
+//!   tenant's [`Backpressure`] policy — reject the newcomer, evict the
+//!   oldest, or block the submitter until a slot frees (the job's
+//!   effective wait shows up in its turnaround). One tenant's burst can
+//!   therefore never consume unbounded buffer space.
+//! * **Weighted-fair dispatch.** Under [`ServicePolicy::WeightedFair`]
+//!   a deficit-round-robin scheduler visits tenants cyclically; each
+//!   visit grants `quantum_ms × weight` of deficit in predicted
+//!   device-ms and a tenant's head job dispatches once its deficit
+//!   covers the job's predicted cost. Optional per-tenant token-bucket
+//!   quotas cap sustained consumption (also in predicted device-ms,
+//!   priced on the pool's reference device model); settle-time refunds
+//!   credit the bucket back, extensions debit it.
+//!   [`ServicePolicy::Fifo`] is the no-isolation baseline: one global
+//!   arrival order, no weights, no quotas.
+//! * **Overload shedding.** A load detector prices the queued backlog
+//!   with the same per-stage predictions the stage scheduler books by;
+//!   past [`OverloadConfig`] thresholds (backlog device-ms per alive
+//!   device) the dispatch ladder sacrifices the *cheapest promise
+//!   first*: best-effort jobs are down-laddered one precision rung,
+//!   then shed outright, before a standard job is touched —
+//!   [`SloClass::Premium`] is never down-laddered by load. Deadline
+//!   admission ([`AdmissionConfig`]) still runs after the ladder, so
+//!   every decision ends in an explicit [`Disposition`].
+//! * **Device circuit breakers.** Each device's transient-fault rate
+//!   (from its seeded [`gpusim::FaultPlan`]) is tracked over a sliding
+//!   window; a device exceeding [`BreakerConfig::max_faults`] is
+//!   quarantined via [`DevicePool::fail_device`] (freeing its
+//!   unexecuted spans as refunds) and re-admitted only after a seeded
+//!   exponential backoff, through a *probe*: the next scheduled job is
+//!   pinned to the suspect device, and a clean run closes the breaker
+//!   while another fault re-opens it with doubled backoff. A sticky
+//!   device loss opens the breaker permanently and re-queues the
+//!   interrupted job ([`Disposition::Retried`](crate::batch::Disposition)).
+//!
+//! Determinism: arrivals, queue decisions, the DRR cycle, breaker
+//! transitions and settlement all run on the main thread in a fixed
+//! order keyed only on simulated time and tenant/job indices.
+//! Functional execution of a dispatch round may fan out across
+//! [`ServiceConfig::host_workers`] scoped threads, but results land in
+//! per-index slots and settlement replays them in dispatch order — the
+//! report is bit-identical across runs *and* across worker counts.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::batch::{
+    emit_settled, latency_summary, settle_staged_dispatch, solve_planned_traced_with, Disposition,
+    JobOutcome, LatencySummary, PlannedSolve,
+};
+use crate::job::{Job, Precision, SloClass, Solution, TenantId};
+use crate::microbatch::GroupDispatch;
+use crate::plan::ExecPlan;
+use crate::planner::Planner;
+use crate::pool::DevicePool;
+use crate::resilient::{admit_job, tombstone_outcome, AdmissionConfig, AdmissionDecision};
+use crate::scheduler::{DispatchPolicy, JobShape, StageSchedConfig};
+use mdls_obs::Event;
+
+/// Quotas and backlog pricing are denominated in predicted device-ms
+/// on one fixed reference model — the pool's device 0 — so a tenant's
+/// spend does not depend on which device its jobs happened to land on.
+const REFERENCE_DEVICE: usize = 0;
+
+/// Slack for float comparisons on the simulated clock.
+const EPS: f64 = 1e-9;
+
+/// What a full tenant queue does with the next arrival.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Drop the newcomer ([`Disposition::Shed`](crate::batch::Disposition),
+    /// reason `"reject"`).
+    #[default]
+    Reject,
+    /// Evict the oldest queued job (reason `"evict"`) and admit the
+    /// newcomer — freshest-wins ingress for tracker-style workloads
+    /// where a stale solve is worthless.
+    ShedOldest,
+    /// Hold the submitter: the arrival waits outside the queue (in
+    /// simulated time) until a slot frees, and later arrivals of the
+    /// same tenant wait behind it. Other tenants are unaffected.
+    Block,
+}
+
+/// Token-bucket quota in predicted device-ms on the reference model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuotaSpec {
+    /// Bucket capacity, device-ms: the largest burst the tenant can
+    /// spend at once. Also the initial fill.
+    pub burst_ms: f64,
+    /// Sustained refill rate, device-ms per simulated second.
+    pub refill_per_s: f64,
+}
+
+/// One tenant's contract with the service.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TenantSpec {
+    /// The tenant this spec binds.
+    pub id: TenantId,
+    /// Human label for tables and bench JSON.
+    pub name: &'static str,
+    /// Fair-share weight (deficit granted per scheduler visit is
+    /// `quantum_ms × weight`). Zero is clamped to one.
+    pub weight: u32,
+    /// Ingress queue capacity, jobs. Zero is clamped to one.
+    pub queue_capacity: usize,
+    /// Policy when the queue is full.
+    pub backpressure: Backpressure,
+    /// Optional device-ms quota; `None` = unmetered.
+    pub quota: Option<QuotaSpec>,
+}
+
+impl TenantSpec {
+    /// An unmetered weight-1 tenant with a 64-slot rejecting queue.
+    pub fn new(id: TenantId, name: &'static str) -> TenantSpec {
+        TenantSpec {
+            id,
+            name,
+            weight: 1,
+            queue_capacity: 64,
+            backpressure: Backpressure::Reject,
+            quota: None,
+        }
+    }
+
+    /// Set the fair-share weight.
+    pub fn with_weight(mut self, weight: u32) -> TenantSpec {
+        self.weight = weight;
+        self
+    }
+
+    /// Set the ingress queue capacity and full-queue policy.
+    pub fn with_queue(mut self, capacity: usize, backpressure: Backpressure) -> TenantSpec {
+        self.queue_capacity = capacity;
+        self.backpressure = backpressure;
+        self
+    }
+
+    /// Attach a token-bucket quota.
+    pub fn with_quota(mut self, burst_ms: f64, refill_per_s: f64) -> TenantSpec {
+        self.quota = Some(QuotaSpec {
+            burst_ms,
+            refill_per_s,
+        });
+        self
+    }
+}
+
+/// How the service picks the next job to dispatch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServicePolicy {
+    /// Global arrival order, no weights, no quotas — the no-isolation
+    /// baseline a burster tramples.
+    Fifo,
+    /// Deficit round robin over tenants with weights and quotas.
+    #[default]
+    WeightedFair,
+}
+
+/// Backlog thresholds of the overload degradation ladder, in queued
+/// predicted device-ms per alive device. Defaults to infinity — the
+/// ladder never fires unless thresholds are set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OverloadConfig {
+    /// Past this backlog, best-effort jobs are down-laddered one
+    /// precision rung at dispatch.
+    pub degrade_backlog_ms: f64,
+    /// Past this backlog, best-effort jobs are shed outright and
+    /// standard jobs are down-laddered one rung. Premium jobs are
+    /// never touched by load.
+    pub shed_backlog_ms: f64,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            degrade_backlog_ms: f64::INFINITY,
+            shed_backlog_ms: f64::INFINITY,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// Enable the ladder with explicit thresholds.
+    pub fn thresholds(degrade_backlog_ms: f64, shed_backlog_ms: f64) -> OverloadConfig {
+        OverloadConfig {
+            degrade_backlog_ms,
+            shed_backlog_ms,
+        }
+    }
+}
+
+/// Per-device circuit breaker tuning.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BreakerConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Sliding window, ms, over which transient faults are counted.
+    pub window_ms: f64,
+    /// Faults within the window that open the breaker.
+    pub max_faults: usize,
+    /// Base quarantine, ms: re-opening `k` times backs off
+    /// `backoff_ms × 2^k` before the next probe.
+    pub backoff_ms: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            enabled: true,
+            window_ms: 20.0,
+            max_faults: 3,
+            backoff_ms: 5.0,
+        }
+    }
+}
+
+/// Whether dispatched jobs actually run the interpreter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Run the staged interpreter (bit-identical numerics to every
+    /// other path).
+    #[default]
+    Functional,
+    /// Model-only: book, settle and time every dispatch without
+    /// executing the arithmetic — outcomes carry an empty solution,
+    /// infinite residual and zero achieved digits. For sustained-load
+    /// benches (10⁵-job scale) where only the schedule is under test.
+    ModelOnly,
+}
+
+/// The full service-shell configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServiceConfig {
+    /// Fairness policy.
+    pub policy: ServicePolicy,
+    /// DRR quantum, predicted device-ms granted per scheduler visit.
+    pub quantum_ms: f64,
+    /// Deadline admission (previewed against the surviving pool at
+    /// dispatch, after the overload ladder).
+    pub admission: AdmissionConfig,
+    /// Overload degradation ladder thresholds.
+    pub overload: OverloadConfig,
+    /// Device circuit breakers.
+    pub breaker: BreakerConfig,
+    /// Placement policy over the free devices of a dispatch round.
+    pub dispatch: DispatchPolicy,
+    /// Stage-granular booking knobs (shared with the staged engines).
+    pub sched: StageSchedConfig,
+    /// Cap on transient-fault replays per dispatch.
+    pub max_transient_retries: usize,
+    /// Base of the exponential transient-replay backoff, ms.
+    pub retry_backoff_ms: f64,
+    /// Execute or model-only.
+    pub mode: ExecutionMode,
+    /// Scoped host threads that run one dispatch round's functional
+    /// solves (≥ 1; never affects bits, bookings or events).
+    pub host_workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            policy: ServicePolicy::WeightedFair,
+            quantum_ms: 1.0,
+            admission: AdmissionConfig::default(),
+            overload: OverloadConfig::default(),
+            breaker: BreakerConfig::default(),
+            dispatch: DispatchPolicy::LeastLoaded,
+            sched: StageSchedConfig::staged(),
+            max_transient_retries: 3,
+            retry_backoff_ms: 0.05,
+            mode: ExecutionMode::Functional,
+            host_workers: 1,
+        }
+    }
+}
+
+/// Per-SLO-class slice of one tenant's service.
+#[derive(Clone, Debug)]
+pub struct ClassSummary {
+    /// The class this row covers.
+    pub class: SloClass,
+    /// Jobs the tenant submitted in this class.
+    pub submitted: usize,
+    /// Jobs that completed (any completing disposition).
+    pub completed: usize,
+    /// Jobs shed for any reason (backpressure, overload, deadline,
+    /// starvation).
+    pub shed: usize,
+    /// Jobs that completed down-laddered.
+    pub degraded: usize,
+    /// Median turnaround over completed jobs, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile turnaround, ms.
+    pub p99_ms: f64,
+    /// 99.9th-percentile turnaround, ms.
+    pub p999_ms: f64,
+}
+
+/// One tenant's service summary.
+#[derive(Clone, Debug)]
+pub struct TenantSummary {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Label from the spec ("tenant" for unspecified tenants).
+    pub name: &'static str,
+    /// Jobs submitted.
+    pub submitted: usize,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Jobs shed for any reason.
+    pub shed: usize,
+    /// Subset of `shed` dropped by the bounded queue itself
+    /// (reject + evict).
+    pub rejected: usize,
+    /// Jobs that completed down-laddered.
+    pub degraded: usize,
+    /// Jobs that completed only after transient replays or a
+    /// mid-dispatch device loss.
+    pub retried: usize,
+    /// Dry spells: times the tenant's bucket could not cover its head
+    /// job and the scheduler skipped it.
+    pub quota_exhaustions: usize,
+    /// Median turnaround over completed jobs, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile turnaround, ms.
+    pub p99_ms: f64,
+    /// 99.9th-percentile turnaround, ms.
+    pub p999_ms: f64,
+    /// Per-SLO-class slices (classes with no submissions omitted).
+    pub classes: Vec<ClassSummary>,
+}
+
+/// One device's circuit-breaker history.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BreakerSummary {
+    /// Pool id.
+    pub device: usize,
+    /// Times the breaker opened (transient-rate trips and failed
+    /// probes; sticky losses quarantine without counting here).
+    pub opens: usize,
+    /// Probe jobs dispatched to the quarantined device.
+    pub probes: usize,
+    /// Probes that ran clean and closed the breaker.
+    pub closes: usize,
+}
+
+/// What [`serve`] returns.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// One outcome per submitted job, in submission order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Pool-wide latency summary over the outcomes.
+    pub latency: LatencySummary,
+    /// Per-tenant summaries, ordered by tenant id.
+    pub tenants: Vec<TenantSummary>,
+    /// Per-device breaker histories.
+    pub breakers: Vec<BreakerSummary>,
+    /// Simulated completion of the last job, ms.
+    pub makespan_ms: f64,
+}
+
+/// Bounded push: the only way anything enters a service queue. The
+/// capacity check is load-bearing — `mdls-analyze`'s
+/// `unbounded-service-queue` lint flags any unguarded growth here.
+fn push_bounded<T>(q: &mut VecDeque<T>, cap: usize, v: T) -> bool {
+    if q.len() < cap {
+        q.push_back(v);
+        true
+    } else {
+        false
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum BreakerState {
+    Closed,
+    /// Quarantined until the given instant (infinity = sticky loss,
+    /// never probed).
+    Open {
+        until_ms: f64,
+    },
+    /// Restored and awaiting its probe dispatch.
+    HalfOpen,
+}
+
+struct DeviceBreaker {
+    state: BreakerState,
+    /// Recent transient-fault instants, pruned to the sliding window
+    /// (and capped at `max_faults` entries — older strikes can only
+    /// push the count further past the threshold).
+    strikes: VecDeque<f64>,
+    reopens: u32,
+    summary: BreakerSummary,
+}
+
+struct TenantState {
+    spec: TenantSpec,
+    /// Job indices in FIFO order. Bounded by `spec.queue_capacity`.
+    queue: VecDeque<usize>,
+    /// This tenant's arrivals in (release, index) order.
+    arrivals: Vec<usize>,
+    next_arrival: usize,
+    deficit_ms: f64,
+    bucket_ms: f64,
+    last_refill_ms: f64,
+    /// In a quota dry spell (emit `QuotaExhausted` once per spell).
+    dry: bool,
+    quota_exhaustions: usize,
+    rejected: usize,
+}
+
+/// One booked dispatch of the current round, awaiting execution and
+/// settlement.
+struct RoundEntry {
+    job_idx: usize,
+    tenant_idx: usize,
+    /// The job as dispatched (possibly down-laddered).
+    job: Job,
+    shape: JobShape,
+    g: GroupDispatch,
+    probe: bool,
+    cost_ms: f64,
+}
+
+struct Shell<'a> {
+    jobs: &'a [Job],
+    cfg: &'a ServiceConfig,
+    planner: Planner,
+    tenants: Vec<TenantState>,
+    breakers: Vec<DeviceBreaker>,
+    /// Predicted reference-device cost per job, filled at enqueue.
+    cost_ms: Vec<f64>,
+    /// Global enqueue sequence per job (drives the FIFO baseline).
+    seq: Vec<u64>,
+    next_seq: u64,
+    /// Current target digits per job (down-laddered by the overload
+    /// ladder or admission before dispatch).
+    cur_digits: Vec<u32>,
+    degraded: Vec<bool>,
+    retried: Vec<bool>,
+    outcomes: Vec<Option<JobOutcome>>,
+    /// Queued backlog, predicted device-ms (the load detector's
+    /// numerator).
+    pending_ms: f64,
+}
+
+impl<'a> Shell<'a> {
+    fn cost_of(&self, pool: &DevicePool, j: usize) -> f64 {
+        let job = &self.jobs[j];
+        let (_, fused) = self.planner.plan_fused(
+            pool.gpu(REFERENCE_DEVICE),
+            job.rows(),
+            job.cols(),
+            self.cur_digits[j],
+            1,
+        );
+        fused.predicted_ms
+    }
+
+    /// The reference plan a tombstone carries (preferring an alive
+    /// device's model, like the resilient engine's shed path).
+    fn tombstone_plan(&self, pool: &DevicePool, j: usize) -> (ExecPlan, usize) {
+        let device = pool
+            .devices()
+            .iter()
+            .find(|d| !d.is_lost())
+            .map(|d| d.id)
+            .unwrap_or(REFERENCE_DEVICE);
+        let job = &self.jobs[j];
+        let (plan, _) = self.planner.plan_fused(
+            pool.gpu(device),
+            job.rows(),
+            job.cols(),
+            self.cur_digits[j],
+            1,
+        );
+        (plan, device)
+    }
+
+    fn shed_job(&mut self, pool: &mut DevicePool, j: usize, reason: &'static str, at_ms: f64) {
+        let job = &self.jobs[j];
+        pool.emit(|| Event::TenantShed {
+            tenant: job.tenant.0,
+            job: job.id,
+            at_ms,
+            reason,
+        });
+        let (plan, device) = self.tombstone_plan(pool, j);
+        self.outcomes[j] = Some(tombstone_outcome(
+            job,
+            plan,
+            device,
+            Disposition::Shed,
+            at_ms,
+        ));
+    }
+
+    /// Admit due arrivals for tenant `t` into its bounded queue.
+    fn process_arrivals(&mut self, pool: &mut DevicePool, t: usize, now: f64) {
+        while self.tenants[t].next_arrival < self.tenants[t].arrivals.len() {
+            let j = self.tenants[t].arrivals[self.tenants[t].next_arrival];
+            if self.jobs[j].release() > now + EPS {
+                break;
+            }
+            let cap = self.tenants[t].spec.queue_capacity.max(1);
+            if self.tenants[t].queue.len() >= cap {
+                match self.tenants[t].spec.backpressure {
+                    Backpressure::Reject => {
+                        self.tenants[t].next_arrival += 1;
+                        self.tenants[t].rejected += 1;
+                        self.shed_job(pool, j, "reject", now.max(self.jobs[j].release()));
+                        continue;
+                    }
+                    Backpressure::ShedOldest => {
+                        if let Some(old) = self.tenants[t].queue.pop_front() {
+                            self.pending_ms -= self.cost_ms[old];
+                            self.tenants[t].rejected += 1;
+                            self.shed_job(pool, old, "evict", now.max(self.jobs[j].release()));
+                        }
+                        // fall through to the bounded push below
+                    }
+                    Backpressure::Block => break,
+                }
+            }
+            self.tenants[t].next_arrival += 1;
+            let cost = self.cost_of(pool, j);
+            self.cost_ms[j] = cost;
+            self.seq[j] = self.next_seq;
+            self.next_seq += 1;
+            let tq = &mut self.tenants[t].queue;
+            if push_bounded(tq, cap, j) {
+                self.pending_ms += cost;
+                let queued = self.tenants[t].queue.len();
+                let (tenant, id) = (self.jobs[j].tenant.0, self.jobs[j].id);
+                pool.emit(|| Event::TenantEnqueued {
+                    tenant,
+                    job: id,
+                    queued,
+                });
+            }
+        }
+    }
+
+    fn process_all_arrivals(&mut self, pool: &mut DevicePool, now: f64) {
+        for t in 0..self.tenants.len() {
+            self.process_arrivals(pool, t, now);
+        }
+    }
+
+    /// Refill tenant `t`'s token bucket to `now`.
+    fn refill(&mut self, t: usize, now: f64) {
+        let ts = &mut self.tenants[t];
+        if let Some(q) = ts.spec.quota {
+            let dt = (now - ts.last_refill_ms).max(0.0);
+            ts.bucket_ms = (ts.bucket_ms + q.refill_per_s * dt / 1000.0).min(q.burst_ms);
+            ts.last_refill_ms = now;
+        }
+    }
+
+    /// True when `t`'s quota covers its head job right now; emits
+    /// `QuotaExhausted` once per dry spell when it does not.
+    fn quota_covers_head(&mut self, pool: &DevicePool, t: usize, now: f64) -> bool {
+        let Some(&head) = self.tenants[t].queue.front() else {
+            return false;
+        };
+        if self.tenants[t].spec.quota.is_none() {
+            return true;
+        }
+        self.refill(t, now);
+        let need = self.cost_ms[head];
+        let have = self.tenants[t].bucket_ms;
+        if have + EPS >= need {
+            self.tenants[t].dry = false;
+            return true;
+        }
+        if !self.tenants[t].dry {
+            self.tenants[t].dry = true;
+            self.tenants[t].quota_exhaustions += 1;
+            let tenant = self.tenants[t].spec.id.0;
+            pool.emit(|| Event::QuotaExhausted {
+                tenant,
+                at_ms: now,
+                needed_ms: need,
+                available_ms: have,
+            });
+        }
+        false
+    }
+
+    /// Pop the next job to dispatch under the configured policy.
+    fn pick_next(&mut self, pool: &DevicePool, now: f64, rr: &mut usize) -> Option<(usize, usize)> {
+        let n = self.tenants.len();
+        match self.cfg.policy {
+            ServicePolicy::Fifo => {
+                // one global queue in spirit: the earliest-enqueued head
+                let t = (0..n)
+                    .filter(|&t| !self.tenants[t].queue.is_empty())
+                    .min_by_key(|&t| self.seq[*self.tenants[t].queue.front().unwrap()])?;
+                let j = self.tenants[t].queue.pop_front().unwrap();
+                self.pending_ms -= self.cost_ms[j];
+                Some((t, j))
+            }
+            ServicePolicy::WeightedFair => {
+                let eligible: Vec<usize> = (0..n)
+                    .filter(|&t| self.quota_covers_head(pool, t, now))
+                    .collect();
+                if eligible.is_empty() {
+                    return None;
+                }
+                // deficit round robin: a visit grants quantum × weight;
+                // the head dispatches once the deficit covers its cost.
+                // Deficits grow every sweep, so this terminates.
+                loop {
+                    let t = eligible[*rr % eligible.len()];
+                    let head = *self.tenants[t].queue.front().unwrap();
+                    let cost = self.cost_ms[head];
+                    if self.tenants[t].deficit_ms + EPS >= cost {
+                        let j = self.tenants[t].queue.pop_front().unwrap();
+                        self.tenants[t].deficit_ms -= cost;
+                        self.pending_ms -= cost;
+                        // cursor stays: the tenant keeps serving while
+                        // its deficit lasts (classic DRR)
+                        return Some((t, j));
+                    }
+                    let grant = self.cfg.quantum_ms * self.tenants[t].spec.weight.max(1) as f64;
+                    self.tenants[t].deficit_ms += grant;
+                    *rr += 1;
+                }
+            }
+        }
+    }
+
+    /// The overload ladder + deadline admission for a popped job.
+    /// Returns the job clone to dispatch, or `None` when it was shed
+    /// (tombstone already recorded).
+    fn pre_dispatch(&mut self, pool: &mut DevicePool, j: usize, now: f64) -> Option<Job> {
+        let alive = pool.alive_count().max(1) as f64;
+        let load_ms = self.pending_ms / alive;
+        let slo = self.jobs[j].slo;
+        let over_shed = load_ms > self.cfg.overload.shed_backlog_ms;
+        let over_degrade = load_ms > self.cfg.overload.degrade_backlog_ms;
+        if over_shed && slo == SloClass::BestEffort {
+            self.shed_job(pool, j, "overload", now);
+            return None;
+        }
+        if (over_shed && slo == SloClass::Standard) || (over_degrade && slo == SloClass::BestEffort)
+        {
+            let rung = Precision::for_digits(self.cur_digits[j]);
+            if let Some(pos) = Precision::LADDER.iter().position(|r| *r == rung) {
+                if pos > 0 {
+                    let to = Precision::LADDER[pos - 1].digits();
+                    let (id, from) = (self.jobs[j].id, self.cur_digits[j]);
+                    pool.emit(|| Event::JobDegraded {
+                        job: id,
+                        from_digits: from,
+                        to_digits: to,
+                    });
+                    self.cur_digits[j] = to;
+                    self.degraded[j] = true;
+                }
+            }
+        }
+        let mut job = self.jobs[j].clone();
+        job.target_digits = self.cur_digits[j];
+        match admit_job(
+            pool,
+            &self.planner,
+            &job,
+            self.cfg.sched.overlap,
+            now,
+            &self.cfg.admission,
+        ) {
+            AdmissionDecision::Admit => Some(job),
+            AdmissionDecision::Degrade(digits) => {
+                let (id, from) = (job.id, job.target_digits);
+                pool.emit(|| Event::JobDegraded {
+                    job: id,
+                    from_digits: from,
+                    to_digits: digits,
+                });
+                self.cur_digits[j] = digits;
+                self.degraded[j] = true;
+                job.target_digits = digits;
+                Some(job)
+            }
+            AdmissionDecision::Shed(predicted_end) => {
+                let (id, deadline) = (job.id, job.deadline_ms.unwrap_or(0.0));
+                pool.emit(|| Event::JobShed {
+                    job: id,
+                    deadline_ms: deadline,
+                    predicted_end_ms: predicted_end,
+                });
+                let (plan, device) = self.tombstone_plan(pool, j);
+                self.outcomes[j] = Some(tombstone_outcome(
+                    &self.jobs[j],
+                    plan,
+                    device,
+                    Disposition::Shed,
+                    now,
+                ));
+                None
+            }
+        }
+    }
+
+    /// Book `job` on `device` (stage-granular, like
+    /// [`crate::microbatch::dispatch_group_staged`] with the placement
+    /// pinned — probes must land on the suspect device).
+    fn dispatch_pinned(
+        &self,
+        pool: &mut DevicePool,
+        job: &Job,
+        device: usize,
+        release_ms: f64,
+    ) -> GroupDispatch {
+        let (plan, fused) = self.planner.plan_fused(
+            pool.gpu(device),
+            job.rows(),
+            job.cols(),
+            job.target_digits,
+            1,
+        );
+        let passes = if self.cfg.sched.book_expected {
+            plan.expected_corrections
+        } else {
+            plan.corrections()
+        };
+        let reqs = fused.stage_reqs(ExecPlan::booked_stages(passes));
+        let booking = pool.commit_stages(
+            device,
+            &reqs,
+            fused.predicted_kernel_ms,
+            fused.flops_paper,
+            1,
+            self.cfg.sched.overlap,
+            release_ms,
+        );
+        for (i, (ps, iv)) in plan.stages.iter().zip(&booking.stages).enumerate() {
+            let id = job.id;
+            pool.emit(|| Event::StageBooked {
+                device,
+                job: id,
+                stage: i,
+                kind: ps.stage.kind(),
+                rung: ps.stage.rung().tag(),
+                host_start_ms: iv.host.0,
+                host_end_ms: iv.host.1,
+                dev_start_ms: iv.device.0,
+                dev_end_ms: iv.device.1,
+            });
+        }
+        GroupDispatch {
+            jobs: vec![job.id as usize],
+            device,
+            plan,
+            fused,
+            start_ms: booking.start_ms(),
+            end_ms: booking.end_ms(),
+            booking: Some(booking),
+        }
+    }
+
+    /// Pick the device for a non-probe dispatch among the free,
+    /// breaker-closed devices.
+    fn place(&self, pool: &DevicePool, job: &Job, now: f64) -> Option<usize> {
+        let free: Vec<usize> = pool
+            .devices()
+            .iter()
+            .filter(|d| {
+                !d.is_lost()
+                    && d.clock_ms() <= now + EPS
+                    && self.breakers[d.id].state == BreakerState::Closed
+            })
+            .map(|d| d.id)
+            .collect();
+        match self.cfg.dispatch {
+            DispatchPolicy::ShortestExpectedCompletion => free
+                .into_iter()
+                .map(|d| {
+                    let (plan, fused) = self.planner.plan_fused(
+                        pool.gpu(d),
+                        job.rows(),
+                        job.cols(),
+                        job.target_digits,
+                        1,
+                    );
+                    let reqs = fused.stage_reqs(ExecPlan::booked_stages(plan.corrections()));
+                    let end = pool.preview_stages(d, &reqs, self.cfg.sched.overlap, now);
+                    (d, end)
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+                .map(|(d, _)| d),
+            _ => free
+                .into_iter()
+                .map(|d| (d, pool.devices()[d].clock_ms()))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+                .map(|(d, _)| d),
+        }
+    }
+
+    /// Open `device`'s breaker at `at_ms` (quarantine via the pool's
+    /// loss path — unexecuted spans come back as refunds).
+    fn open_breaker(&mut self, pool: &mut DevicePool, device: usize, at_ms: f64) {
+        pool.fail_device(device, at_ms);
+        let b = &mut self.breakers[device];
+        let backoff = self.cfg.breaker.backoff_ms * (1u64 << b.reopens.min(20)) as f64;
+        b.state = BreakerState::Open {
+            until_ms: at_ms + backoff,
+        };
+        b.summary.opens += 1;
+        let faults = b.strikes.len();
+        pool.emit(|| Event::CircuitOpen {
+            device,
+            at_ms,
+            faults,
+        });
+    }
+
+    /// Re-admit quarantined devices whose backoff has elapsed.
+    fn process_probe_timers(&mut self, pool: &mut DevicePool, now: f64) {
+        for d in 0..self.breakers.len() {
+            if let BreakerState::Open { until_ms } = self.breakers[d].state {
+                if until_ms.is_finite() && until_ms <= now + EPS {
+                    pool.restore_device(d, now);
+                    self.breakers[d].state = BreakerState::HalfOpen;
+                }
+            }
+        }
+    }
+
+    /// Quarantine devices whose fault plan has sticky-lost them by
+    /// `now` (no probe ever re-admits a sticky loss).
+    fn process_sticky_losses(&mut self, pool: &mut DevicePool, now: f64) {
+        for d in 0..self.breakers.len() {
+            if pool.devices()[d].is_lost() {
+                continue;
+            }
+            if let Some(lost) = pool.gpu(d).fault.lost_at_ms() {
+                if lost <= now + EPS {
+                    pool.fail_device(d, lost);
+                    self.breakers[d].state = BreakerState::Open {
+                        until_ms: f64::INFINITY,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Execute one round's dispatches: functionally (optionally across
+    /// scoped host threads — results land in per-index slots, so the
+    /// worker count can never change bits or order) or model-only.
+    fn execute_round(&self, pool: &DevicePool, round: &[RoundEntry]) -> Vec<PlannedSolve> {
+        match self.cfg.mode {
+            ExecutionMode::ModelOnly => round
+                .iter()
+                .map(|e| PlannedSolve {
+                    x: Solution::D1(Vec::new()),
+                    residual: f64::INFINITY,
+                    corrections_run: e.g.booked_passes(),
+                })
+                .collect(),
+            ExecutionMode::Functional => {
+                let extra = self.cfg.sched.max_extra_passes;
+                let workers = self.cfg.host_workers.max(1).min(round.len().max(1));
+                let chunk = round.len().div_ceil(workers).max(1);
+                let mut solved: Vec<Option<PlannedSolve>> =
+                    (0..round.len()).map(|_| None).collect();
+                std::thread::scope(|s| {
+                    for (es, outs) in round.chunks(chunk).zip(solved.chunks_mut(chunk)) {
+                        s.spawn(move || {
+                            for (e, o) in es.iter().zip(outs.iter_mut()) {
+                                *o = Some(solve_planned_traced_with(
+                                    pool.gpu(e.g.device),
+                                    &e.job,
+                                    &e.g.plan,
+                                    extra,
+                                ));
+                            }
+                        });
+                    }
+                });
+                solved
+                    .into_iter()
+                    .map(|s| s.expect("every round entry executed"))
+                    .collect()
+            }
+        }
+    }
+
+    /// Settle one executed dispatch: refunds/extensions, transient
+    /// replays, breaker transitions, quota credit, and the outcome.
+    /// Returns `false` when a sticky loss interrupted the dispatch and
+    /// the job went back to its queue instead of completing.
+    fn settle_entry(&mut self, pool: &mut DevicePool, mut e: RoundEntry, solved: PlannedSolve) {
+        let device = e.g.device;
+        let fplan = pool.gpu(device).fault.clone();
+        // a sticky loss inside the executed interval interrupts the
+        // dispatch: quarantine, refund the live booking, re-queue
+        if let Some(lost) = fplan.lost_at_ms() {
+            let end =
+                e.g.booking
+                    .as_ref()
+                    .and_then(|b| pool.live_booking(b.id))
+                    .map(|b| b.end_ms())
+                    .unwrap_or(e.g.end_ms);
+            if lost < end && !pool.devices()[device].is_lost() {
+                pool.fail_device(device, lost);
+                self.breakers[device].state = BreakerState::Open {
+                    until_ms: f64::INFINITY,
+                };
+                self.retried[e.job_idx] = true;
+                let t = e.tenant_idx;
+                self.tenants[t].queue.push_front(e.job_idx);
+                self.pending_ms += e.cost_ms;
+                return;
+            }
+        }
+        let passes_run = solved.corrections_run;
+        let (refunded, extended) =
+            settle_staged_dispatch(pool, &mut e.g, &e.shape, passes_run, &self.cfg.sched);
+
+        // transient kernel faults inside the executed interval: one
+        // backed-off replay each (time moves, bits do not), and one
+        // breaker strike each
+        let hits: Vec<f64> = fplan
+            .transients()
+            .iter()
+            .copied()
+            .filter(|t| *t >= e.g.start_ms && *t < e.g.end_ms)
+            .take(self.cfg.max_transient_retries)
+            .collect();
+        let mut end = e.g.end_ms;
+        let job_id = e.job.id;
+        for (r, at) in hits.iter().enumerate() {
+            pool.emit(|| Event::FaultInjected {
+                device,
+                job: job_id,
+                at_ms: *at,
+                retry: r,
+            });
+            let mut reqs = e.g.fused.extension_reqs();
+            if reqs.is_empty() {
+                reqs = e.g.fused.stage_reqs(usize::MAX);
+            }
+            let backoff = self.cfg.retry_backoff_ms * (1u64 << r) as f64;
+            let b = pool.commit_stages(
+                device,
+                &reqs,
+                0.0,
+                0.0,
+                0,
+                self.cfg.sched.overlap,
+                end + backoff,
+            );
+            pool.mark_settled(b.id);
+            pool.emit(|| Event::RetryBooked {
+                device,
+                job: job_id,
+                end_ms: b.end_ms(),
+                backoff_ms: backoff,
+            });
+            end = b.end_ms();
+            self.retried[e.job_idx] = true;
+        }
+        e.g.end_ms = end;
+
+        // breaker bookkeeping
+        if self.cfg.breaker.enabled {
+            let window = self.cfg.breaker.window_ms;
+            let cap = self.cfg.breaker.max_faults.max(1);
+            for &at in &hits {
+                while self.breakers[device]
+                    .strikes
+                    .front()
+                    .is_some_and(|&s| s < at - window)
+                {
+                    self.breakers[device].strikes.pop_front();
+                }
+                while self.breakers[device].strikes.len() >= cap {
+                    self.breakers[device].strikes.pop_front();
+                }
+                push_bounded(&mut self.breakers[device].strikes, cap, at);
+            }
+            if e.probe {
+                if hits.is_empty() {
+                    let b = &mut self.breakers[device];
+                    b.state = BreakerState::Closed;
+                    b.strikes.clear();
+                    b.reopens = 0;
+                    b.summary.closes += 1;
+                    pool.emit(|| Event::CircuitClose { device, at_ms: end });
+                } else {
+                    self.breakers[device].reopens += 1;
+                    self.open_breaker(pool, device, end);
+                }
+            } else if self.breakers[device].state == BreakerState::Closed
+                && self.breakers[device].strikes.len() >= self.cfg.breaker.max_faults
+            {
+                self.open_breaker(pool, device, end);
+            }
+        }
+
+        // quota credit: refunds return to the bucket, extensions drain
+        // it further
+        if self.cfg.policy == ServicePolicy::WeightedFair {
+            let t = e.tenant_idx;
+            if let Some(q) = self.tenants[t].spec.quota {
+                self.tenants[t].bucket_ms = (self.tenants[t].bucket_ms - e.cost_ms + refunded
+                    - extended)
+                    .clamp(0.0, q.burst_ms);
+            }
+        }
+
+        let model_only = self.cfg.mode == ExecutionMode::ModelOnly;
+        let mut outcome = JobOutcome::assemble_group(&[&e.job], &e.g, vec![solved])
+            .pop()
+            .expect("singleton group assembles one outcome");
+        outcome.refunded_ms = refunded;
+        outcome.extended_ms = extended;
+        outcome.requested_digits = self.jobs[e.job_idx].target_digits;
+        outcome.disposition = if self.degraded[e.job_idx] {
+            Disposition::Degraded
+        } else if self.retried[e.job_idx] {
+            Disposition::Retried
+        } else {
+            Disposition::Ok
+        };
+        if model_only {
+            outcome.achieved_digits = 0.0;
+        }
+        emit_settled(pool, std::slice::from_ref(&outcome));
+        self.outcomes[e.job_idx] = Some(outcome);
+    }
+
+    /// One dispatch round at `now`: probes first, then regular
+    /// dispatches onto free breaker-closed devices, then execute and
+    /// settle in dispatch order. Returns whether anything progressed.
+    fn dispatch_round(&mut self, pool: &mut DevicePool, now: f64, rr: &mut usize) -> bool {
+        let ndev = pool.devices().len();
+        let mut round: Vec<RoundEntry> = Vec::new();
+        let mut progressed = false;
+
+        // probe dispatches: each restored device gets the next
+        // scheduled job, pinned
+        for d in 0..ndev {
+            if self.breakers[d].state != BreakerState::HalfOpen {
+                continue;
+            }
+            if pool.devices()[d].is_lost() || pool.devices()[d].clock_ms() > now + EPS {
+                continue;
+            }
+            while let Some((t, j)) = self.pick_next(pool, now, rr) {
+                progressed = true;
+                let Some(job) = self.pre_dispatch(pool, j, now) else {
+                    continue;
+                };
+                let at = now;
+                let id = job.id;
+                pool.emit(|| Event::CircuitProbe {
+                    device: d,
+                    job: id,
+                    at_ms: at,
+                });
+                self.breakers[d].summary.probes += 1;
+                let g = self.dispatch_pinned(pool, &job, d, now);
+                let shape = JobShape::from(&job);
+                round.push(RoundEntry {
+                    job_idx: j,
+                    tenant_idx: t,
+                    job,
+                    shape,
+                    g,
+                    probe: true,
+                    cost_ms: self.cost_ms[j],
+                });
+                break;
+            }
+        }
+
+        // regular dispatches while free closed devices and jobs remain
+        loop {
+            let any_free = pool.devices().iter().any(|d| {
+                !d.is_lost()
+                    && d.clock_ms() <= now + EPS
+                    && self.breakers[d.id].state == BreakerState::Closed
+            });
+            if !any_free {
+                break;
+            }
+            let Some((t, j)) = self.pick_next(pool, now, rr) else {
+                break;
+            };
+            progressed = true;
+            let Some(job) = self.pre_dispatch(pool, j, now) else {
+                continue;
+            };
+            let Some(device) = self.place(pool, &job, now) else {
+                // raced against nothing — defensive: put the job back
+                self.tenants[t].queue.push_front(j);
+                self.pending_ms += self.cost_ms[j];
+                break;
+            };
+            let g = self.dispatch_pinned(pool, &job, device, now);
+            let shape = JobShape::from(&job);
+            round.push(RoundEntry {
+                job_idx: j,
+                tenant_idx: t,
+                job,
+                shape,
+                g,
+                probe: false,
+                cost_ms: self.cost_ms[j],
+            });
+        }
+
+        if round.is_empty() {
+            return progressed;
+        }
+        let solved = self.execute_round(pool, &round);
+        for (e, s) in round.into_iter().zip(solved) {
+            self.settle_entry(pool, e, s);
+        }
+        // slots freed: blocked arrivals may enter now
+        self.process_all_arrivals(pool, now);
+        true
+    }
+
+    /// The next instant anything can change after `now` (`None` = the
+    /// service is drained or irrecoverably starved).
+    fn next_event_after(&self, pool: &DevicePool, now: f64) -> Option<f64> {
+        let mut next = f64::INFINITY;
+        for ts in &self.tenants {
+            if ts.next_arrival < ts.arrivals.len() {
+                let release = self.jobs[ts.arrivals[ts.next_arrival]].release();
+                if release > now + EPS {
+                    next = next.min(release);
+                }
+            }
+            // a quota dry spell ends at a computable refill instant
+            // (the bucket value is as of `last_refill_ms`)
+            if let (Some(q), Some(&head)) = (ts.spec.quota, ts.queue.front()) {
+                if q.refill_per_s > 0.0 {
+                    let need = self.cost_ms[head] - ts.bucket_ms;
+                    if need > EPS {
+                        let ready = ts.last_refill_ms + need * 1000.0 / q.refill_per_s;
+                        if ready > now + EPS {
+                            next = next.min(ready);
+                        }
+                    }
+                }
+            }
+        }
+        for d in pool.devices() {
+            if !d.is_lost() && d.clock_ms() > now + EPS {
+                next = next.min(d.clock_ms());
+            }
+        }
+        for b in &self.breakers {
+            if let BreakerState::Open { until_ms } = b.state {
+                if until_ms.is_finite() && until_ms > now + EPS {
+                    next = next.min(until_ms);
+                }
+            }
+        }
+        next.is_finite().then_some(next)
+    }
+
+    /// Tombstone everything still queued or blocked when no event can
+    /// ever serve it (zero-refill quota starvation, or a fully dead
+    /// pool).
+    fn drain_starved(&mut self, pool: &mut DevicePool, now: f64) {
+        for t in 0..self.tenants.len() {
+            while let Some(j) = self.tenants[t].queue.pop_front() {
+                self.pending_ms -= self.cost_ms[j];
+                self.shed_job(pool, j, "starved", now);
+            }
+            while self.tenants[t].next_arrival < self.tenants[t].arrivals.len() {
+                let j = self.tenants[t].arrivals[self.tenants[t].next_arrival];
+                self.tenants[t].next_arrival += 1;
+                self.shed_job(pool, j, "starved", now.max(self.jobs[j].release()));
+            }
+        }
+    }
+}
+
+/// Exact nearest-rank percentile over an unsorted sample (0 when
+/// empty) — matching [`latency_summary`]'s convention.
+fn percentile(sample: &mut [f64], q: f64) -> f64 {
+    if sample.is_empty() {
+        return 0.0;
+    }
+    sample.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((q * sample.len() as f64).ceil() as usize).clamp(1, sample.len());
+    sample[rank - 1]
+}
+
+/// Run the multi-tenant service shell over `jobs` (see the module
+/// docs for the full contract). `tenants` binds specs to tenant ids;
+/// jobs of an unspecified tenant run under an implicit default spec
+/// (weight 1, 64-slot rejecting queue, no quota). Every job ends with
+/// an outcome carrying an explicit disposition, in submission order.
+pub fn serve(
+    pool: &mut DevicePool,
+    jobs: &[Job],
+    tenants: &[TenantSpec],
+    cfg: &ServiceConfig,
+) -> ServiceReport {
+    assert!(
+        !pool.devices().is_empty(),
+        "the service shell needs at least one device"
+    );
+    let n = jobs.len();
+    let mut specs: Vec<TenantSpec> = tenants.to_vec();
+    specs.sort_by_key(|s| s.id);
+    specs.dedup_by_key(|s| s.id);
+    for job in jobs {
+        if !specs.iter().any(|s| s.id == job.tenant) {
+            specs.push(TenantSpec::new(job.tenant, "tenant"));
+        }
+    }
+    specs.sort_by_key(|s| s.id);
+
+    let mut by_id = BTreeMap::new();
+    let mut states: Vec<TenantState> = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        by_id.insert(spec.id.0, i);
+        states.push(TenantState {
+            spec: *spec,
+            queue: VecDeque::new(),
+            arrivals: Vec::new(),
+            next_arrival: 0,
+            deficit_ms: 0.0,
+            bucket_ms: spec.quota.map(|q| q.burst_ms).unwrap_or(0.0),
+            last_refill_ms: 0.0,
+            dry: false,
+            quota_exhaustions: 0,
+            rejected: 0,
+        });
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        jobs[a]
+            .release()
+            .partial_cmp(&jobs[b].release())
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    for j in order {
+        let t = by_id[&jobs[j].tenant.0];
+        states[t].arrivals.push(j);
+    }
+
+    let mut shell = Shell {
+        jobs,
+        cfg,
+        planner: Planner::new(),
+        tenants: states,
+        breakers: (0..pool.devices().len())
+            .map(|d| DeviceBreaker {
+                state: BreakerState::Closed,
+                strikes: VecDeque::new(),
+                reopens: 0,
+                summary: BreakerSummary {
+                    device: d,
+                    ..BreakerSummary::default()
+                },
+            })
+            .collect(),
+        cost_ms: vec![0.0; n],
+        seq: vec![u64::MAX; n],
+        next_seq: 0,
+        cur_digits: jobs.iter().map(|j| j.target_digits).collect(),
+        degraded: vec![false; n],
+        retried: vec![false; n],
+        outcomes: (0..n).map(|_| None).collect(),
+        pending_ms: 0.0,
+    };
+
+    let mut now = 0.0;
+    let mut rr = 0usize;
+    loop {
+        shell.process_sticky_losses(pool, now);
+        shell.process_probe_timers(pool, now);
+        shell.process_all_arrivals(pool, now);
+        if shell.dispatch_round(pool, now, &mut rr) {
+            continue;
+        }
+        match shell.next_event_after(pool, now) {
+            Some(t) => now = t,
+            None => break,
+        }
+    }
+    shell.drain_starved(pool, now);
+
+    let outcomes: Vec<JobOutcome> = shell
+        .outcomes
+        .into_iter()
+        .map(|o| o.expect("every job ends in an outcome"))
+        .collect();
+    let latency = latency_summary(&outcomes);
+    let makespan_ms = outcomes
+        .iter()
+        .filter(|o| o.disposition.completed())
+        .map(|o| o.end_ms)
+        .fold(0.0, f64::max);
+
+    let mut summaries = Vec::new();
+    for ts in &shell.tenants {
+        let spec = ts.spec;
+        let mine: Vec<&JobOutcome> = outcomes.iter().filter(|o| o.tenant == spec.id).collect();
+        if mine.is_empty() {
+            continue;
+        }
+        let mut turn: Vec<f64> = mine
+            .iter()
+            .filter(|o| o.disposition.completed())
+            .map(|o| o.turnaround_ms())
+            .collect();
+        let mut classes = Vec::new();
+        for class in SloClass::LADDER {
+            // outcomes are in submission order, so outcome i belongs
+            // to jobs[i] — slice by the submitted job's SLO class
+            let slice: Vec<&JobOutcome> = outcomes
+                .iter()
+                .zip(jobs.iter())
+                .filter(|(_, j)| j.tenant == spec.id && j.slo == class)
+                .map(|(o, _)| o)
+                .collect();
+            if slice.is_empty() {
+                continue;
+            }
+            let mut cturn: Vec<f64> = slice
+                .iter()
+                .filter(|o| o.disposition.completed())
+                .map(|o| o.turnaround_ms())
+                .collect();
+            classes.push(ClassSummary {
+                class,
+                submitted: slice.len(),
+                completed: slice.iter().filter(|o| o.disposition.completed()).count(),
+                shed: slice
+                    .iter()
+                    .filter(|o| o.disposition == Disposition::Shed)
+                    .count(),
+                degraded: slice
+                    .iter()
+                    .filter(|o| o.disposition == Disposition::Degraded)
+                    .count(),
+                p50_ms: percentile(&mut cturn, 0.50),
+                p99_ms: percentile(&mut cturn, 0.99),
+                p999_ms: percentile(&mut cturn, 0.999),
+            });
+        }
+        summaries.push(TenantSummary {
+            tenant: spec.id,
+            name: spec.name,
+            submitted: mine.len(),
+            completed: mine.iter().filter(|o| o.disposition.completed()).count(),
+            shed: mine
+                .iter()
+                .filter(|o| o.disposition == Disposition::Shed)
+                .count(),
+            rejected: ts.rejected,
+            degraded: mine
+                .iter()
+                .filter(|o| o.disposition == Disposition::Degraded)
+                .count(),
+            retried: mine
+                .iter()
+                .filter(|o| o.disposition == Disposition::Retried)
+                .count(),
+            quota_exhaustions: ts.quota_exhaustions,
+            p50_ms: percentile(&mut turn, 0.50),
+            p99_ms: percentile(&mut turn, 0.99),
+            p999_ms: percentile(&mut turn, 0.999),
+            classes,
+        });
+    }
+    let breakers = shell.breakers.iter().map(|b| b.summary).collect();
+
+    ServiceReport {
+        outcomes,
+        latency,
+        tenants: summaries,
+        breakers,
+        makespan_ms,
+    }
+}

@@ -41,6 +41,10 @@ use mdls_obs::Event;
 struct QueuedJob {
     job: Job,
     arrival: usize,
+    /// Originally requested digits when a loss-time re-preview
+    /// down-laddered this job while it sat in the buffer (see
+    /// [`BatchStream::reconcile_losses`]); `None` when untouched.
+    requested_digits: Option<u32>,
 }
 
 impl QueuedJob {
@@ -229,6 +233,14 @@ where
 /// ([`Disposition::Shed`] — the outcome is yielded immediately, with
 /// nothing booked and nothing solved). Deadline-free jobs pass through
 /// untouched, as does everything when `admission.enabled` is false.
+///
+/// The admitted stream is also **loss-aware**: before each pull, any
+/// device whose [`gpusim::FaultPlan`] sticky-loss threshold has come
+/// due on the simulated clock is failed, and when the alive set
+/// shrinks every *buffered* admission is re-previewed against the
+/// survivors — a verdict reached while the dead device still counted
+/// is stale, so unmeetable jobs re-shed (tombstones yield ahead of
+/// the next dispatch) and tight ones down-ladder in place.
 pub fn solve_stream_admitted<'p, I>(
     pool: &'p mut DevicePool,
     jobs: I,
@@ -261,10 +273,94 @@ where
                     self.buffer.push(QueuedJob {
                         job,
                         arrival: self.admitted,
+                        requested_digits: None,
                     });
                     self.admitted += 1;
                 }
                 None => break,
+            }
+        }
+    }
+
+    /// Emit the shed event and build the tombstone outcome for a job
+    /// turned away by admission — shared by the pop-time preview and
+    /// the loss-time re-preview.
+    fn shed_outcome(&mut self, job: &Job, predicted_end: f64) -> JobOutcome {
+        self.pool.emit(|| Event::JobShed {
+            job: job.id,
+            deadline_ms: job.deadline_ms.unwrap_or(0.0),
+            predicted_end_ms: predicted_end,
+        });
+        let device = self
+            .pool
+            .devices()
+            .iter()
+            .find(|d| !d.is_lost())
+            .map(|d| d.id)
+            .unwrap_or(0);
+        let (plan, _) = self.planner.plan_fused(
+            self.pool.gpu(device),
+            job.rows(),
+            job.cols(),
+            job.target_digits,
+            1,
+        );
+        self.dispatched += 1;
+        tombstone_outcome(job, plan, device, Disposition::Shed, job.release())
+    }
+
+    /// Apply sticky device losses that have come due on the simulated
+    /// clock, and — when the alive set shrinks — re-preview every
+    /// buffered admission against the survivors. A verdict previewed
+    /// while N devices were alive is stale on N−1: a job that fit its
+    /// deadline then may be unmeetable now, and dispatching it anyway
+    /// would book doomed work. Re-shed jobs tombstone straight into the
+    /// ready queue; down-laddered jobs stay in the reorder buffer at
+    /// the lower rung (remembering the requested digits so their
+    /// outcome reports [`Disposition::Degraded`]). No-op unless the
+    /// stream was built with ingress admission
+    /// ([`solve_stream_admitted`]).
+    fn reconcile_losses(&mut self) {
+        let Some(adm) = self.admission else { return };
+        let floor = self.pool.min_clock_ms();
+        let due: Vec<(usize, f64)> = self
+            .pool
+            .devices()
+            .iter()
+            .filter(|d| !d.is_lost())
+            .filter_map(|d| {
+                d.gpu
+                    .fault
+                    .lost_at_ms()
+                    .filter(|&at| at <= floor)
+                    .map(|at| (d.id, at))
+            })
+            .collect();
+        if due.is_empty() {
+            return;
+        }
+        for &(id, at) in &due {
+            self.pool.fail_device(id, at);
+        }
+        let overlap = self.sched.as_ref().map(|s| s.overlap).unwrap_or(false);
+        for mut q in std::mem::take(&mut self.buffer).into_vec() {
+            let release = q.job.release().max(self.pool.min_clock_ms());
+            match admit_job(self.pool, &self.planner, &q.job, overlap, release, &adm) {
+                AdmissionDecision::Admit => self.buffer.push(q),
+                AdmissionDecision::Degrade(digits) => {
+                    self.pool.emit(|| Event::JobDegraded {
+                        job: q.job.id,
+                        from_digits: q.job.target_digits,
+                        to_digits: digits,
+                    });
+                    q.requested_digits = q.requested_digits.or(Some(q.job.target_digits));
+                    q.job.target_digits = digits;
+                    self.buffer.push(q);
+                }
+                AdmissionDecision::Shed(predicted_end) => {
+                    let o = self.shed_outcome(&q.job, predicted_end);
+                    self.ready.push_back(o);
+                }
             }
         }
     }
@@ -281,12 +377,19 @@ where
         if let Some(o) = self.ready.pop_front() {
             return Some(o);
         }
+        // sticky losses that came due re-preview the whole buffer: any
+        // re-shed tombstones drain before the next dispatch
+        self.reconcile_losses();
+        if let Some(o) = self.ready.pop_front() {
+            return Some(o);
+        }
         // admit, then reorder → dispatch the most urgent admitted job...
         self.admit();
-        let mut job = self.buffer.pop()?.job;
+        let queued = self.buffer.pop()?;
+        let mut job = queued.job;
         // ingress admission: preview the deadlined job against the
         // surviving pool and shed or down-ladder before anything books
-        let mut requested_digits = None;
+        let mut requested_digits = queued.requested_digits;
         if let Some(adm) = self.admission {
             let floor = job.release().max(self.pool.min_clock_ms());
             let overlap = self.sched.as_ref().map(|s| s.overlap).unwrap_or(false);
@@ -298,37 +401,11 @@ where
                         from_digits: job.target_digits,
                         to_digits: digits,
                     });
-                    requested_digits = Some(job.target_digits);
+                    requested_digits = requested_digits.or(Some(job.target_digits));
                     job.target_digits = digits;
                 }
                 AdmissionDecision::Shed(predicted_end) => {
-                    self.pool.emit(|| Event::JobShed {
-                        job: job.id,
-                        deadline_ms: job.deadline_ms.unwrap_or(0.0),
-                        predicted_end_ms: predicted_end,
-                    });
-                    let device = self
-                        .pool
-                        .devices()
-                        .iter()
-                        .find(|d| !d.is_lost())
-                        .map(|d| d.id)
-                        .unwrap_or(0);
-                    let (plan, _) = self.planner.plan_fused(
-                        self.pool.gpu(device),
-                        job.rows(),
-                        job.cols(),
-                        job.target_digits,
-                        1,
-                    );
-                    self.dispatched += 1;
-                    return Some(tombstone_outcome(
-                        &job,
-                        plan,
-                        device,
-                        Disposition::Shed,
-                        job.release(),
-                    ));
+                    return Some(self.shed_outcome(&job, predicted_end));
                 }
             }
         }
@@ -380,8 +457,15 @@ where
                 match self.buffer.peek() {
                     // a member that has not arrived by the group's
                     // earliest feasible start would delay the whole
-                    // group (and its front deadline) — leave it queued
-                    Some(q) if JobShape::from(&q.job) == shape && q.job.release() <= floor => {
+                    // group (and its front deadline) — leave it queued;
+                    // so does one down-laddered by a loss-time
+                    // re-preview (only the front member's outcome is
+                    // patched to Degraded, so it must dispatch as front)
+                    Some(q)
+                        if JobShape::from(&q.job) == shape
+                            && q.job.release() <= floor
+                            && q.requested_digits.is_none() =>
+                    {
                         group.push(self.buffer.pop().unwrap().job);
                     }
                     _ => break,

@@ -9,8 +9,9 @@ use gpusim::{FaultPlan, Gpu};
 use mdls_matrix::HostMat;
 use mdls_pipeline::batch::Disposition;
 use mdls_pipeline::{
-    dispatch_group_staged, solve_batch_resilient, DevicePool, DispatchPolicy, ExecPlan, Job,
-    JobShape, MicrobatchConfig, Planner, ResilienceConfig, StageSchedConfig,
+    dispatch_group_staged, solve_batch_resilient, solve_stream_admitted, AdmissionConfig,
+    DevicePool, DispatchPolicy, ExecPlan, Job, JobShape, MicrobatchConfig, Planner,
+    ResilienceConfig, StageSchedConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -276,5 +277,107 @@ fn chaos_is_deterministic_end_to_end() {
         assert_eq!(x.x, y.x);
         assert_eq!(x.end_ms, y.end_ms);
         assert_eq!(x.disposition, y.disposition);
+    }
+}
+
+/// Regression: an admission verdict reached while a doomed device
+/// still counted is stale. Three deadline-free warm-ups (priority 5)
+/// drain first and spread over a 2×V100 pool; device 1 carries a
+/// sticky loss that comes due on the simulated clock after the first
+/// two dispatches. Two low-priority deadlined jobs wait in the reorder
+/// buffer behind them:
+///
+/// * `victim` is meetable only via device 1 — the clean run completes
+///   it there in time, but once the loss comes due the admitted stream
+///   must fail the device and shed the job against the survivors
+///   instead of dispatching it onto the corpse of a stale preview;
+/// * `hopeless` has a deadline shorter than any solve, and the
+///   loss-time re-preview must tombstone it *eagerly*: its shed
+///   outcome yields ahead of the still-buffered warm-up, not merely
+///   when its own turn to pop comes.
+#[test]
+fn admitted_stream_re_previews_buffer_after_device_loss() {
+    let planner = Planner::new();
+    let gpu = Gpu::v100();
+    let lost_at = 0.1 * planner.plan_fused(&gpu, 8, 8, 25, 1).1.predicted_ms;
+
+    let sized = |id: u64, n: usize, seed: u64| {
+        let mut j = diag_jobs(1, n, 25, seed).pop().unwrap();
+        j.id = id;
+        j
+    };
+    let jobs = |victim_deadline: f64| {
+        vec![
+            sized(0, 8, 11).with_priority(5),
+            sized(1, 12, 12).with_priority(5),
+            sized(2, 24, 13).with_priority(5),
+            sized(3, 8, 14).with_deadline_ms(victim_deadline),
+            sized(4, 8, 15).with_deadline_ms(lost_at),
+        ]
+    };
+    let run = |victim_deadline: f64, fault: Option<FaultPlan>| {
+        let mut pool = DevicePool::homogeneous(&Gpu::v100(), 2);
+        if let Some(f) = fault {
+            pool.set_fault_plan(1, f);
+        }
+        let outcomes: Vec<_> = solve_stream_admitted(
+            &mut pool,
+            jobs(victim_deadline),
+            DispatchPolicy::LeastLoaded,
+            5,
+            MicrobatchConfig::default(),
+            StageSchedConfig::staged(),
+            AdmissionConfig::default(),
+        )
+        .collect();
+        (outcomes, pool.devices()[1].is_lost())
+    };
+    let loss = || FaultPlan::none().with_device_lost(lost_at);
+
+    // calibrate: with an unmissable deadline, when does the victim end
+    // with the full pool vs. with only the survivors? The cost model is
+    // launch-overhead-dominated at these sizes, so hand-picked margins
+    // are fragile — measure the two schedules instead.
+    let (probe, _) = run(f64::MAX, None);
+    let e_clean = probe.iter().find(|o| o.job_id == 3).unwrap().end_ms;
+    let (probe, _) = run(f64::MAX, Some(loss()));
+    let e_lossy = probe.iter().find(|o| o.job_id == 3).unwrap().end_ms;
+    assert!(
+        e_lossy > e_clean,
+        "survivors must be strictly slower for the victim ({e_lossy} vs {e_clean}); vacuous"
+    );
+    // a deadline only the full pool can meet
+    let deadline = (e_clean + e_lossy) / 2.0;
+
+    let (clean, clean_lost) = run(deadline, None);
+    assert!(!clean_lost);
+    let v = clean.iter().find(|o| o.job_id == 3).unwrap();
+    assert_eq!(v.disposition, Disposition::Ok);
+    assert!(v.end_ms <= deadline);
+
+    let (faulted, lost) = run(deadline, Some(loss()));
+    assert!(lost, "the due sticky loss must actually fail the device");
+    assert_eq!(faulted.len(), 5);
+    // warm-ups complete (device 1's finished work stands)
+    for id in 0..3 {
+        let o = faulted.iter().find(|o| o.job_id == id).unwrap();
+        assert_eq!(o.disposition, Disposition::Ok, "warm-up {id}");
+    }
+    // the eager re-preview tombstones `hopeless` the moment the loss
+    // is applied: its shed outcome yields *before* the third warm-up
+    assert_eq!(faulted[2].job_id, 4, "loss-time shed must yield eagerly");
+    assert_eq!(faulted[2].disposition, Disposition::Shed);
+    // the victim's stale verdict is revisited against the survivors:
+    // shed (or down-laddered to a rung that fits), never run at full
+    // digits on the corpse of the old preview
+    let v = faulted.iter().find(|o| o.job_id == 3).unwrap();
+    assert_ne!(
+        v.disposition,
+        Disposition::Ok,
+        "stale admission dispatched the victim at full digits"
+    );
+    assert_eq!(v.device, 0, "nothing may book on the lost device");
+    if v.disposition == Disposition::Shed {
+        assert!(v.residual.is_infinite());
     }
 }
