@@ -1,0 +1,35 @@
+use gpusim::Gpu;
+use mdls_matrix::HostMat;
+use mdls_pipeline::{
+    serve, DevicePool, ExecutionMode, Job, ServiceConfig, SloClass, TenantId, TenantSpec,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn quota_overspend_probe() {
+    let metered = TenantId(1);
+    let n = 8;
+    let mut rng = StdRng::seed_from_u64(7);
+    let jobs: Vec<Job> = (0..8u64)
+        .map(|i| {
+            let a = HostMat::<f64>::from_fn(n, n, |r, c| {
+                let u: f64 = multidouble::random::rand_real(&mut rng);
+                u + if r == c { 4.0 } else { 0.0 }
+            });
+            let b: Vec<f64> = (0..n).map(|_| multidouble::random::rand_real(&mut rng)).collect();
+            Job::new(i, a, b, 25).with_tenant(metered).with_slo(SloClass::Standard)
+        })
+        .collect();
+    let planner = mdls_pipeline::Planner::new();
+    let (_, fused) = planner.plan_fused(&Gpu::v100(), 8, 8, 25, 1);
+    let cost = fused.predicted_ms;
+    // bucket covers ~1.2 jobs, zero refill
+    let specs = [TenantSpec::new(metered, "metered").with_quota(1.2 * cost, 0.0)];
+    let cfg = ServiceConfig { mode: ExecutionMode::ModelOnly, ..ServiceConfig::default() };
+    let mut pool = DevicePool::homogeneous(&Gpu::v100(), 4);
+    let report = serve(&mut pool, &jobs, &specs, &cfg);
+    let t = &report.tenants[0];
+    eprintln!("completed={} shed={} (bucket covered 1 job)", t.completed, t.shed);
+    assert_eq!(t.completed, 1, "bucket covers exactly one job");
+}
